@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures (fast
+sweep settings) under pytest-benchmark timing and prints the resulting
+series — the same rows the paper reports.  Full-resolution sweeps are
+produced by ``python -m repro.experiments.report_all`` (EXPERIMENTS.md).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under benchmark timing.
+
+    Simulation experiments are deterministic and long; repeating them
+    for statistical timing would multiply wall time for no benefit.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _once(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+    return _once

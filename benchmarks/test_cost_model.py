@@ -1,0 +1,66 @@
+"""Benchmark E10 — Table 2.1 cost model + §4.3 cost-effectiveness."""
+
+from repro.analysis.cost import (
+    STORES_1990,
+    configuration_cost,
+    cost_effectiveness,
+    five_minute_rule,
+)
+from repro.core.model import TransactionSystem
+from repro.experiments.defaults import (
+    debit_credit_config,
+    disk_only,
+    disk_with_nv_cache_write_buffer,
+    nvem_resident,
+    ssd_resident,
+)
+from repro.workload.debit_credit import DebitCreditWorkload
+
+DB_PAGES = 5_000_500  # ACCOUNT + BRANCH/TELLER pages
+RATE = 300.0
+
+
+def measure(scheme):
+    config = debit_credit_config(scheme)
+    system = TransactionSystem(config,
+                               DebitCreditWorkload(arrival_rate=RATE))
+    return system.run(warmup=2.0, duration=4.0).response_time_ms
+
+
+def test_cost_effectiveness_of_allocations(once):
+    def experiment():
+        responses = {
+            "disk": measure(disk_only()),
+            "disk+write buffer": measure(disk_with_nv_cache_write_buffer()),
+            "ssd": measure(ssd_resident()),
+            "nvem": measure(nvem_resident()),
+        }
+        costs = {
+            "disk": configuration_cost([("disk", DB_PAGES)]),
+            "disk+write buffer": configuration_cost(
+                [("disk", DB_PAGES), ("disk_cache", 1500)]),
+            "ssd": configuration_cost([("ssd", DB_PAGES)]),
+            "nvem": configuration_cost([("nvem", DB_PAGES)]),
+        }
+        return responses, costs
+
+    responses, costs = once(experiment)
+    ranked = cost_effectiveness(responses, costs)
+    print()
+    print("storage prices (Table 2.1 mid-range):")
+    for name, store in STORES_1990.items():
+        print(f"  {name:12s} ${store.price_per_mb:7.0f}/MB  "
+              f"{store.access_time * 1e6:9.1f} us/page")
+    print("configuration cost and response time:")
+    for name in responses:
+        print(f"  {name:18s} rt={responses[name]:6.1f} ms  "
+              f"cost=${costs[name]:12,.0f}")
+    print("ms saved per k$ (vs slowest):")
+    for name, gain in ranked:
+        print(f"  {name:18s} {gain:10.4f}")
+    # The paper's conclusion: the write buffer is the most
+    # cost-effective use of non-volatile semiconductor memory.
+    assert ranked[0][0] == "disk+write buffer"
+    # Gray-Putzolu five-minute rule sanity.
+    assert 60 < five_minute_rule(page_size_kb=1.0, disk_price=15_000.0,
+                                 memory_price_per_mb=5_000.0) < 600

@@ -1,0 +1,17 @@
+"""Benchmark E1 — regenerate Figure 4.1 (log file allocation)."""
+
+from repro.experiments import fig4_1
+
+
+def test_fig4_1_log_allocation(once):
+    result = once(fig4_1.run, fast=True)
+    print()
+    print(result.to_table())
+    # Shape assertions (paper): the single log disk saturates early,
+    # NVEM/SSD logs carry the highest rate with flat response times.
+    nvem = result.series_by_label("log in NVEM")
+    ssd = result.series_by_label("log on SSD")
+    single = result.series_by_label("log on single disk")
+    assert max(nvem.xs()) == 500 and not nvem.points[-1].saturated
+    assert max(ssd.xs()) == 500 and not ssd.points[-1].saturated
+    assert single.points[0].response_ms > nvem.points[0].response_ms

@@ -1,0 +1,18 @@
+"""Benchmark E2 — regenerate Figure 4.2 (database allocation)."""
+
+from repro.experiments import fig4_2
+
+
+def test_fig4_2_database_allocation(once):
+    result = once(fig4_2.run, fast=True)
+    print()
+    print(result.to_table())
+    # Paper ordering at every sampled rate:
+    # disk > write-buffer variants > SSD > NVEM-resident.
+    for i, _rate in enumerate(result.series[0].xs()):
+        rt = {s.label: s.points[i].response_ms for s in result.series
+              if i < len(s.points)}
+        assert rt["disk"] > rt["disk cache WB"]
+        assert rt["disk cache WB"] > rt["SSD"]
+        assert rt["SSD"] > rt["NVEM-resident"]
+        assert rt["NVEM WB"] <= rt["disk cache WB"] * 1.1

@@ -1,0 +1,15 @@
+"""Benchmark E3 — regenerate Figure 4.3 (FORCE vs NOFORCE)."""
+
+from repro.experiments import fig4_3
+
+
+def test_fig4_3_force_vs_noforce(once):
+    result = once(fig4_3.run, fast=True)
+    print()
+    print(result.to_table())
+    rt = {s.label: s.points[0].response_ms for s in result.series}
+    # FORCE pays heavily on disk, less behind a write buffer, and is
+    # nearly free on NVEM; FORCE+WB beats disk-based NOFORCE (paper).
+    assert rt["FORCE: disk"] > 1.3 * rt["NOFORCE: disk"]
+    assert rt["FORCE: cache WB"] < rt["NOFORCE: disk"]
+    assert abs(rt["FORCE: NVEM"] - rt["NOFORCE: NVEM"]) < 3.0

@@ -1,0 +1,19 @@
+"""Benchmark E4 — regenerate Figure 4.4 (caching vs MM buffer size)."""
+
+from repro.experiments import fig4_4
+
+
+def test_fig4_4_caching_vs_mm_size(once):
+    result = once(fig4_4.run, fast=True)
+    print()
+    print(result.to_table())
+    # At MM=2000 the volatile disk cache adds nothing over MM-only;
+    # non-volatile variants stay far ahead (paper).
+    mm_only = result.series_by_label("MM caching only")
+    volatile = result.series_by_label("vol. disk cache 1000")
+    nvem500 = result.series_by_label("NVEM buffer 500")
+    last = -1
+    assert abs(volatile.points[last].response_ms
+               - mm_only.points[last].response_ms) < 6.0
+    assert nvem500.points[last].response_ms < \
+        0.7 * mm_only.points[last].response_ms

@@ -1,0 +1,17 @@
+"""Benchmark E6 — regenerate Figure 4.5 (2nd-level buffer size)."""
+
+from repro.experiments import fig4_5
+
+
+def test_fig4_5_second_level_size(once):
+    result = once(fig4_5.run, fast=True)
+    print()
+    print(result.to_table())
+    print()
+    print(fig4_5.hit_table(result))
+    # NVEM beats both disk caches at every size; the volatile cache is
+    # useless below the MM buffer size (500).
+    for i in range(len(result.series[0].points)):
+        rt = {s.label: s.points[i].response_ms for s in result.series}
+        assert rt["NVEM buffer"] <= rt["nv disk cache"]
+        assert rt["NVEM buffer"] <= rt["vol. disk cache"]

@@ -1,0 +1,28 @@
+"""Benchmark E7 — regenerate Figure 4.6 (trace workload, MM size)."""
+
+from repro.experiments import fig4_6
+from repro.experiments.trace_setup import MEAN_TX_SIZE
+
+
+def test_fig4_6_trace_mm_size(once):
+    result = once(fig4_6.run, fast=True)
+    print()
+    print(fig4_6.normalized_table(result))
+
+    def norm(series, i):
+        return series.points[i].results.normalized_response_time(
+            MEAN_TX_SIZE
+        )
+
+    mm_only = result.series_by_label("MM caching only")
+    nvem = result.series_by_label("NVEM cache 2000")
+    vol = result.series_by_label("vol. disk cache 2000")
+    nv = result.series_by_label("nv disk cache 2000")
+    resident = result.series_by_label("NVEM-resident")
+    for i in range(len(mm_only.points)):
+        # Second-level caches flatten the curve; NVEM cache beats the
+        # disk caches; full NVEM residence is fastest (paper).
+        assert nvem.points and norm(nvem, i) < norm(mm_only, i)
+        assert norm(nvem, i) < norm(vol, i)
+        assert norm(nv, i) <= norm(vol, i) * 1.05
+        assert norm(resident, i) < norm(nvem, i)

@@ -1,0 +1,22 @@
+"""Benchmark E8 — regenerate Figure 4.7 (trace workload, 2nd-level size)."""
+
+from repro.experiments import fig4_7
+from repro.experiments.trace_setup import MEAN_TX_SIZE
+
+
+def test_fig4_7_trace_second_level_size(once):
+    result = once(fig4_7.run, fast=True)
+    print()
+    print(fig4_7.normalized_table(result))
+
+    def norm(series, i):
+        return series.points[i].results.normalized_response_time(
+            MEAN_TX_SIZE
+        )
+
+    nvem = result.series_by_label("NVEM cache")
+    vol = result.series_by_label("vol. disk cache")
+    last = len(nvem.points) - 1
+    # Growing the 2nd-level cache helps; NVEM helps most (paper).
+    assert norm(nvem, last) < norm(nvem, 0)
+    assert norm(nvem, last) <= norm(vol, last)

@@ -1,0 +1,21 @@
+"""Benchmark E9 — regenerate Figure 4.8 (lock contention)."""
+
+from repro.experiments import fig4_8
+
+
+def test_fig4_8_lock_contention(once):
+    result = once(fig4_8.run, fast=True)
+    print()
+    print(result.to_table())
+    disk_page = result.series_by_label("disk-based - page locks")
+    disk_obj = result.series_by_label("disk-based - object locks")
+    nvem_page = result.series_by_label("NVEM-resident - page locks")
+    # Page locking on disk thrashes at the higher rate (saturated or an
+    # order of magnitude slower); object locks and NVEM residence don't.
+    high = -1
+    assert disk_page.points[high].saturated or \
+        disk_page.points[high].response_ms > \
+        5 * disk_obj.points[high].response_ms
+    assert not disk_obj.points[high].saturated
+    assert not nvem_page.points[high].saturated
+    assert nvem_page.points[high].response_ms < 50

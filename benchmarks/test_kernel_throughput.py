@@ -1,0 +1,69 @@
+"""Microbenchmarks of the simulation kernel itself.
+
+These are classic pytest-benchmark measurements (multiple rounds):
+event throughput bounds how large a TPSIM experiment can be simulated
+per wall-clock second.
+"""
+
+from repro.sim import Environment, RandomStreams, Resource
+
+
+def run_timeout_chain(n):
+    env = Environment()
+
+    def proc(env):
+        for _ in range(n):
+            yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run()
+    return env.now
+
+
+def run_queueing_network(customers):
+    env = Environment()
+    streams = RandomStreams(1)
+    servers = [Resource(env, capacity=2) for _ in range(3)]
+
+    def customer(env):
+        for server in servers:
+            req = server.request()
+            yield req
+            yield env.timeout(streams.exponential("svc", 1.0))
+            server.release(req)
+
+    def source(env):
+        for _ in range(customers):
+            yield env.timeout(streams.exponential("arr", 0.5))
+            env.process(customer(env))
+
+    env.process(source(env))
+    env.run()
+    return env.now
+
+
+def test_event_throughput(benchmark):
+    result = benchmark(run_timeout_chain, 20_000)
+    assert result == 20_000.0
+
+
+def test_queueing_network_throughput(benchmark):
+    result = benchmark(run_queueing_network, 2_000)
+    assert result > 0
+
+
+def test_debit_credit_simulation_speed(benchmark):
+    """End-to-end simulator speed: one second of 200 TPS Debit-Credit."""
+    from repro.core.model import TransactionSystem
+    from repro.experiments.defaults import debit_credit_config, disk_only
+    from repro.workload.debit_credit import DebitCreditWorkload
+
+    def run():
+        config = debit_credit_config(disk_only())
+        system = TransactionSystem(
+            config, DebitCreditWorkload(arrival_rate=200)
+        )
+        return system.run(warmup=0.5, duration=1.0).committed
+
+    committed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert committed > 100

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Lock-contention study (mini Fig. 4.8) using the synthetic model.
+
+Builds the §4.7 workload — variable-size update transactions, 80% of
+accesses on a small hot partition — directly through the public
+configuration API, then crosses storage allocations with lock
+granularities to show I/O-delay-driven lock thrashing.
+
+Run with::
+
+    python examples/contention_study.py
+"""
+
+from repro import NVEM, TransactionSystem
+from repro.core.config import CCMode
+from repro.experiments.fig4_8 import build_config
+from repro.workload.synthetic import SyntheticWorkload
+
+RATES = [50, 100, 150, 200]
+VARIANTS = [
+    ("disk, page locks", "db0", "db0", "log0", CCMode.PAGE),
+    ("disk, object locks", "db0", "db0", "log0", CCMode.OBJECT),
+    ("mixed, page locks", NVEM, "db0", NVEM, CCMode.PAGE),
+    ("NVEM, page locks", NVEM, NVEM, NVEM, CCMode.PAGE),
+]
+
+
+def main() -> None:
+    header = f"{'configuration':22s}" + "".join(
+        f" {rate:>9d}" for rate in RATES
+    )
+    print("response time (ms) vs arrival rate (TPS); * = lock thrash")
+    print(header)
+    print("-" * len(header))
+    for label, small, large, log_dev, cc_mode in VARIANTS:
+        cells = []
+        for rate in RATES:
+            config = build_config(small, large, log_dev, cc_mode, rate)
+            system = TransactionSystem(config, SyntheticWorkload(config),
+                                       seed=11)
+            results = system.run(warmup=3.0, duration=8.0)
+            if results.saturated:
+                cells.append(f" {'thrash*':>9}")
+            else:
+                cells.append(f" {results.response_time_ms:9.1f}")
+        print(f"{label:22s}" + "".join(cells))
+    print()
+    print("(compare with Fig. 4.8: page locking thrashes on the "
+          "disk-based and mixed allocations; object locking or full "
+          "NVEM residence removes the bottleneck)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Combined three-tier storage architecture + cost analysis (§5).
+
+The paper's conclusion suggests combining the intermediate storage
+types: non-volatile disk caches as write buffers, SSD for hot files,
+and an NVEM second-level database cache.  This example builds exactly
+that configuration through the public API — BRANCH/TELLER on SSD,
+ACCOUNT on cached disks, HISTORY on plain disks with an NVEM write
+buffer, log in NVEM — compares it against the pure configurations, and
+prices each with the Table 2.1 cost model.
+
+Run with::
+
+    python examples/custom_storage.py
+"""
+
+from repro import (
+    DebitCreditWorkload,
+    DiskUnitConfig,
+    DiskUnitType,
+    LogAllocation,
+    NVEM,
+    NVEMCachingMode,
+    SystemConfig,
+    TransactionSystem,
+)
+from repro.analysis.cost import configuration_cost, cost_effectiveness
+from repro.experiments.defaults import (
+    db_disk_unit,
+    debit_credit_config,
+    default_cm,
+    default_nvem,
+    disk_only,
+    nvem_resident,
+)
+from repro.workload.debit_credit import build_debit_credit_partitions
+
+RATE = 300.0
+ACCOUNT_PAGES = 5_000_000
+BT_PAGES = 500
+
+
+def combined_config() -> SystemConfig:
+    partitions = build_debit_credit_partitions(
+        allocation="account0",       # ACCOUNT: cached disks
+        bt_allocation="bt_ssd",      # BRANCH/TELLER: SSD-resident
+        history_allocation="hist0",  # HISTORY: plain disks + NVEM WB
+    )
+    partitions[0].nvem_caching = NVEMCachingMode.ALL  # ACCOUNT... no:
+    # ACCOUNT sits behind a non-volatile disk cache; NVEM caching on
+    # top would double-cache (footnote 4) — keep the disk cache only.
+    partitions[0].nvem_caching = NVEMCachingMode.NONE
+    partitions[2].nvem_write_buffer = True
+
+    cm = default_cm()
+    cm.nvem_write_buffer_size = 500
+    config = SystemConfig(
+        partitions=partitions,
+        disk_units=[
+            db_disk_unit("account0",
+                         unit_type=DiskUnitType.NONVOLATILE_CACHE,
+                         cache_size=1000),
+            DiskUnitConfig(name="bt_ssd", unit_type=DiskUnitType.SSD,
+                           num_controllers=4),
+            db_disk_unit("hist0", num_disks=8, num_controllers=2),
+        ],
+        nvem=default_nvem(),
+        cm=cm,
+        log=LogAllocation(device=NVEM),
+        seed=21,
+    )
+    config.validate()
+    return config
+
+
+def measure(config) -> float:
+    system = TransactionSystem(
+        config, DebitCreditWorkload(arrival_rate=RATE), seed=21
+    )
+    return system.run(warmup=3.0, duration=8.0).response_time_ms
+
+
+def main() -> None:
+    responses = {
+        "all-disk": measure(debit_credit_config(disk_only())),
+        "combined 3-tier": measure(combined_config()),
+        "all-NVEM": measure(debit_credit_config(nvem_resident())),
+    }
+    costs = {
+        "all-disk": configuration_cost([("disk",
+                                         ACCOUNT_PAGES + BT_PAGES)]),
+        "combined 3-tier": configuration_cost([
+            ("disk", ACCOUNT_PAGES),
+            ("disk_cache", 1000),
+            ("ssd", BT_PAGES),
+            ("nvem", 500 + 100),  # write buffer + log buffer
+        ]),
+        "all-NVEM": configuration_cost([("nvem",
+                                         ACCOUNT_PAGES + BT_PAGES)]),
+    }
+
+    print(f"Debit-Credit at {RATE:g} TPS:")
+    print(f"{'configuration':18s} {'rt (ms)':>8} {'storage cost':>16}")
+    print("-" * 46)
+    for name in responses:
+        print(f"{name:18s} {responses[name]:8.1f} "
+              f"${costs[name]:>15,.0f}")
+    print()
+    print("response-time gain per 1000$ (vs all-disk):")
+    for name, gain in cost_effectiveness(responses, costs):
+        print(f"  {name:18s} {gain:8.4f} ms/k$")
+    print()
+    print("(the §5 conclusion: a little non-volatile memory in the "
+          "right places buys most of the NVEM-resident performance at "
+          "a fraction of its cost)")
+
+
+if __name__ == "__main__":
+    main()

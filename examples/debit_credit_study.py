@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Debit-Credit storage-architecture study (mini Figs. 4.1–4.3).
+
+Sweeps arrival rates over the six storage allocations of §4.3 and over
+FORCE/NOFORCE, printing response-time tables like the paper's figures.
+This is the reduced version (fewer points, shorter windows); the full
+curves are produced by ``python -m repro.experiments.report_all``.
+
+Run with::
+
+    python examples/debit_credit_study.py
+"""
+
+from repro import DebitCreditWorkload, TransactionSystem, UpdateStrategy
+from repro.experiments.defaults import (
+    debit_credit_config,
+    disk_only,
+    disk_with_nv_cache_write_buffer,
+    memory_resident,
+    nvem_resident,
+    nvem_write_buffer,
+    ssd_resident,
+)
+
+RATES = [100, 300, 500]
+SCHEMES = [
+    disk_only,
+    disk_with_nv_cache_write_buffer,
+    nvem_write_buffer,
+    ssd_resident,
+    nvem_resident,
+    memory_resident,
+]
+
+
+def measure(scheme, rate, strategy):
+    config = debit_credit_config(scheme, update_strategy=strategy)
+    system = TransactionSystem(
+        config, DebitCreditWorkload(arrival_rate=rate), seed=7
+    )
+    return system.run(warmup=3.0, duration=8.0)
+
+
+def main() -> None:
+    for strategy in (UpdateStrategy.NOFORCE, UpdateStrategy.FORCE):
+        print(f"=== update strategy: {strategy.value.upper()} "
+              "(response time, ms) ===")
+        header = f"{'allocation':18s}" + "".join(
+            f" {rate:>8d}" for rate in RATES
+        )
+        print(header)
+        print("-" * len(header))
+        for scheme_fn in SCHEMES:
+            scheme = scheme_fn()
+            cells = []
+            for rate in RATES:
+                results = measure(scheme, rate, strategy)
+                marker = "*" if results.saturated else ""
+                cells.append(f" {results.response_time_ms:7.1f}{marker}")
+            print(f"{scheme.name:18s}" + "".join(cells))
+        print()
+    print("(* = saturated; compare with Figs. 4.2/4.3 of the paper)")
+
+
+if __name__ == "__main__":
+    main()

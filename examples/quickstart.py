@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate Debit-Credit on two storage architectures.
+
+Builds the paper's default transaction system (Table 4.1), runs the
+Debit-Credit workload at 300 TPS against (a) a disk-based configuration
+and (b) one with the database and log resident in non-volatile extended
+memory, and prints the full measurement report for both.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import DebitCreditWorkload, TransactionSystem
+from repro.experiments.defaults import (
+    debit_credit_config,
+    disk_only,
+    nvem_resident,
+)
+
+
+def main() -> None:
+    for scheme in (disk_only(), nvem_resident()):
+        config = debit_credit_config(scheme)
+        workload = DebitCreditWorkload(arrival_rate=300.0)
+        system = TransactionSystem(config, workload, seed=42)
+        results = system.run(warmup=3.0, duration=10.0)
+
+        print(f"=== storage scheme: {scheme.name} ===")
+        print(results.summary())
+        print("response composition (ms per committed tx):")
+        for component, seconds in sorted(results.composition.items()):
+            if seconds > 1e-6:
+                print(f"  {component:12s} {seconds * 1000:8.2f}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

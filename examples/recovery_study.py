@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Recovery-time study: the other half of the FORCE/NOFORCE trade-off.
+
+The performance experiments (Fig. 4.3) show what FORCE costs during
+normal processing; this example shows what NOFORCE costs at restart —
+and how non-volatile semiconductor storage shrinks that cost too.  It
+combines a measured simulation run (to get the update rate and write
+traffic) with the analytic redo-recovery model of
+:mod:`repro.analysis.recovery`.
+
+Run with::
+
+    python examples/recovery_study.py
+"""
+
+from repro import DebitCreditWorkload, TransactionSystem, UpdateStrategy
+from repro.analysis.recovery import RecoveryModel
+from repro.experiments.defaults import debit_credit_config, disk_only
+
+RATE = 500.0
+CHECKPOINT_INTERVALS = [60.0, 300.0, 900.0]
+STORAGE = [("disk", "disk", "disk"), ("ssd", "ssd", "ssd"),
+           ("nvem", "nvem", "nvem")]
+
+
+def main() -> None:
+    # Measure the actual update traffic once (any allocation will do —
+    # the update rate is workload-determined).
+    config = debit_credit_config(disk_only())
+    system = TransactionSystem(
+        config, DebitCreditWorkload(arrival_rate=RATE), seed=3
+    )
+    results = system.run(warmup=3.0, duration=6.0)
+    update_tps = results.throughput  # every Debit-Credit tx updates
+    print(f"measured update rate: {update_tps:.0f} update tx/s "
+          f"({results.io_per_tx.get('log_disk', 1.0):.2f} log pages/tx)")
+    print()
+
+    print("expected restart time after a crash (seconds):")
+    header = (f"{'log/db storage':16s} {'FORCE':>8} "
+              + "".join(f" NOFORCE@{int(iv):>4}s" for iv in
+                        CHECKPOINT_INTERVALS))
+    print(header)
+    print("-" * len(header))
+    for name, log_dev, db_dev in STORAGE:
+        force = RecoveryModel.for_storage(
+            update_tps, log_dev, db_dev
+        ).estimate(UpdateStrategy.FORCE).total
+        cells = f"{name:16s} {force:8.2f}"
+        for interval in CHECKPOINT_INTERVALS:
+            model = RecoveryModel.for_storage(
+                update_tps, log_dev, db_dev,
+                checkpoint_interval=interval, redo_parallelism=8.0,
+            )
+            noforce = model.estimate(UpdateStrategy.NOFORCE).total
+            cells += f" {noforce:12.1f}"
+        print(cells)
+    print()
+
+    model = RecoveryModel.for_storage(update_tps, "disk", "disk",
+                                      redo_parallelism=8.0)
+    interval = model.break_even_checkpoint_interval(30.0)
+    print(f"to keep disk-based NOFORCE restart under 30 s, checkpoints "
+          f"every {interval:.0f} s are needed;")
+    model = RecoveryModel.for_storage(update_tps, "nvem", "nvem")
+    interval = model.break_even_checkpoint_interval(30.0)
+    print(f"with log and database in NVEM, every {interval:.0f} s "
+          "suffices — non-volatile storage relaxes checkpointing just "
+          "as it relaxes buffer management (§5).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for offline editable installs.
+
+The environment has no network access and no ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build an
+editable wheel.  ``python setup.py develop`` provides the equivalent
+egg-link editable install using only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

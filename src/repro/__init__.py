@@ -1,0 +1,81 @@
+"""repro — reproduction of Rahm's TPSIM extended-storage study (1991/92).
+
+The package is layered bottom-up:
+
+* :mod:`repro.sim` — discrete-event simulation kernel (DeNet substitute).
+* :mod:`repro.storage` — disks, disk caches, SSDs, NVEM, hierarchy wiring.
+* :mod:`repro.core` — the transaction-system model: configuration, CPUs,
+  locking, buffer manager, transaction manager, metrics.
+* :mod:`repro.workload` — SOURCE components: synthetic, Debit-Credit,
+  trace-driven.
+* :mod:`repro.experiments` — parameter sweeps regenerating every figure
+  and table of the paper's §4.
+* :mod:`repro.analysis` — the storage cost model of Table 2.1.
+
+Quickstart::
+
+    from repro import TransactionSystem, DebitCreditWorkload
+    from repro.experiments.defaults import debit_credit_config, disk_only
+
+    config = debit_credit_config(disk_only())
+    system = TransactionSystem(config, DebitCreditWorkload(arrival_rate=100))
+    results = system.run(warmup=5.0, duration=20.0)
+    print(results.summary())
+"""
+
+from repro.core import (
+    AccessMode,
+    CCMode,
+    CMConfig,
+    DiskUnitConfig,
+    DiskUnitType,
+    Distribution,
+    LogAllocation,
+    MEMORY,
+    NVEM,
+    NVEMCachingMode,
+    NVEMConfig,
+    PartitionConfig,
+    SubPartition,
+    SystemConfig,
+    TransactionTypeConfig,
+    UpdateStrategy,
+)
+from repro.core.metrics import Results
+from repro.core.model import TransactionSystem
+from repro.workload import (
+    DebitCreditWorkload,
+    SyntheticWorkload,
+    Trace,
+    TraceWorkload,
+    generate_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessMode",
+    "CCMode",
+    "CMConfig",
+    "DebitCreditWorkload",
+    "DiskUnitConfig",
+    "DiskUnitType",
+    "Distribution",
+    "LogAllocation",
+    "MEMORY",
+    "NVEM",
+    "NVEMCachingMode",
+    "NVEMConfig",
+    "PartitionConfig",
+    "Results",
+    "SubPartition",
+    "SyntheticWorkload",
+    "SystemConfig",
+    "Trace",
+    "TraceWorkload",
+    "TransactionSystem",
+    "TransactionTypeConfig",
+    "UpdateStrategy",
+    "generate_trace",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Analysis utilities: Table 2.1 cost model and recovery-time estimates."""
+
+from repro.analysis.recovery import (
+    RecoveryEstimate,
+    RecoveryModel,
+    recovery_comparison,
+)
+from repro.analysis.cost import (
+    STORES_1990,
+    StorageCost,
+    configuration_cost,
+    cost_effectiveness,
+    five_minute_rule,
+)
+
+__all__ = [
+    "RecoveryEstimate",
+    "RecoveryModel",
+    "STORES_1990",
+    "StorageCost",
+    "configuration_cost",
+    "cost_effectiveness",
+    "five_minute_rule",
+    "recovery_comparison",
+]

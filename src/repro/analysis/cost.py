@@ -1,0 +1,120 @@
+"""Storage cost model (Table 2.1) and cost-effectiveness analysis.
+
+Table 2.1 of the paper gives 1990 prices per megabyte and access times
+for the storage hierarchy of large systems:
+
+=================  ==============  =======================
+store              price per MB    avg. access per 4KB page
+=================  ==============  =======================
+extended memory    $1000–2000      10–100 µs
+solid-state disk   $500–1000       1–3 ms
+disk cache         (≈ SSD)         1–3 ms
+disk               $3–20           10–20 ms
+main memory        ≈ 2× ext. mem.  (instruction speed)
+=================  ==============  =======================
+
+This module prices complete storage configurations, computes
+response-time-per-dollar trade-offs, and includes the Gray–Putzolu
+five-minute-rule break-even ([GP87], §1): data re-referenced more often
+than every *T* seconds is cheaper to keep in memory than on disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "STORES_1990",
+    "StorageCost",
+    "configuration_cost",
+    "cost_effectiveness",
+    "five_minute_rule",
+]
+
+PAGE_KB = 4.0
+
+
+@dataclass(frozen=True)
+class StorageCost:
+    """Cost/latency characteristics of one storage type (Table 2.1)."""
+
+    name: str
+    price_per_mb: float
+    access_time: float
+
+    def price_per_page(self) -> float:
+        return self.price_per_mb * PAGE_KB / 1024.0
+
+    def cost_of_pages(self, pages: int) -> float:
+        return pages * self.price_per_page()
+
+
+#: Mid-range 1990 mainframe prices from Table 2.1 (USD, seconds).
+STORES_1990: Dict[str, StorageCost] = {
+    "main_memory": StorageCost("main_memory", 3000.0, 1e-7),
+    "nvem": StorageCost("nvem", 1500.0, 50e-6),
+    "ssd": StorageCost("ssd", 750.0, 1.4e-3),
+    "disk_cache": StorageCost("disk_cache", 750.0, 1.4e-3),
+    "disk": StorageCost("disk", 10.0, 16.4e-3),
+}
+
+
+def configuration_cost(allocations: Iterable[Tuple[str, int]],
+                       stores: Optional[Dict[str, StorageCost]] = None
+                       ) -> float:
+    """Total price of ``(store, pages)`` allocations in dollars."""
+    stores = stores or STORES_1990
+    total = 0.0
+    for store_name, pages in allocations:
+        if pages < 0:
+            raise ValueError(f"negative page count for {store_name!r}")
+        try:
+            store = stores[store_name]
+        except KeyError:
+            raise KeyError(f"unknown store {store_name!r}") from None
+        total += store.cost_of_pages(pages)
+    return total
+
+
+def cost_effectiveness(response_times_ms: Dict[str, float],
+                       costs: Dict[str, float]) -> List[Tuple[str, float]]:
+    """Rank configurations by response-time improvement per dollar.
+
+    Improvement is measured against the worst (slowest) configuration;
+    the returned list is sorted best-first by ms-saved per 1000 dollars.
+    The slowest configuration itself is reported with 0 gain.
+    """
+    if set(response_times_ms) != set(costs):
+        raise ValueError("response_times_ms and costs must share keys")
+    worst = max(response_times_ms.values())
+    ranked = []
+    for name, rt in response_times_ms.items():
+        gain = worst - rt
+        cost = costs[name]
+        ranked.append((name, (gain / cost * 1000.0) if cost > 0 else 0.0))
+    ranked.sort(key=lambda item: item[1], reverse=True)
+    return ranked
+
+
+def five_minute_rule(page_size_kb: float = PAGE_KB,
+                     disk_price: float = 2000.0,
+                     disk_accesses_per_second: float = 15.0,
+                     memory_price_per_mb: float = 3000.0) -> float:
+    """Break-even re-reference interval in seconds ([GP87]).
+
+    A page accessed every ``T`` seconds consumes ``1/T`` of a disk's
+    access capacity, i.e. costs ``disk_price / (accesses_per_s * T)``
+    when disk-resident, versus ``memory_price_per_page`` when cached.
+    The break-even interval is where the two are equal:
+
+        T = disk_price / (accesses_per_s * memory_price_per_page)
+
+    With the paper-era defaults this lands in the few-minutes range —
+    Gray and Putzolu's original "five minute" conclusion.
+    """
+    if min(page_size_kb, disk_price, disk_accesses_per_second,
+           memory_price_per_mb) <= 0:
+        raise ValueError("all parameters must be positive")
+    memory_price_per_page = memory_price_per_mb * page_size_kb / 1024.0
+    return disk_price / (disk_accesses_per_second * memory_price_per_page)

@@ -1,0 +1,190 @@
+"""Crash-recovery time estimates for the update-strategy trade-off.
+
+The paper's FORCE/NOFORCE comparison (§1 fn. 1, §4.4) rests on recovery
+behaviour that TPSIM does not simulate: FORCE "permits simpler logging
+and recovery procedures", while NOFORCE "requires special checkpointing
+techniques and redo recovery after a system crash" [HR83].  This module
+quantifies that trade-off with the standard redo-recovery model so the
+storage question ("where do log and database live?") can be connected
+to restart time:
+
+* **FORCE** — every committed update is in the permanent database; redo
+  is limited to transactions in their commit window (negligible).
+* **NOFORCE + fuzzy checkpoints** — after a crash, the log since the
+  penultimate checkpoint is scanned and the affected pages are redone:
+  read the page, apply the log record, write it back.  The expected
+  span since the last checkpoint is half the checkpoint interval.
+
+Device speeds come straight from Table 4.1, so the same configuration
+constants drive both the performance simulation and the restart
+estimate: an NVEM- or SSD-resident log is scanned orders of magnitude
+faster than a disk log, and an NVEM-resident database removes the redo
+read/write I/O almost entirely — recovery is where the non-volatile
+storage types pay off twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.config import UpdateStrategy
+
+__all__ = ["RecoveryEstimate", "RecoveryModel"]
+
+
+@dataclass(frozen=True)
+class RecoveryEstimate:
+    """Restart-time breakdown in seconds."""
+
+    log_scan_time: float
+    redo_read_time: float
+    redo_write_time: float
+
+    @property
+    def total(self) -> float:
+        return self.log_scan_time + self.redo_read_time + \
+            self.redo_write_time
+
+    def summary(self) -> str:
+        return (f"restart {self.total:8.2f} s "
+                f"(log scan {self.log_scan_time:7.2f}, "
+                f"redo reads {self.redo_read_time:7.2f}, "
+                f"redo writes {self.redo_write_time:7.2f})")
+
+
+@dataclass
+class RecoveryModel:
+    """Analytic redo-recovery model over TPSIM's parameters.
+
+    ``log_page_read_time`` / ``db_page_read_time`` /
+    ``db_page_write_time`` are per-page access times of the devices
+    holding log and database (Table 4.1 values: 16.4 ms disk, 1.4 ms
+    SSD, ~56 µs NVEM).  ``update_tps`` is the update-transaction rate,
+    ``log_pages_per_tx`` the paper's one log page per update
+    transaction, ``pages_modified_per_tx`` the distinct pages a
+    transaction modifies (3 for clustered Debit-Credit).
+    """
+
+    update_tps: float
+    checkpoint_interval: float = 300.0
+    log_page_read_time: float = 0.0064
+    db_page_read_time: float = 0.0164
+    db_page_write_time: float = 0.0164
+    log_pages_per_tx: float = 1.0
+    pages_modified_per_tx: float = 3.0
+    #: Fraction of redone pages whose disk copy was already current
+    #: (written back before the crash by replacement or write buffer).
+    already_propagated_fraction: float = 0.5
+    #: Effective redo parallelism across disks (sequential scan = 1).
+    redo_parallelism: float = 1.0
+
+    def validate(self) -> None:
+        if self.update_tps < 0:
+            raise ValueError("update_tps must be >= 0")
+        if self.checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive")
+        if min(self.log_page_read_time, self.db_page_read_time,
+               self.db_page_write_time) < 0:
+            raise ValueError("device times must be >= 0")
+        if not 0.0 <= self.already_propagated_fraction <= 1.0:
+            raise ValueError("already_propagated_fraction not in [0,1]")
+        if self.redo_parallelism < 1.0:
+            raise ValueError("redo_parallelism must be >= 1")
+
+    # -- estimates ------------------------------------------------------
+    def estimate(self, strategy: UpdateStrategy) -> RecoveryEstimate:
+        """Expected restart time after a crash at a random instant."""
+        self.validate()
+        if strategy is UpdateStrategy.FORCE:
+            # Only transactions mid-commit need redo: one commit window
+            # of work, bounded by a handful of page writes.
+            in_flight_pages = self.pages_modified_per_tx
+            return RecoveryEstimate(
+                log_scan_time=self.log_page_read_time *
+                self.log_pages_per_tx,
+                redo_read_time=in_flight_pages * self.db_page_read_time,
+                redo_write_time=in_flight_pages * self.db_page_write_time,
+            )
+        # NOFORCE: expected exposure = half a checkpoint interval.
+        exposure = self.checkpoint_interval / 2.0
+        log_pages = self.update_tps * exposure * self.log_pages_per_tx
+        redo_pages = self.update_tps * exposure * \
+            self.pages_modified_per_tx * \
+            (1.0 - self.already_propagated_fraction)
+        return RecoveryEstimate(
+            log_scan_time=log_pages * self.log_page_read_time,
+            redo_read_time=redo_pages * self.db_page_read_time /
+            self.redo_parallelism,
+            redo_write_time=redo_pages * self.db_page_write_time /
+            self.redo_parallelism,
+        )
+
+    def break_even_checkpoint_interval(self,
+                                       target_restart: float) -> float:
+        """Checkpoint interval keeping NOFORCE restart below a target.
+
+        Inverts the NOFORCE estimate; returns +inf when even continuous
+        checkpointing (interval -> 0) cannot reach the target (i.e. the
+        target is non-positive).
+        """
+        self.validate()
+        if target_restart <= 0:
+            return float("inf")
+        per_second_cost = self.update_tps * (
+            self.log_pages_per_tx * self.log_page_read_time
+            + self.pages_modified_per_tx
+            * (1.0 - self.already_propagated_fraction)
+            * (self.db_page_read_time + self.db_page_write_time)
+            / self.redo_parallelism
+        ) / 2.0
+        if per_second_cost <= 0:
+            return float("inf")
+        return target_restart / per_second_cost
+
+    # -- convenience ------------------------------------------------------
+    @classmethod
+    def for_storage(cls, update_tps: float, log_device: str,
+                    db_device: str, **overrides) -> "RecoveryModel":
+        """Model with Table 4.1 device times by storage-type name.
+
+        ``log_device``/``db_device`` in {"disk", "ssd", "nvem"}.
+        """
+        log_times = {"disk": 0.0064, "ssd": 0.0014, "nvem": 56e-6}
+        db_times = {"disk": 0.0164, "ssd": 0.0014, "nvem": 56e-6}
+        if log_device not in log_times:
+            raise ValueError(f"unknown log device {log_device!r}")
+        if db_device not in db_times:
+            raise ValueError(f"unknown db device {db_device!r}")
+        params = dict(
+            update_tps=update_tps,
+            log_page_read_time=log_times[log_device],
+            db_page_read_time=db_times[db_device],
+            db_page_write_time=db_times[db_device],
+        )
+        params.update(overrides)
+        return cls(**params)
+
+
+def recovery_comparison(update_tps: float,
+                        checkpoint_interval: float = 300.0
+                        ) -> Dict[str, Dict[str, float]]:
+    """Restart times for the §4.3 storage allocations, both strategies.
+
+    Returns {allocation: {"force": seconds, "noforce": seconds}}.
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for name, log_dev, db_dev in (
+        ("disk", "disk", "disk"),
+        ("ssd", "ssd", "ssd"),
+        ("nvem", "nvem", "nvem"),
+    ):
+        model = RecoveryModel.for_storage(
+            update_tps, log_dev, db_dev,
+            checkpoint_interval=checkpoint_interval,
+        )
+        table[name] = {
+            "force": model.estimate(UpdateStrategy.FORCE).total,
+            "noforce": model.estimate(UpdateStrategy.NOFORCE).total,
+        }
+    return table

@@ -1,0 +1,183 @@
+"""Command-line interface: run simulations and experiments from a shell.
+
+Examples::
+
+    python -m repro run --scheme nvem --rate 300 --duration 10
+    python -m repro run --scheme disk --force --buffer-size 500
+    python -m repro experiment fig4_1 --fast
+    python -m repro trace-gen --out workload.trace --transactions 2000
+    python -m repro trace-run --trace workload.trace --kind nvem --mm 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import UpdateStrategy
+from repro.core.model import TransactionSystem
+from repro.experiments.defaults import (
+    debit_credit_config,
+    disk_only,
+    disk_with_nv_cache_write_buffer,
+    memory_resident,
+    nvem_resident,
+    nvem_write_buffer,
+    ssd_resident,
+)
+from repro.workload.debit_credit import DebitCreditWorkload
+
+__all__ = ["main"]
+
+SCHEMES = {
+    "disk": disk_only,
+    "disk-cache-wb": disk_with_nv_cache_write_buffer,
+    "nvem-wb": nvem_write_buffer,
+    "ssd": ssd_resident,
+    "nvem": nvem_resident,
+    "memory": memory_resident,
+}
+
+EXPERIMENTS = ("fig4_1", "fig4_2", "fig4_3", "fig4_4", "fig4_5",
+               "fig4_6", "fig4_7", "fig4_8", "table4_2")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TPSIM reproduction: extended storage architectures "
+                    "for transaction processing (Rahm, 1991/92)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one Debit-Credit simulation")
+    run.add_argument("--scheme", choices=sorted(SCHEMES), default="disk",
+                     help="storage allocation (default: disk)")
+    run.add_argument("--rate", type=float, default=300.0,
+                     help="arrival rate in TPS (default: 300)")
+    run.add_argument("--duration", type=float, default=10.0,
+                     help="measured simulated seconds (default: 10)")
+    run.add_argument("--warmup", type=float, default=3.0,
+                     help="warm-up simulated seconds (default: 3)")
+    run.add_argument("--buffer-size", type=int, default=2000,
+                     help="main-memory buffer frames (default: 2000)")
+    run.add_argument("--force", action="store_true",
+                     help="use the FORCE update strategy")
+    run.add_argument("--seed", type=int, default=1)
+
+    exp = sub.add_parser("experiment",
+                         help="regenerate a figure/table of the paper")
+    exp.add_argument("id", choices=EXPERIMENTS)
+    exp.add_argument("--fast", action="store_true",
+                     help="reduced sweep (benchmark settings)")
+
+    gen = sub.add_parser("trace-gen",
+                         help="generate a synthetic real-life trace")
+    gen.add_argument("--out", required=True, help="output trace file")
+    gen.add_argument("--transactions", type=int, default=2000)
+    gen.add_argument("--accesses", type=int, default=120_000)
+    gen.add_argument("--seed", type=int, default=42)
+
+    trun = sub.add_parser("trace-run",
+                          help="replay a trace file against a storage "
+                               "configuration")
+    trun.add_argument("--trace", required=True, help="trace file path")
+    trun.add_argument("--kind", default="none",
+                      choices=("none", "volatile", "nonvolatile", "nvem",
+                               "ssd", "nvem-resident"))
+    trun.add_argument("--mm", type=int, default=1000,
+                      help="main-memory buffer frames (default: 1000)")
+    trun.add_argument("--second", type=int, default=2000,
+                      help="second-level cache pages (default: 2000)")
+    trun.add_argument("--rate", type=float, default=25.0)
+    trun.add_argument("--duration", type=float, default=30.0)
+    trun.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _cmd_run(args) -> int:
+    strategy = UpdateStrategy.FORCE if args.force else \
+        UpdateStrategy.NOFORCE
+    config = debit_credit_config(
+        SCHEMES[args.scheme](), update_strategy=strategy,
+        buffer_size=args.buffer_size,
+    )
+    system = TransactionSystem(
+        config, DebitCreditWorkload(arrival_rate=args.rate),
+        seed=args.seed,
+    )
+    results = system.run(warmup=args.warmup, duration=args.duration)
+    print(f"scheme={args.scheme} strategy={strategy.value} "
+          f"rate={args.rate:g} TPS")
+    print(results.summary())
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{args.id}")
+    result = module.run(fast=args.fast)
+    if args.id == "table4_2":
+        print(result["a"].to_table())
+        print()
+        print(result["b"].to_table())
+    elif args.id in ("fig4_6", "fig4_7"):
+        print(module.normalized_table(result))
+    else:
+        print(result.to_table())
+    return 0
+
+
+def _cmd_trace_gen(args) -> int:
+    from repro.workload.trace import write_trace
+    from repro.workload.tracegen import RealWorkloadProfile, generate_trace
+
+    profile = RealWorkloadProfile(
+        num_transactions=args.transactions,
+        target_accesses=args.accesses,
+        adhoc_count=1 if args.transactions >= 500 else 0,
+        adhoc_accesses=min(11_200, max(1000, args.accesses // 20)),
+    )
+    trace = generate_trace(profile, seed=args.seed)
+    write_trace(trace, args.out)
+    print(f"wrote {args.out}: {len(trace)} transactions, "
+          f"{trace.num_accesses} accesses, "
+          f"{trace.write_fraction * 100:.2f}% writes, "
+          f"{trace.distinct_pages} distinct pages")
+    return 0
+
+
+def _cmd_trace_run(args) -> int:
+    from repro.experiments.trace_setup import trace_config
+    from repro.workload.trace import TraceWorkload, read_trace
+
+    trace = read_trace(args.trace)
+    config = trace_config(trace, args.kind, args.mm,
+                          second_level=args.second, seed=args.seed)
+    workload = TraceWorkload(trace, arrival_rate=args.rate, loop=True)
+    system = TransactionSystem(config, workload, seed=args.seed)
+    results = system.run(warmup=4.0, duration=args.duration)
+    mean_size = trace.mean_tx_size
+    print(f"trace={args.trace} kind={args.kind} mm={args.mm} "
+          f"second={args.second}")
+    print(results.summary())
+    print(f"normalized response ({mean_size:.1f}-access tx): "
+          f"{results.normalized_response_time(mean_size) * 1000:.1f} ms")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "experiment": _cmd_experiment,
+        "trace-gen": _cmd_trace_gen,
+        "trace-run": _cmd_trace_run,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""TPSIM core: the paper's transaction-system model (§3).
+
+Sub-modules:
+
+* :mod:`repro.core.config` — every parameter of Tables 3.1/3.3/3.4.
+* :mod:`repro.core.cpu` — CPU server pool with the synchronous-access
+  interface (§3.2).
+* :mod:`repro.core.cc` — strict two-phase locking with deadlock
+  detection (§3.2).
+* :mod:`repro.core.bm` — buffer manager: main-memory buffer, NVEM cache,
+  NVEM write buffer, logging, FORCE/NOFORCE (§3.2).
+* :mod:`repro.core.tm` — transaction manager: MPL admission, BOT/OR/EOT
+  processing, two-phase commit, abort/restart (§3.2).
+* :mod:`repro.core.model` — wires SOURCE + CM + devices into a runnable
+  :class:`~repro.core.model.TransactionSystem`.
+* :mod:`repro.core.metrics` — simulation output (response times,
+  throughput, hit ratios, utilizations, lock statistics).
+"""
+
+from repro.core.config import (
+    AccessMode,
+    CCMode,
+    CMConfig,
+    DiskUnitConfig,
+    DiskUnitType,
+    Distribution,
+    LogAllocation,
+    MEMORY,
+    NVEM,
+    NVEMCachingMode,
+    NVEMConfig,
+    PartitionConfig,
+    SubPartition,
+    SystemConfig,
+    TransactionTypeConfig,
+    UpdateStrategy,
+)
+
+__all__ = [
+    "AccessMode",
+    "CCMode",
+    "CMConfig",
+    "DiskUnitConfig",
+    "DiskUnitType",
+    "Distribution",
+    "LogAllocation",
+    "MEMORY",
+    "NVEM",
+    "NVEMCachingMode",
+    "NVEMConfig",
+    "PartitionConfig",
+    "SubPartition",
+    "SystemConfig",
+    "TransactionTypeConfig",
+    "UpdateStrategy",
+]

@@ -1,0 +1,443 @@
+"""Configuration model for TPSIM.
+
+Every knob of the paper's simulation model is represented here, mapping
+one-to-one onto the parameter tables:
+
+* Table 3.1 — workload and database model (:class:`PartitionConfig`,
+  :class:`SubPartition`, :class:`TransactionTypeConfig`).
+* Table 3.3 — computing-module parameters (:class:`CMConfig`).
+* Table 3.4 — external storage devices (:class:`DiskUnitConfig`,
+  :class:`NVEMConfig`, allocation fields).
+
+A complete simulation is described by a :class:`SystemConfig`; its
+:meth:`SystemConfig.validate` method rejects the meaningless allocation
+combinations called out in the paper's footnote 4 (e.g. a write buffer
+both in NVEM and in a disk cache for the same partition).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Sequence
+
+__all__ = [
+    "AccessMode",
+    "CCMode",
+    "CMConfig",
+    "DiskUnitConfig",
+    "DiskUnitType",
+    "Distribution",
+    "LogAllocation",
+    "MEMORY",
+    "NVEM",
+    "NVEMCachingMode",
+    "NVEMConfig",
+    "PartitionConfig",
+    "SubPartition",
+    "SystemConfig",
+    "TransactionTypeConfig",
+    "UpdateStrategy",
+]
+
+#: Allocation target meaning "main memory resident" (no external device).
+MEMORY = "memory"
+#: Allocation target meaning "resident in non-volatile extended memory".
+NVEM = "nvem"
+
+
+class UpdateStrategy(Enum):
+    """Propagation strategy for modified pages [HR83]."""
+
+    FORCE = "force"
+    NOFORCE = "noforce"
+
+
+class CCMode(Enum):
+    """Concurrency-control granularity for a partition (§3.2)."""
+
+    NONE = "none"
+    PAGE = "page"
+    OBJECT = "object"
+
+
+class AccessMode(Enum):
+    """Whether device access keeps the CPU busy (§3.2)."""
+
+    SYNC = "sync"
+    ASYNC = "async"
+
+
+class NVEMCachingMode(Enum):
+    """Which pages migrate from main memory to the NVEM cache (§3.2)."""
+
+    NONE = "none"
+    MODIFIED = "modified"
+    UNMODIFIED = "unmodified"
+    ALL = "all"
+
+
+class DiskUnitType(Enum):
+    """Device kinds behind the disk interface (Table 3.4)."""
+
+    REGULAR = "regular"
+    VOLATILE_CACHE = "volatile_cache"
+    NONVOLATILE_CACHE = "nonvolatile_cache"
+    SSD = "ssd"
+
+
+class Distribution(Enum):
+    """Service-time distribution for a delay parameter."""
+
+    CONSTANT = "constant"
+    EXPONENTIAL = "exponential"
+
+
+@dataclass(frozen=True)
+class SubPartition:
+    """One leg of the generalized b/c access rule (§3.1).
+
+    ``size`` and ``access_prob`` are relative weights; the partition
+    normalizes them.  A uniform partition is one subpartition with any
+    positive weights.
+    """
+
+    size: float
+    access_prob: float
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError(f"subpartition size must be positive: {self.size}")
+        if self.access_prob < 0:
+            raise ValueError(
+                f"subpartition access probability must be >= 0: {self.access_prob}"
+            )
+
+
+@dataclass
+class PartitionConfig:
+    """A database partition (file / relation / index) — Table 3.1."""
+
+    name: str
+    num_objects: int
+    block_factor: int = 1
+    subpartitions: List[SubPartition] = field(
+        default_factory=lambda: [SubPartition(1.0, 1.0)]
+    )
+    cc_mode: CCMode = CCMode.PAGE
+    #: Allocation target: MEMORY, NVEM, or the name of a disk unit.
+    allocation: str = "unit0"
+    access_mode: AccessMode = AccessMode.ASYNC
+    nvem_caching: NVEMCachingMode = NVEMCachingMode.NONE
+    nvem_write_buffer: bool = False
+    #: Sequential partitions are appended to at the current end (HISTORY).
+    sequential_append: bool = False
+
+    @property
+    def num_pages(self) -> int:
+        return max(1, math.ceil(self.num_objects / self.block_factor))
+
+    def page_of_object(self, obj: int) -> int:
+        return obj // self.block_factor
+
+    def validate(self) -> None:
+        if self.num_objects < 1:
+            raise ValueError(f"partition {self.name}: num_objects must be >= 1")
+        if self.block_factor < 1:
+            raise ValueError(f"partition {self.name}: block_factor must be >= 1")
+        if not self.subpartitions:
+            raise ValueError(f"partition {self.name}: needs >= 1 subpartition")
+        if sum(sp.access_prob for sp in self.subpartitions) <= 0:
+            raise ValueError(
+                f"partition {self.name}: subpartition access probabilities sum to 0"
+            )
+        if self.nvem_caching != NVEMCachingMode.NONE and self.nvem_write_buffer:
+            # Footnote 4: NVEM caching already covers the write path; a
+            # separate write buffer for the same partition is meaningless.
+            raise ValueError(
+                f"partition {self.name}: NVEM caching and NVEM write buffer "
+                "are mutually exclusive"
+            )
+        if self.allocation == MEMORY and (
+            self.nvem_caching != NVEMCachingMode.NONE or self.nvem_write_buffer
+        ):
+            raise ValueError(
+                f"partition {self.name}: memory-resident partitions use no "
+                "NVEM cache or write buffer"
+            )
+        if self.allocation == NVEM and (
+            self.nvem_caching != NVEMCachingMode.NONE or self.nvem_write_buffer
+        ):
+            raise ValueError(
+                f"partition {self.name}: NVEM-resident partitions use no "
+                "NVEM cache or write buffer"
+            )
+
+
+@dataclass
+class TransactionTypeConfig:
+    """A transaction type of the synthetic workload model — Table 3.1."""
+
+    name: str
+    arrival_rate: float
+    tx_size: float
+    write_prob: float
+    #: Row of the relative reference matrix: partition name -> fraction.
+    reference_matrix: Dict[str, float] = field(default_factory=dict)
+    sequential: bool = False
+    var_size: bool = False
+
+    def validate(self, partition_names: Sequence[str]) -> None:
+        if self.arrival_rate < 0:
+            raise ValueError(f"tx type {self.name}: negative arrival rate")
+        if self.tx_size < 1:
+            raise ValueError(f"tx type {self.name}: tx_size must be >= 1")
+        if not 0.0 <= self.write_prob <= 1.0:
+            raise ValueError(f"tx type {self.name}: write_prob not in [0,1]")
+        if not self.reference_matrix:
+            raise ValueError(f"tx type {self.name}: empty reference matrix row")
+        total = sum(self.reference_matrix.values())
+        if not math.isclose(total, 1.0, rel_tol=1e-6):
+            raise ValueError(
+                f"tx type {self.name}: reference matrix row sums to {total}, "
+                "expected 1.0"
+            )
+        unknown = set(self.reference_matrix) - set(partition_names)
+        if unknown:
+            raise ValueError(
+                f"tx type {self.name}: references unknown partitions {unknown}"
+            )
+
+
+@dataclass
+class DiskUnitConfig:
+    """One disk unit: SSD, plain disks, or disks with a cache — Table 3.4."""
+
+    name: str
+    unit_type: DiskUnitType = DiskUnitType.REGULAR
+    num_controllers: int = 1
+    controller_delay: float = 0.001
+    trans_delay: float = 0.0004
+    num_disks: int = 1
+    disk_delay: float = 0.015
+    cache_size: int = 0
+    #: Use the non-volatile cache purely as a write buffer (log units).
+    write_buffer_only: bool = False
+    #: Table 4.1 gives fixed service times; CONSTANT matches the paper's
+    #: "average access time per page" arithmetic (16.4 ms per DB disk
+    #: I/O).  Switch to EXPONENTIAL to study service-time variance.
+    controller_distribution: Distribution = Distribution.CONSTANT
+    disk_distribution: Distribution = Distribution.CONSTANT
+    #: How I/Os map to the unit's disk servers: "random" models a
+    #: partition "(uniformly) spread across multiple disks" (§3.3) and
+    #: avoids hot-page hotspots (e.g. the HISTORY tail page under
+    #: FORCE); "page" pins each page to one disk (page_no mod NumDisks).
+    striping: str = "random"
+
+    def validate(self) -> None:
+        if self.striping not in ("random", "page"):
+            raise ValueError(
+                f"unit {self.name}: unknown striping {self.striping!r}"
+            )
+        if self.num_controllers < 1:
+            raise ValueError(f"unit {self.name}: num_controllers must be >= 1")
+        if self.controller_delay < 0 or self.trans_delay < 0:
+            raise ValueError(f"unit {self.name}: negative delay")
+        if self.unit_type != DiskUnitType.SSD:
+            if self.num_disks < 1:
+                raise ValueError(f"unit {self.name}: num_disks must be >= 1")
+            if self.disk_delay <= 0:
+                raise ValueError(f"unit {self.name}: disk_delay must be > 0")
+        if self.unit_type in (
+            DiskUnitType.VOLATILE_CACHE,
+            DiskUnitType.NONVOLATILE_CACHE,
+        ):
+            if self.cache_size < 1:
+                raise ValueError(
+                    f"unit {self.name}: cached unit needs cache_size >= 1"
+                )
+        if self.write_buffer_only and self.unit_type != DiskUnitType.NONVOLATILE_CACHE:
+            raise ValueError(
+                f"unit {self.name}: write_buffer_only requires a "
+                "non-volatile cache"
+            )
+
+
+@dataclass
+class NVEMConfig:
+    """The non-volatile extended memory device — Table 3.4."""
+
+    num_servers: int = 1
+    delay: float = 50e-6
+    distribution: Distribution = Distribution.CONSTANT
+
+    def validate(self) -> None:
+        if self.num_servers < 1:
+            raise ValueError("NVEM needs at least one server")
+        if self.delay < 0:
+            raise ValueError("NVEM delay must be >= 0")
+
+
+@dataclass
+class LogAllocation:
+    """Where the log file lives and whether writes are buffered (§3.3).
+
+    ``device`` is NVEM or a disk-unit name.  ``nvem_write_buffer`` puts a
+    write buffer for the log in NVEM (only sensible for a disk-resident
+    log).  A write buffer in the disk controller is expressed by giving
+    the log unit a non-volatile cache with ``write_buffer_only=True``.
+    """
+
+    device: str = "log0"
+    nvem_write_buffer: bool = False
+
+    def validate(self) -> None:
+        if self.device == MEMORY:
+            raise ValueError("the log cannot be volatile-memory resident")
+        if self.device == NVEM and self.nvem_write_buffer:
+            raise ValueError("an NVEM-resident log needs no NVEM write buffer")
+
+
+@dataclass
+class CMConfig:
+    """Computing-module parameters — Table 3.3."""
+
+    mpl: int = 200
+    instr_bot: float = 40_000
+    instr_or: float = 40_000
+    instr_eot: float = 50_000
+    num_cpus: int = 4
+    mips: float = 50.0
+    buffer_size: int = 2000
+    update_strategy: UpdateStrategy = UpdateStrategy.NOFORCE
+    logging: bool = True
+    instr_io: float = 3_000
+    instr_nvem: float = 300
+    nvem_cache_size: int = 0
+    nvem_write_buffer_size: int = 0
+    #: Extensions discussed but not modelled in the paper (§3.2 fn. 3,
+    #: §4.3): all default off to match the published configuration.
+    group_commit_size: int = 1
+    group_commit_timeout: float = 0.0
+    async_replacement: bool = False
+    deferred_nvem_propagation: bool = False
+
+    def validate(self) -> None:
+        if self.mpl < 1:
+            raise ValueError("MPL must be >= 1")
+        if self.num_cpus < 1:
+            raise ValueError("need at least one CPU")
+        if self.mips <= 0:
+            raise ValueError("MIPS must be positive")
+        if self.buffer_size < 1:
+            raise ValueError("main memory buffer needs >= 1 frame")
+        if min(self.instr_bot, self.instr_or, self.instr_eot,
+               self.instr_io, self.instr_nvem) < 0:
+            raise ValueError("instruction counts must be >= 0")
+        if self.nvem_cache_size < 0 or self.nvem_write_buffer_size < 0:
+            raise ValueError("NVEM sizes must be >= 0")
+        if self.group_commit_size < 1:
+            raise ValueError("group_commit_size must be >= 1")
+
+    @property
+    def instructions_per_second(self) -> float:
+        """Capacity of one CPU in instructions per second."""
+        return self.mips * 1e6
+
+    def cpu_seconds(self, instructions: float) -> float:
+        """Convert an instruction count into seconds on one CPU."""
+        return instructions / self.instructions_per_second
+
+
+@dataclass
+class SystemConfig:
+    """Complete description of one simulated transaction system."""
+
+    partitions: List[PartitionConfig] = field(default_factory=list)
+    disk_units: List[DiskUnitConfig] = field(default_factory=list)
+    nvem: NVEMConfig = field(default_factory=NVEMConfig)
+    cm: CMConfig = field(default_factory=CMConfig)
+    log: LogAllocation = field(default_factory=LogAllocation)
+    tx_types: List[TransactionTypeConfig] = field(default_factory=list)
+    seed: int = 0
+
+    def partition(self, name: str) -> PartitionConfig:
+        for part in self.partitions:
+            if part.name == name:
+                return part
+        raise KeyError(f"unknown partition {name!r}")
+
+    def disk_unit(self, name: str) -> DiskUnitConfig:
+        for unit in self.disk_units:
+            if unit.name == name:
+                return unit
+        raise KeyError(f"unknown disk unit {name!r}")
+
+    def validate(self) -> None:
+        """Check global consistency; raise ``ValueError`` on nonsense."""
+        if not self.partitions:
+            raise ValueError("no partitions configured")
+        names = [p.name for p in self.partitions]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate partition names")
+        unit_names = [u.name for u in self.disk_units]
+        if len(set(unit_names)) != len(unit_names):
+            raise ValueError("duplicate disk unit names")
+
+        self.cm.validate()
+        self.nvem.validate()
+        self.log.validate()
+        for unit in self.disk_units:
+            unit.validate()
+
+        valid_targets = {MEMORY, NVEM} | set(unit_names)
+        uses_nvem_cache = False
+        uses_nvem_wb = False
+        for part in self.partitions:
+            part.validate()
+            if part.allocation not in valid_targets:
+                raise ValueError(
+                    f"partition {part.name}: unknown allocation target "
+                    f"{part.allocation!r}"
+                )
+            if part.nvem_caching != NVEMCachingMode.NONE:
+                uses_nvem_cache = True
+                unit = self.disk_unit(part.allocation)
+                if unit.unit_type in (
+                    DiskUnitType.VOLATILE_CACHE,
+                    DiskUnitType.NONVOLATILE_CACHE,
+                ) and not unit.write_buffer_only:
+                    # Footnote 4: with NVEM caching there is no further
+                    # need for a (read) cache in the disk controller.
+                    raise ValueError(
+                        f"partition {part.name}: NVEM caching combined with "
+                        f"a caching disk unit ({unit.name}) is not meaningful"
+                    )
+            if part.nvem_write_buffer:
+                uses_nvem_wb = True
+                unit = self.disk_unit(part.allocation)
+                if unit.unit_type == DiskUnitType.NONVOLATILE_CACHE:
+                    raise ValueError(
+                        f"partition {part.name}: write buffer in both NVEM "
+                        f"and non-volatile disk cache ({unit.name})"
+                    )
+        if uses_nvem_cache and self.cm.nvem_cache_size < 1:
+            raise ValueError("NVEM caching enabled but nvem_cache_size is 0")
+        if uses_nvem_wb and self.cm.nvem_write_buffer_size < 1:
+            raise ValueError(
+                "NVEM write buffer enabled but nvem_write_buffer_size is 0"
+            )
+
+        if self.log.device not in valid_targets - {MEMORY}:
+            raise ValueError(
+                f"log allocation target {self.log.device!r} unknown"
+            )
+
+        for tx_type in self.tx_types:
+            tx_type.validate(names)
+
+    @property
+    def theoretical_mips(self) -> float:
+        """Aggregate CPU capacity in MIPS."""
+        return self.cm.num_cpus * self.cm.mips

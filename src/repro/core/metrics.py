@@ -1,0 +1,286 @@
+"""Simulation output: the statistics TPSIM reports (§4).
+
+The paper's primary metric is mean transaction response time; TPSIM
+additionally records "detailed statistics on the composition of response
+time and device utilization, waiting times, queue lengths, lock
+behavior, hit ratios, etc."  :class:`MetricsCollector` gathers all of
+those during a run (after the warm-up boundary) and freezes them into a
+plain :class:`Results` record at the end.
+
+Hit-ratio accounting follows Table 4.2: the denominator is the number
+of logical page accesses (one per object reference), and each access is
+attributed to the level that satisfied it — main memory, NVEM cache,
+disk cache, SSD, NVEM-resident, memory-resident or disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.transaction import Transaction
+from repro.sim import Environment
+from repro.sim.stats import Accumulator, CategoryCounter
+
+__all__ = ["MetricsCollector", "Results"]
+
+#: Access levels, in hierarchy order.
+LEVEL_MEMORY_RESIDENT = "memory_resident"
+LEVEL_MAIN_MEMORY = "main_memory"
+LEVEL_NVEM_CACHE = "nvem_cache"
+LEVEL_NVEM_RESIDENT = "nvem"
+LEVEL_DISK_CACHE = "disk_cache"
+LEVEL_SSD = "ssd"
+LEVEL_DISK = "disk"
+
+
+@dataclass
+class Results:
+    """Frozen summary of one simulation run."""
+
+    simulated_time: float
+    committed: int
+    aborted: int
+    #: Logical page accesses observed during measurement.
+    page_accesses: int
+    throughput: float
+    response_time_mean: float
+    response_time_p95: float
+    response_time_max: float
+    response_by_type: Dict[str, float]
+    #: Mean seconds per committed transaction, by component.
+    composition: Dict[str, float]
+    #: Page-access share per level (fractions of all logical accesses).
+    hit_ratios: Dict[str, float]
+    #: Per-tag (record type / partition) main-memory hit ratio.
+    mm_hit_by_tag: Dict[str, float]
+    #: Second-level (NVEM or disk cache) hit ratio per tag.
+    second_level_hit_by_tag: Dict[str, float]
+    #: I/O counts per committed transaction.
+    io_per_tx: Dict[str, float]
+    lock_stats: Dict[str, float]
+    cpu_utilization: float
+    device_utilization: Dict[str, Dict[str, float]]
+    saturated: bool = False
+    input_queue_peak: int = 0
+
+    @property
+    def response_time_ms(self) -> float:
+        return self.response_time_mean * 1000.0
+
+    def normalized_response_time(self, mean_tx_size: float) -> float:
+        """Response time of an "artificial transaction performing the
+        average number of database accesses" (§4.6): total response time
+        divided by total accesses, scaled to ``mean_tx_size`` accesses.
+
+        This is how the paper reports trace results, where transaction
+        sizes vary from a handful of accesses to 11,000.
+        """
+        if self.page_accesses == 0:
+            return 0.0
+        per_access = (self.response_time_mean * self.committed) / \
+            self.page_accesses
+        return per_access * mean_tx_size
+
+    def hit_ratio(self, level: str) -> float:
+        return self.hit_ratios.get(level, 0.0)
+
+    def summary(self) -> str:
+        """Human-readable one-run report."""
+        lines = [
+            f"simulated time      : {self.simulated_time:.2f} s",
+            f"committed tx        : {self.committed}",
+            f"aborted tx (dlock)  : {self.aborted}",
+            f"throughput          : {self.throughput:.1f} TPS",
+            f"response time       : {self.response_time_ms:.2f} ms "
+            f"(p95 {self.response_time_p95 * 1000:.2f}, "
+            f"max {self.response_time_max * 1000:.2f})",
+            f"cpu utilization     : {self.cpu_utilization * 100:.1f} %",
+            "hit ratios          : "
+            + ", ".join(
+                f"{level}={ratio * 100:.1f}%"
+                for level, ratio in sorted(self.hit_ratios.items())
+                if ratio > 0
+            ),
+            "ios per tx          : "
+            + ", ".join(
+                f"{kind}={count:.2f}"
+                for kind, count in sorted(self.io_per_tx.items())
+                if count > 0
+            ),
+        ]
+        if self.saturated:
+            lines.append("WARNING             : input queue diverged (saturated)")
+        return "\n".join(lines)
+
+
+class MetricsCollector:
+    """Accumulates statistics during a run (post-warm-up)."""
+
+    def __init__(self, env: Environment, reservoir: int = 4000):
+        self.env = env
+        self.active = True
+        self.measure_start = env.now
+        self.response = Accumulator(reservoir=reservoir)
+        self.response_by_type: Dict[str, Accumulator] = {}
+        self.committed = 0
+        self.aborted = 0
+        self.restarts = 0
+        self.page_access = CategoryCounter()
+        self.page_access_by_tag: Dict[str, CategoryCounter] = {}
+        self.io_counts = CategoryCounter()
+        self.lock_counts = CategoryCounter()
+        self.lock_wait = Accumulator()
+        self.composition_totals: Dict[str, float] = {
+            "input_queue": 0.0,
+            "cpu_wait": 0.0,
+            "cpu_service": 0.0,
+            "lock_wait": 0.0,
+            "sync_io": 0.0,
+            "async_io": 0.0,
+            "nvem": 0.0,
+        }
+        self.input_queue_peak = 0
+        self.saturated = False
+
+    # -- event hooks ------------------------------------------------------
+    def record_commit(self, tx: Transaction, response_time: float) -> None:
+        if not self.active:
+            return
+        self.committed += 1
+        self.response.add(response_time)
+        acc = self.response_by_type.get(tx.tx_type)
+        if acc is None:
+            acc = self.response_by_type[tx.tx_type] = Accumulator()
+        acc.add(response_time)
+        totals = self.composition_totals
+        totals["input_queue"] += tx.wait_input_queue
+        totals["cpu_wait"] += tx.wait_cpu
+        totals["cpu_service"] += tx.service_cpu
+        totals["lock_wait"] += tx.wait_lock
+        totals["sync_io"] += tx.wait_sync_io
+        totals["async_io"] += tx.wait_async_io
+        totals["nvem"] += tx.wait_nvem
+
+    def record_abort(self, tx: Transaction) -> None:
+        if not self.active:
+            return
+        self.aborted += 1
+        self.restarts += 1
+
+    def record_page_access(self, tag: Optional[str], level: str) -> None:
+        if not self.active:
+            return
+        self.page_access.add(level)
+        if tag is not None:
+            counter = self.page_access_by_tag.get(tag)
+            if counter is None:
+                counter = self.page_access_by_tag[tag] = CategoryCounter()
+            counter.add(level)
+
+    def record_io(self, kind: str) -> None:
+        if not self.active:
+            return
+        self.io_counts.add(kind)
+
+    def record_lock_request(self, granted_immediately: bool) -> None:
+        if not self.active:
+            return
+        self.lock_counts.add("requests")
+        if not granted_immediately:
+            self.lock_counts.add("conflicts")
+
+    def record_lock_wait(self, duration: float) -> None:
+        if not self.active:
+            return
+        self.lock_wait.add(duration)
+
+    def record_deadlock(self) -> None:
+        if not self.active:
+            return
+        self.lock_counts.add("deadlocks")
+
+    def note_input_queue(self, length: int) -> None:
+        if length > self.input_queue_peak:
+            self.input_queue_peak = length
+
+    # -- warm-up ------------------------------------------------------------
+    def reset(self) -> None:
+        """Discard everything measured so far (warm-up boundary)."""
+        self.measure_start = self.env.now
+        self.response.reset()
+        self.response_by_type.clear()
+        self.committed = 0
+        self.aborted = 0
+        self.restarts = 0
+        self.page_access.reset()
+        self.page_access_by_tag.clear()
+        self.io_counts.reset()
+        self.lock_counts.reset()
+        self.lock_wait.reset()
+        for key in self.composition_totals:
+            self.composition_totals[key] = 0.0
+        self.input_queue_peak = 0
+        self.saturated = False
+
+    # -- finalization ------------------------------------------------------
+    def finalize(self, cpu_utilization: float,
+                 device_utilization: Dict[str, Dict[str, float]]) -> Results:
+        span = self.env.now - self.measure_start
+        committed = max(self.committed, 1)
+        total_accesses = max(self.page_access.total(), 1)
+        hit_ratios = {
+            level: count / total_accesses
+            for level, count in self.page_access.as_dict().items()
+        }
+        mm_by_tag = {}
+        second_by_tag = {}
+        for tag, counter in self.page_access_by_tag.items():
+            tag_total = max(counter.total(), 1)
+            mm_by_tag[tag] = (
+                counter.get(LEVEL_MAIN_MEMORY)
+                + counter.get(LEVEL_MEMORY_RESIDENT)
+            ) / tag_total
+            second_by_tag[tag] = (
+                counter.get(LEVEL_NVEM_CACHE) + counter.get(LEVEL_DISK_CACHE)
+            ) / tag_total
+        io_per_tx = {
+            kind: count / committed
+            for kind, count in self.io_counts.as_dict().items()
+        }
+        requests = self.lock_counts.get("requests")
+        lock_stats = {
+            "requests_per_tx": requests / committed,
+            "conflict_ratio": (
+                self.lock_counts.get("conflicts") / requests if requests else 0.0
+            ),
+            "deadlocks": float(self.lock_counts.get("deadlocks")),
+            "mean_lock_wait": self.lock_wait.mean(),
+        }
+        composition = {
+            key: total / committed
+            for key, total in self.composition_totals.items()
+        }
+        return Results(
+            simulated_time=span,
+            committed=self.committed,
+            aborted=self.aborted,
+            page_accesses=self.page_access.total(),
+            throughput=self.committed / span if span > 0 else 0.0,
+            response_time_mean=self.response.mean(),
+            response_time_p95=self.response.percentile(95),
+            response_time_max=self.response.max if self.response.count else 0.0,
+            response_by_type={
+                name: acc.mean() for name, acc in self.response_by_type.items()
+            },
+            composition=composition,
+            hit_ratios=hit_ratios,
+            mm_hit_by_tag=mm_by_tag,
+            second_level_hit_by_tag=second_by_tag,
+            io_per_tx=io_per_tx,
+            lock_stats=lock_stats,
+            cpu_utilization=cpu_utilization,
+            device_utilization=device_utilization,
+            saturated=self.saturated,
+            input_queue_peak=self.input_queue_peak,
+        )

@@ -1,0 +1,122 @@
+"""Top-level wiring: SOURCE + CM + devices = a runnable system (Fig. 3.1).
+
+:class:`TransactionSystem` instantiates every component of TPSIM's
+central configuration from a :class:`~repro.core.config.SystemConfig`
+and a workload (any object implementing the
+:class:`~repro.workload.base.Workload` protocol), runs warm-up and
+measurement phases, and produces a :class:`~repro.core.metrics.Results`
+snapshot.
+
+A saturation guard samples the TM input queue during measurement: an
+open system driven beyond capacity grows its queue without bound; such
+runs are marked ``saturated`` (the paper simply does not plot those
+points, e.g. the single-log-disk curve in Fig. 4.1 ends near 200 TPS).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.bm import BufferManager
+from repro.core.cc import LockManager
+from repro.core.config import SystemConfig
+from repro.core.cpu import CPUPool
+from repro.core.metrics import MetricsCollector, Results
+from repro.core.tm import TransactionManager
+from repro.sim import Environment, RandomStreams
+from repro.storage.hierarchy import StorageSubsystem
+
+__all__ = ["TransactionSystem"]
+
+
+class TransactionSystem:
+    """One centrally organized transaction system (the paper's CM case)."""
+
+    def __init__(self, config: SystemConfig, workload,
+                 seed: Optional[int] = None,
+                 victim_policy: str = "requester"):
+        config.validate()
+        self.config = config
+        self.env = Environment()
+        self.streams = RandomStreams(seed if seed is not None else config.seed)
+        self.metrics = MetricsCollector(self.env)
+        self.storage = StorageSubsystem(self.env, self.streams, config)
+        self.cpu = CPUPool(self.env, self.streams, config.cm)
+        self.locks = LockManager(self.env, self.metrics,
+                                 victim_policy=victim_policy)
+        self.bm = BufferManager(self.env, self.streams, config, self.cpu,
+                                self.storage, self.metrics)
+        self.tm = TransactionManager(self.env, config, self.cpu, self.locks,
+                                     self.bm, self.metrics,
+                                     streams=self.streams)
+        self.workload = workload
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------
+    def start_workload(self) -> None:
+        if not self._started:
+            prewarm = getattr(self.workload, "prewarm", None)
+            if prewarm is not None:
+                prewarm(self)
+            self.workload.start(self)
+            self._started = True
+
+    def _reset_measurements(self) -> None:
+        self.metrics.reset()
+        self.cpu.reset_stats()
+        self.storage.reset_stats()
+
+    def run(self, warmup: float = 5.0, duration: float = 30.0,
+            saturation_queue_limit: Optional[int] = None) -> Results:
+        """Warm up, measure, and summarize.
+
+        ``saturation_queue_limit`` caps the TM input queue; once the
+        queue exceeds it the run is flagged saturated and measurement
+        stops early (response times of a diverging open system are
+        unbounded anyway).  Defaults to ``4 * MPL``.
+        """
+        if warmup < 0 or duration <= 0:
+            raise ValueError("warmup must be >= 0 and duration > 0")
+        if saturation_queue_limit is None:
+            saturation_queue_limit = 4 * self.config.cm.mpl
+        self.start_workload()
+        if warmup > 0:
+            self.env.run(until=self.env.now + warmup)
+        self._reset_measurements()
+
+        end_time = self.env.now + duration
+        slices = 20
+        slice_len = duration / slices
+        for _ in range(slices):
+            self.env.run(until=min(self.env.now + slice_len, end_time))
+            queue = self.tm.input_queue_length
+            self.metrics.note_input_queue(queue)
+            if queue > saturation_queue_limit:
+                self.metrics.saturated = True
+                break
+        return self.snapshot()
+
+    def run_for_commits(self, commits: int, warmup_commits: int = 0,
+                        max_time: float = 3600.0) -> Results:
+        """Run until a number of committed transactions is reached.
+
+        Useful for low arrival rates where a fixed time window would
+        under-sample.  ``max_time`` bounds the simulated horizon.
+        """
+        self.start_workload()
+        deadline = self.env.now + max_time
+        if warmup_commits > 0:
+            while self.metrics.committed < warmup_commits and \
+                    self.env.now < deadline:
+                self.env.run(until=self.env.now + 1.0)
+        self._reset_measurements()
+        while self.metrics.committed < commits and self.env.now < deadline:
+            self.env.run(until=self.env.now + 1.0)
+        return self.snapshot()
+
+    def snapshot(self) -> Results:
+        """Freeze current measurements into a Results record."""
+        return self.metrics.finalize(
+            cpu_utilization=self.cpu.utilization,
+            device_utilization=self.storage.utilization_report(),
+        )

@@ -1,0 +1,127 @@
+"""The transaction manager: admission, execution, commit, restart (§3.2).
+
+The TM runs an *open* system: the SOURCE submits transactions at their
+arrival rate; at most ``MPL`` are active concurrently, the rest wait in
+a FIFO input queue.  Execution charges CPU at BOT, per object reference
+and at EOT (exponentially distributed instruction counts), requests
+locks from the lock manager (granularity per partition), fixes pages
+through the buffer manager, and commits in two phases: (1) the buffer
+manager writes log data and — under FORCE — forces modified pages;
+(2) locks are released.
+
+A transaction denied by deadlock detection aborts, releases its locks
+and restarts immediately with the *same* reference string (access
+invariance [FRT90]); its response time keeps accumulating across
+restarts.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.core.bm import BufferManager
+from repro.core.cc import LockManager, LockMode, LockOutcome
+from repro.core.config import CCMode, PartitionConfig, SystemConfig
+from repro.core.cpu import CPUPool
+from repro.core.metrics import MetricsCollector
+from repro.core.transaction import ObjectRef, Transaction
+from repro.sim import Environment, Resource
+
+__all__ = ["TransactionManager"]
+
+
+class TransactionManager:
+    """Controls the execution of transactions on one computing module."""
+
+    def __init__(self, env: Environment, config: SystemConfig,
+                 cpu: CPUPool, locks: LockManager, bm: BufferManager,
+                 metrics: MetricsCollector, streams=None):
+        self.env = env
+        self.config = config
+        self.cm = config.cm
+        self.cpu = cpu
+        self.locks = locks
+        self.bm = bm
+        self.metrics = metrics
+        #: RNG for the randomized restart backoff (optional; without it
+        #: aborted transactions restart immediately).
+        self.streams = streams
+        self.partitions: List[PartitionConfig] = list(config.partitions)
+        self.mpl_slots = Resource(env, self.cm.mpl, name="mpl")
+        self.active = 0
+        self.submitted = 0
+        self.completed = 0
+
+    # -- admission ------------------------------------------------------
+    def submit(self, tx: Transaction) -> None:
+        """Accept a new transaction from the SOURCE (open system)."""
+        tx.arrival_time = self.env.now
+        self.submitted += 1
+        self.env.process(self._lifecycle(tx))
+
+    @property
+    def input_queue_length(self) -> int:
+        return self.mpl_slots.queue_length
+
+    def _lifecycle(self, tx: Transaction) -> Generator:
+        slot = self.mpl_slots.request()
+        queued_at = self.env.now
+        self.metrics.note_input_queue(self.mpl_slots.queue_length)
+        yield slot
+        tx.wait_input_queue += self.env.now - queued_at
+        self.active += 1
+        try:
+            yield from self._execute(tx)
+        finally:
+            self.active -= 1
+            self.completed += 1
+            self.mpl_slots.release(slot)
+
+    # -- execution ------------------------------------------------------
+    def _lock_id(self, part_index: int, part: PartitionConfig,
+                 ref: ObjectRef):
+        if part.cc_mode is CCMode.PAGE:
+            return (part_index, 0, ref.page_no)
+        return (part_index, 1, ref.object_no)
+
+    def _execute(self, tx: Transaction) -> Generator:
+        while True:
+            tx.start_time = self.env.now
+            yield from self.cpu.execute(tx, self.cm.instr_bot)
+            aborted = False
+            for ref in tx.refs:
+                part = self.partitions[ref.partition_index]
+                if part.cc_mode is not CCMode.NONE:
+                    mode = LockMode.X if ref.is_write else LockMode.S
+                    outcome = yield from self.locks.acquire(
+                        tx, self._lock_id(ref.partition_index, part, ref),
+                        mode,
+                    )
+                    if outcome is LockOutcome.DEADLOCK:
+                        aborted = True
+                        break
+                yield from self.cpu.execute(tx, self.cm.instr_or)
+                yield from self.bm.fix_page(tx, ref)
+            if not aborted:
+                yield from self.cpu.execute(tx, self.cm.instr_eot)
+                # Commit phase 1: log + (FORCE) forced page writes.
+                yield from self.bm.commit(tx)
+                # Commit phase 2: release locks.
+                self.locks.release_all(tx)
+                self.metrics.record_commit(
+                    tx, self.env.now - tx.arrival_time
+                )
+                return
+            # Deadlock abort: back out and retry with the same
+            # reference string.  A small randomized backoff breaks the
+            # livelock where two transactions keep re-colliding in
+            # lockstep (the paper is silent on restart timing).
+            self.locks.release_all(tx)
+            self.metrics.record_abort(tx)
+            tx.reset_for_restart()
+            if self.streams is not None:
+                backoff = self.streams.exponential(
+                    "restart-backoff", 0.002 * min(tx.restarts, 5)
+                )
+                if backoff > 0:
+                    yield self.env.timeout(backoff)

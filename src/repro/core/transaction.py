@@ -1,0 +1,87 @@
+"""Transaction records: the unit of work flowing through the system.
+
+A :class:`Transaction` is a pre-generated reference string (access
+invariance on restart, cf. [FRT90]) plus runtime bookkeeping: locks
+held, pages modified, response-time composition timers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["ObjectRef", "Transaction"]
+
+
+class ObjectRef:
+    """One object access inside a transaction."""
+
+    __slots__ = ("partition_index", "object_no", "page_no", "is_write", "tag")
+
+    def __init__(self, partition_index: int, object_no: int, page_no: int,
+                 is_write: bool, tag: Optional[str] = None):
+        self.partition_index = partition_index
+        self.object_no = object_no
+        self.page_no = page_no
+        self.is_write = is_write
+        #: Statistics label (record type); defaults to the partition name.
+        self.tag = tag
+
+    @property
+    def page_key(self) -> Tuple[int, int]:
+        return (self.partition_index, self.page_no)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "W" if self.is_write else "R"
+        return (f"<ObjectRef p{self.partition_index} obj={self.object_no} "
+                f"page={self.page_no} {mode}>")
+
+
+class Transaction:
+    """A transaction instance with its reference string and timers."""
+
+    __slots__ = (
+        "tx_id", "tx_type", "arrival_time", "refs", "is_update",
+        "start_time", "restarts",
+        "modified_pages", "held_locks",
+        "wait_input_queue", "wait_cpu", "service_cpu",
+        "wait_lock", "wait_sync_io", "wait_async_io", "wait_nvem",
+        "waiting_for",
+    )
+
+    def __init__(self, tx_id: int, tx_type: str, refs: List[ObjectRef]):
+        self.tx_id = tx_id
+        self.tx_type = tx_type
+        self.refs = refs
+        self.is_update = any(ref.is_write for ref in refs)
+        self.arrival_time = 0.0
+        self.start_time = 0.0
+        self.restarts = 0
+        #: Page keys this transaction has modified (for FORCE at commit).
+        self.modified_pages: Set[Tuple[int, int]] = set()
+        #: Lock resource ids currently held (managed by the lock manager).
+        self.held_locks: Dict = {}
+        # Response-time composition accumulators (seconds).
+        self.wait_input_queue = 0.0
+        self.wait_cpu = 0.0
+        self.service_cpu = 0.0
+        self.wait_lock = 0.0
+        self.wait_sync_io = 0.0
+        self.wait_async_io = 0.0
+        self.wait_nvem = 0.0
+        #: Lock resource id this transaction is currently blocked on.
+        self.waiting_for = None
+
+    @property
+    def size(self) -> int:
+        return len(self.refs)
+
+    def reset_for_restart(self) -> None:
+        """Clear per-attempt state; timers keep accumulating."""
+        self.restarts += 1
+        self.modified_pages.clear()
+        self.held_locks.clear()
+        self.waiting_for = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Transaction #{self.tx_id} {self.tx_type} "
+                f"size={len(self.refs)} restarts={self.restarts}>")

@@ -1,0 +1,21 @@
+"""Experiment harness regenerating every figure and table of §4.
+
+Modules:
+
+* :mod:`repro.experiments.defaults` — Table 4.1 parameter settings and
+  storage-scheme builders.
+* :mod:`repro.experiments.runner` — sweep machinery and ASCII tables.
+* ``fig4_1`` … ``fig4_8``, ``table4_2`` — one module per paper
+  artifact, each exposing ``run(fast=False)``.
+* :mod:`repro.experiments.ablations` — group commit, asynchronous
+  replacement, deferred NVEM propagation, NVEM migration modes.
+* :mod:`repro.experiments.trace_setup` — shared setup for §4.6/4.7.
+
+Run everything and write EXPERIMENTS.md tables::
+
+    python -m repro.experiments.report_all
+"""
+
+from repro.experiments.runner import ExperimentResult, Series, SeriesPoint, sweep
+
+__all__ = ["ExperimentResult", "Series", "SeriesPoint", "sweep"]

@@ -1,0 +1,335 @@
+"""Default parameter settings for the Debit-Credit experiments (Table 4.1).
+
+This module provides the building blocks every experiment reuses:
+
+* :func:`default_cm` — the CM parameters of Table 4.1 (4 CPUs at
+  50 MIPS, 2000-frame buffer, 40k/40k/50k instruction costs, 3000
+  instructions per I/O, 300 per NVEM access).
+* device builders (:func:`db_disk_unit`, :func:`log_disk_unit`, ...)
+  with the paper's service times: 1 ms controller, 0.4 ms transfer,
+  15 ms database disks, 5 ms log disks (sequential access), 50 µs NVEM.
+* storage-allocation builders for the alternatives studied in §4.2–4.5
+  (disk-only, write buffers, SSD, NVEM-resident, memory-resident,
+  second-level caches).
+
+All builders return fresh objects so experiments can mutate their
+copies freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.config import (
+    CMConfig,
+    DiskUnitConfig,
+    DiskUnitType,
+    LogAllocation,
+    MEMORY,
+    NVEM,
+    NVEMCachingMode,
+    NVEMConfig,
+    SystemConfig,
+    UpdateStrategy,
+)
+from repro.workload.debit_credit import build_debit_credit_partitions
+
+__all__ = [
+    "StorageScheme",
+    "db_disk_unit",
+    "debit_credit_config",
+    "default_cm",
+    "default_nvem",
+    "disk_only",
+    "disk_with_nv_cache_write_buffer",
+    "log_disk_unit",
+    "memory_resident",
+    "nvem_resident",
+    "nvem_write_buffer",
+    "second_level_cache_scheme",
+    "ssd_resident",
+]
+
+#: Service-time constants of Table 4.1 (seconds).
+CONTROLLER_DELAY = 0.001
+TRANS_DELAY = 0.0004
+DB_DISK_DELAY = 0.015
+LOG_DISK_DELAY = 0.005
+NVEM_DELAY = 50e-6
+
+
+def default_cm(update_strategy: UpdateStrategy = UpdateStrategy.NOFORCE,
+               buffer_size: int = 2000) -> CMConfig:
+    """CM parameters of Table 4.1."""
+    return CMConfig(
+        mpl=200,
+        instr_bot=40_000,
+        instr_or=40_000,
+        instr_eot=50_000,
+        num_cpus=4,
+        mips=50.0,
+        buffer_size=buffer_size,
+        update_strategy=update_strategy,
+        logging=True,
+        instr_io=3_000,
+        instr_nvem=300,
+    )
+
+
+def default_nvem() -> NVEMConfig:
+    return NVEMConfig(num_servers=1, delay=NVEM_DELAY)
+
+
+def db_disk_unit(name: str, num_disks: int = 64, num_controllers: int = 8,
+                 unit_type: DiskUnitType = DiskUnitType.REGULAR,
+                 cache_size: int = 0,
+                 write_buffer_only: bool = False) -> DiskUnitConfig:
+    """A database disk unit sized to avoid I/O bottlenecks (§4.2)."""
+    return DiskUnitConfig(
+        name=name,
+        unit_type=unit_type,
+        num_controllers=num_controllers,
+        controller_delay=CONTROLLER_DELAY,
+        trans_delay=TRANS_DELAY,
+        num_disks=num_disks,
+        disk_delay=DB_DISK_DELAY,
+        cache_size=cache_size,
+        write_buffer_only=write_buffer_only,
+    )
+
+
+def log_disk_unit(name: str = "log0", num_disks: int = 1,
+                  num_controllers: int = 1,
+                  unit_type: DiskUnitType = DiskUnitType.REGULAR,
+                  cache_size: int = 0,
+                  write_buffer_only: bool = False) -> DiskUnitConfig:
+    """A log disk unit: 5 ms access (sequential writes shorten seeks)."""
+    return DiskUnitConfig(
+        name=name,
+        unit_type=unit_type,
+        num_controllers=num_controllers,
+        controller_delay=CONTROLLER_DELAY,
+        trans_delay=TRANS_DELAY,
+        num_disks=num_disks,
+        disk_delay=LOG_DISK_DELAY,
+        cache_size=cache_size,
+        write_buffer_only=write_buffer_only,
+    )
+
+
+@dataclass
+class StorageScheme:
+    """A named storage allocation for the Debit-Credit database."""
+
+    name: str
+    #: Allocation target for ACCOUNT / HISTORY ("memory", "nvem", unit).
+    db_allocation: str
+    #: Allocation target for BRANCH_TELLER (kept separate so FORCE runs
+    #: can spread the hot partition over multiple disks, §4.4).
+    bt_allocation: str
+    log: LogAllocation
+    disk_units: List[DiskUnitConfig] = field(default_factory=list)
+    nvem_caching: NVEMCachingMode = NVEMCachingMode.NONE
+    nvem_cache_size: int = 0
+    nvem_write_buffer: bool = False
+    nvem_write_buffer_size: int = 0
+
+
+def disk_only(log_disks: int = 8) -> StorageScheme:
+    """§4.3 alternative 1: everything on plain disks."""
+    return StorageScheme(
+        name="disk",
+        db_allocation="db0",
+        bt_allocation="bt0",
+        log=LogAllocation(device="log0"),
+        disk_units=[
+            db_disk_unit("db0"),
+            db_disk_unit("bt0", num_disks=24, num_controllers=4),
+            log_disk_unit("log0", num_disks=log_disks),
+        ],
+    )
+
+
+def disk_with_nv_cache_write_buffer(cache_size: int = 500,
+                                    log_disks: int = 8) -> StorageScheme:
+    """§4.3 alternative 2: disks with non-volatile caches as write buffers."""
+    return StorageScheme(
+        name="disk-cache-wb",
+        db_allocation="db0",
+        bt_allocation="bt0",
+        log=LogAllocation(device="log0"),
+        disk_units=[
+            db_disk_unit("db0", unit_type=DiskUnitType.NONVOLATILE_CACHE,
+                         cache_size=cache_size),
+            db_disk_unit("bt0", num_disks=24, num_controllers=4,
+                         unit_type=DiskUnitType.NONVOLATILE_CACHE,
+                         cache_size=cache_size),
+            log_disk_unit("log0", num_disks=log_disks,
+                          unit_type=DiskUnitType.NONVOLATILE_CACHE,
+                          cache_size=cache_size, write_buffer_only=True),
+        ],
+    )
+
+
+def nvem_write_buffer(buffer_size: int = 500,
+                      log_disks: int = 8) -> StorageScheme:
+    """§4.3 alternative 3: write buffer in NVEM, files on plain disks."""
+    return StorageScheme(
+        name="nvem-wb",
+        db_allocation="db0",
+        bt_allocation="bt0",
+        log=LogAllocation(device="log0", nvem_write_buffer=True),
+        disk_units=[
+            db_disk_unit("db0"),
+            db_disk_unit("bt0", num_disks=24, num_controllers=4),
+            log_disk_unit("log0", num_disks=log_disks),
+        ],
+        nvem_write_buffer=True,
+        nvem_write_buffer_size=buffer_size,
+    )
+
+
+def ssd_resident() -> StorageScheme:
+    """§4.3 alternative 4: all partitions and the log on solid-state disk."""
+    return StorageScheme(
+        name="ssd",
+        db_allocation="ssd0",
+        bt_allocation="ssd0",
+        log=LogAllocation(device="ssdlog"),
+        disk_units=[
+            db_disk_unit("ssd0", unit_type=DiskUnitType.SSD,
+                         num_controllers=8),
+            log_disk_unit("ssdlog", unit_type=DiskUnitType.SSD,
+                          num_controllers=2),
+        ],
+    )
+
+
+def nvem_resident() -> StorageScheme:
+    """§4.3 alternative 5: all partitions and the log in NVEM."""
+    return StorageScheme(
+        name="nvem",
+        db_allocation=NVEM,
+        bt_allocation=NVEM,
+        log=LogAllocation(device=NVEM),
+        disk_units=[],
+    )
+
+
+def memory_resident(log_disks: int = 8) -> StorageScheme:
+    """§4.3 alternative 6: main-memory database, log on disk."""
+    return StorageScheme(
+        name="memory",
+        db_allocation=MEMORY,
+        bt_allocation=MEMORY,
+        log=LogAllocation(device="log0"),
+        disk_units=[log_disk_unit("log0", num_disks=log_disks)],
+    )
+
+
+def second_level_cache_scheme(kind: str, cache_size: int,
+                              log_disks: int = 8) -> StorageScheme:
+    """Second-level caching configurations of §4.5 (Fig. 4.4/4.5).
+
+    ``kind`` is one of:
+
+    * ``"none"`` — main-memory caching only (plain disks);
+    * ``"volatile"`` — volatile disk caches of ``cache_size`` pages;
+    * ``"nonvolatile"`` — non-volatile disk caches (also absorb writes);
+    * ``"write-buffer"`` — non-volatile caches used purely as write
+      buffers (no read caching);
+    * ``"nvem"`` — a shared NVEM database cache of ``cache_size`` pages
+      (migration mode ALL), log in NVEM as in the paper's runs.
+
+    Non-volatile disk-cache and NVEM configurations also place the log
+    behind the same kind of non-volatile memory (§4.5: "these storage
+    types were also used for logging").
+    """
+    if kind == "none":
+        return disk_only(log_disks=log_disks)
+    if kind == "volatile":
+        return StorageScheme(
+            name=f"vol-cache-{cache_size}",
+            db_allocation="db0",
+            bt_allocation="db0",
+            log=LogAllocation(device="log0"),
+            disk_units=[
+                db_disk_unit("db0", unit_type=DiskUnitType.VOLATILE_CACHE,
+                             cache_size=cache_size),
+                log_disk_unit("log0", num_disks=log_disks),
+            ],
+        )
+    if kind == "nonvolatile":
+        return StorageScheme(
+            name=f"nv-cache-{cache_size}",
+            db_allocation="db0",
+            bt_allocation="db0",
+            log=LogAllocation(device="log0"),
+            disk_units=[
+                db_disk_unit("db0",
+                             unit_type=DiskUnitType.NONVOLATILE_CACHE,
+                             cache_size=cache_size),
+                log_disk_unit("log0", num_disks=log_disks,
+                              unit_type=DiskUnitType.NONVOLATILE_CACHE,
+                              cache_size=min(cache_size, 500),
+                              write_buffer_only=True),
+            ],
+        )
+    if kind == "write-buffer":
+        return StorageScheme(
+            name=f"wb-cache-{cache_size}",
+            db_allocation="db0",
+            bt_allocation="db0",
+            log=LogAllocation(device="log0"),
+            disk_units=[
+                db_disk_unit("db0",
+                             unit_type=DiskUnitType.NONVOLATILE_CACHE,
+                             cache_size=cache_size,
+                             write_buffer_only=True),
+                log_disk_unit("log0", num_disks=log_disks,
+                              unit_type=DiskUnitType.NONVOLATILE_CACHE,
+                              cache_size=min(cache_size, 500),
+                              write_buffer_only=True),
+            ],
+        )
+    if kind == "nvem":
+        return StorageScheme(
+            name=f"nvem-cache-{cache_size}",
+            db_allocation="db0",
+            bt_allocation="db0",
+            log=LogAllocation(device=NVEM),
+            disk_units=[db_disk_unit("db0")],
+            nvem_caching=NVEMCachingMode.ALL,
+            nvem_cache_size=cache_size,
+        )
+    raise ValueError(f"unknown second-level cache kind {kind!r}")
+
+
+def debit_credit_config(
+    scheme: StorageScheme,
+    update_strategy: UpdateStrategy = UpdateStrategy.NOFORCE,
+    buffer_size: int = 2000,
+    seed: int = 1,
+) -> SystemConfig:
+    """Assemble the full SystemConfig for a Debit-Credit experiment."""
+    partitions = build_debit_credit_partitions(
+        allocation=scheme.db_allocation,
+        bt_allocation=scheme.bt_allocation,
+        nvem_caching=scheme.nvem_caching,
+        nvem_write_buffer=scheme.nvem_write_buffer,
+    )
+    cm = default_cm(update_strategy=update_strategy,
+                    buffer_size=buffer_size)
+    cm.nvem_cache_size = scheme.nvem_cache_size
+    cm.nvem_write_buffer_size = scheme.nvem_write_buffer_size
+    config = SystemConfig(
+        partitions=partitions,
+        disk_units=list(scheme.disk_units),
+        nvem=default_nvem(),
+        cm=cm,
+        log=scheme.log,
+        seed=seed,
+    )
+    config.validate()
+    return config

@@ -1,0 +1,119 @@
+"""Export experiment results to CSV and JSON.
+
+Downstream analysis (spreadsheets, notebooks, gnuplot) wants flat data,
+not ASCII tables:
+
+* :func:`results_to_dict` — one run's :class:`Results` as plain dicts.
+* :func:`experiment_to_rows` / :func:`write_csv` — long-format rows
+  (experiment, series, x, metrics...) for a whole sweep.
+* :func:`write_json` — the full experiment, metadata included.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, List
+
+from repro.core.metrics import Results
+from repro.experiments.runner import ExperimentResult
+
+__all__ = [
+    "experiment_to_rows",
+    "results_to_dict",
+    "write_csv",
+    "write_json",
+]
+
+
+def results_to_dict(results: Results) -> Dict:
+    """Flatten one run's Results into JSON-serializable dicts."""
+    return {
+        "simulated_time": results.simulated_time,
+        "committed": results.committed,
+        "aborted": results.aborted,
+        "page_accesses": results.page_accesses,
+        "throughput": results.throughput,
+        "response_time_mean": results.response_time_mean,
+        "response_time_p95": results.response_time_p95,
+        "response_time_max": results.response_time_max,
+        "response_by_type": dict(results.response_by_type),
+        "composition": dict(results.composition),
+        "hit_ratios": dict(results.hit_ratios),
+        "mm_hit_by_tag": dict(results.mm_hit_by_tag),
+        "io_per_tx": dict(results.io_per_tx),
+        "lock_stats": dict(results.lock_stats),
+        "cpu_utilization": results.cpu_utilization,
+        "device_utilization": {
+            name: dict(values)
+            for name, values in results.device_utilization.items()
+        },
+        "saturated": results.saturated,
+        "input_queue_peak": results.input_queue_peak,
+    }
+
+
+#: Flat columns exported per sweep point.
+CSV_FIELDS = [
+    "experiment", "series", "x", "response_time_ms", "response_p95_ms",
+    "throughput_tps", "committed", "aborted", "cpu_utilization",
+    "mm_hit", "nvem_cache_hit", "disk_cache_hit", "saturated",
+]
+
+
+def experiment_to_rows(result: ExperimentResult) -> List[Dict]:
+    """Long-format rows: one per (series, x) sweep point."""
+    rows = []
+    for series in result.series:
+        for point in series.points:
+            r = point.results
+            rows.append({
+                "experiment": result.experiment_id,
+                "series": series.label,
+                "x": point.x,
+                "response_time_ms": r.response_time_ms,
+                "response_p95_ms": r.response_time_p95 * 1000.0,
+                "throughput_tps": r.throughput,
+                "committed": r.committed,
+                "aborted": r.aborted,
+                "cpu_utilization": r.cpu_utilization,
+                "mm_hit": r.hit_ratio("main_memory")
+                + r.hit_ratio("memory_resident"),
+                "nvem_cache_hit": r.hit_ratio("nvem_cache"),
+                "disk_cache_hit": r.hit_ratio("disk_cache"),
+                "saturated": r.saturated,
+            })
+    return rows
+
+
+def write_csv(result: ExperimentResult, path: str) -> None:
+    """Write the sweep as CSV (columns: :data:`CSV_FIELDS`)."""
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=CSV_FIELDS)
+        writer.writeheader()
+        for row in experiment_to_rows(result):
+            writer.writerow(row)
+
+
+def write_json(result: ExperimentResult, path: str) -> None:
+    """Write the full experiment (metadata + per-point Results)."""
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "x_label": result.x_label,
+        "y_label": result.y_label,
+        "notes": list(result.notes),
+        "series": [
+            {
+                "label": series.label,
+                "points": [
+                    {"x": point.x,
+                     "results": results_to_dict(point.results)}
+                    for point in series.points
+                ],
+            }
+            for series in result.series
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)

@@ -1,0 +1,106 @@
+"""Run every experiment at full resolution and emit EXPERIMENTS.md tables.
+
+Usage::
+
+    python -m repro.experiments.report_all [output-file]
+
+Runs E1–E11 (all figures, Table 4.2, ablations, cost model) with the
+full sweep settings and writes the measured tables to the output file
+(default: stdout).  Expect a total runtime of some tens of minutes on a
+laptop — each point is an independent discrete-event simulation.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.analysis.cost import five_minute_rule
+from repro.experiments import (
+    ablations,
+    fig4_1,
+    fig4_2,
+    fig4_3,
+    fig4_4,
+    fig4_5,
+    fig4_6,
+    fig4_7,
+    fig4_8,
+    table4_2,
+)
+
+
+def main(argv=None) -> None:
+    argv = argv if argv is not None else sys.argv[1:]
+    out = open(argv[0], "w", encoding="utf-8") if argv else sys.stdout
+
+    def emit(text=""):
+        print(text, file=out, flush=True)
+
+    def section(title):
+        emit()
+        emit("=" * 72)
+        emit(title)
+        emit("=" * 72)
+
+    start = time.time()
+
+    for module, label in (
+        (fig4_1, "E1 / Figure 4.1"),
+        (fig4_2, "E2 / Figure 4.2"),
+        (fig4_3, "E3 / Figure 4.3"),
+        (fig4_4, "E4 / Figure 4.4"),
+    ):
+        section(label)
+        emit(module.run().to_table())
+        emit(f"[elapsed {time.time() - start:.0f}s]")
+
+    section("E5 / Table 4.2")
+    tables = table4_2.run()
+    emit(tables["a"].to_table())
+    emit()
+    emit(tables["b"].to_table())
+    emit(f"[elapsed {time.time() - start:.0f}s]")
+
+    section("E6 / Figure 4.5")
+    result = fig4_5.run()
+    emit(result.to_table())
+    emit()
+    emit(fig4_5.hit_table(result))
+    emit(f"[elapsed {time.time() - start:.0f}s]")
+
+    section("E7 / Figure 4.6")
+    emit(fig4_6.normalized_table(fig4_6.run()))
+    emit(f"[elapsed {time.time() - start:.0f}s]")
+
+    section("E8 / Figure 4.7")
+    emit(fig4_7.normalized_table(fig4_7.run()))
+    emit(f"[elapsed {time.time() - start:.0f}s]")
+
+    section("E9 / Figure 4.8")
+    emit(fig4_8.run().to_table())
+    emit(f"[elapsed {time.time() - start:.0f}s]")
+
+    section("E11 / Ablations")
+    emit(ablations.run_group_commit().to_table())
+    emit()
+    emit(ablations.run_async_replacement().to_table())
+    emit()
+    emit(ablations.run_deferred_propagation().to_table())
+    emit()
+    emit("NVEM migration modes (trace workload):")
+    for mode, (hit, rt) in ablations.run_migration_modes().items():
+        emit(f"  {mode:12s} nvem_hit={hit:5.1f}%  rt={rt:7.1f} ms")
+    emit(f"[elapsed {time.time() - start:.0f}s]")
+
+    section("E10 / cost model")
+    emit("Gray-Putzolu break-even (1987 parameters): "
+         f"{five_minute_rule(page_size_kb=1.0, disk_price=15_000.0, memory_price_per_mb=5_000.0):.0f} s")
+    emit(f"[total elapsed {time.time() - start:.0f}s]")
+
+    if out is not sys.stdout:
+        out.close()
+
+
+if __name__ == "__main__":
+    main()

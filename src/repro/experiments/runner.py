@@ -1,0 +1,143 @@
+"""Experiment harness: sweeps, series collection and result containers.
+
+Every figure/table module under :mod:`repro.experiments` exposes::
+
+    run(fast=False) -> ExperimentResult
+
+``fast=True`` trims sweep points and run lengths for use in benchmarks
+and CI; the default settings regenerate the full curves reported in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.metrics import Results
+from repro.core.model import TransactionSystem
+
+__all__ = ["ExperimentResult", "Series", "SeriesPoint", "sweep"]
+
+
+@dataclass
+class SeriesPoint:
+    """One (x, results) sample of a sweep."""
+
+    x: float
+    results: Results
+
+    @property
+    def response_ms(self) -> float:
+        return self.results.response_time_ms
+
+    @property
+    def saturated(self) -> bool:
+        return self.results.saturated
+
+
+@dataclass
+class Series:
+    """One labelled curve of an experiment."""
+
+    label: str
+    points: List[SeriesPoint] = field(default_factory=list)
+
+    def xs(self) -> List[float]:
+        return [p.x for p in self.points]
+
+    def values(self, metric: Callable[[Results], float]) -> List[float]:
+        return [metric(p.results) for p in self.points]
+
+    def response_times_ms(self) -> List[float]:
+        return [p.response_ms for p in self.points]
+
+
+@dataclass
+class ExperimentResult:
+    """All series of one figure/table, plus presentation metadata."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series labelled {label!r}")
+
+    def to_table(self, metric: Optional[Callable[[Results], float]] = None,
+                 fmt: str = "{:8.2f}") -> str:
+        """Render the experiment as an aligned ASCII table.
+
+        Saturated points are suffixed with ``*`` (the paper stops
+        plotting curves at their saturation point).
+        """
+        if metric is None:
+            metric = lambda r: r.response_time_ms  # noqa: E731
+        xs: List[float] = []
+        for s in self.series:
+            for p in s.points:
+                if p.x not in xs:
+                    xs.append(p.x)
+        xs.sort()
+        label_width = max(12, *(len(s.label) + 1 for s in self.series)) \
+            if self.series else 12
+        header = f"{self.x_label:>{label_width}} |" + "".join(
+            f" {s.label:>14}" for s in self.series
+        )
+        lines = [
+            f"{self.experiment_id}: {self.title}",
+            f"(y = {self.y_label})",
+            header,
+            "-" * len(header),
+        ]
+        by_series: List[Dict[float, SeriesPoint]] = [
+            {p.x: p for p in s.points} for s in self.series
+        ]
+        for x in xs:
+            cells = []
+            for points in by_series:
+                point = points.get(x)
+                if point is None:
+                    cells.append(f" {'-':>14}")
+                else:
+                    value = fmt.format(metric(point.results))
+                    marker = "*" if point.saturated else " "
+                    cells.append(f" {value + marker:>14}")
+            lines.append(f"{x:>{label_width}g} |" + "".join(cells))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def sweep(label: str,
+          xs: Sequence[float],
+          build: Callable[[float], Tuple],
+          warmup: float = 3.0,
+          duration: float = 8.0,
+          seed: int = 1) -> Series:
+    """Run one curve: ``build(x)`` returns ``(config, workload)``.
+
+    A saturated point (diverging input queue) ends the curve — points
+    past saturation are not meaningful in an open system, and the paper
+    likewise truncates such curves (e.g. the single-log-disk line of
+    Fig. 4.1).
+    """
+    series = Series(label=label)
+    for x in xs:
+        config, workload = build(x)
+        system = TransactionSystem(config, workload, seed=seed)
+        results = system.run(warmup=warmup, duration=duration)
+        if results.saturated and results.committed == 0:
+            # Beyond saturation nothing completes inside the window;
+            # there is no meaningful response time to report.
+            break
+        series.points.append(SeriesPoint(x=x, results=results))
+        if results.saturated:
+            break
+    return series

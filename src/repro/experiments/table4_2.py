@@ -1,0 +1,145 @@
+"""Table 4.2 — main memory and second-level cache hit ratios (%).
+
+Part (a) uses NOFORCE, part (b) FORCE; main-memory buffer sizes 200 to
+2000 pages against a volatile disk cache (1000), a non-volatile disk
+cache (1000) and NVEM caches (1000, and 500 for NOFORCE).
+
+Expected values (paper):
+
+========================  =====  =====  =====  =====
+(a) NOFORCE               200    500    1000   2000
+========================  =====  =====  =====  =====
+main memory               53.7   59.6   66.7   72.5
+vol. disk cache 1000      12.8    5.6   0      0
+nv disk cache 1000        13.0    7.4   3.8    0.8
+NVEM cache 1000           14.8   11.0   5.7    1.1
+NVEM cache 500             9.2    7.1   3.9    0.8
+========================  =====  =====  =====  =====
+
+========================  =====  =====  =====  =====
+(b) FORCE                 200    500    1000   2000
+========================  =====  =====  =====  =====
+main memory               53.7   59.6   66.7   72.5
+vol. disk cache 1000      12.4    6.9   0.1    0
+nv disk cache 1000        12.8    7.0   0.1    0
+NVEM cache 1000           13.1    7.2   3.4    0.6
+========================  =====  =====  =====  =====
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.config import UpdateStrategy
+from repro.core.model import TransactionSystem
+from repro.experiments.defaults import (
+    debit_credit_config,
+    second_level_cache_scheme,
+)
+from repro.workload.debit_credit import DebitCreditWorkload
+
+__all__ = ["HitRatioTable", "run"]
+
+BUFFER_SIZES = [200, 500, 1000, 2000]
+FAST_BUFFER_SIZES = [200, 1000]
+ARRIVAL_RATE = 500.0
+
+ROWS_NOFORCE = [
+    ("vol. disk cache 1000", "volatile", 1000),
+    ("nv disk cache 1000", "nonvolatile", 1000),
+    ("NVEM cache 1000", "nvem", 1000),
+    ("NVEM cache 500", "nvem", 500),
+]
+
+ROWS_FORCE = [
+    ("vol. disk cache 1000", "volatile", 1000),
+    ("nv disk cache 1000", "nonvolatile", 1000),
+    ("NVEM cache 1000", "nvem", 1000),
+]
+
+
+@dataclass
+class HitRatioTable:
+    """Measured reproduction of Table 4.2 (one update strategy)."""
+
+    strategy: str
+    buffer_sizes: List[int]
+    #: row label -> {mm size -> (mm hit %, 2nd-level hit %)}
+    cells: Dict[str, Dict[int, Tuple[float, float]]] = field(
+        default_factory=dict
+    )
+
+    def to_table(self) -> str:
+        header = f"{'':24s}" + "".join(
+            f" {size:>12d}" for size in self.buffer_sizes
+        )
+        lines = [
+            f"Table 4.2 ({self.strategy}): hit ratios (%) — "
+            "mm / 2nd-level",
+            header,
+            "-" * len(header),
+        ]
+        first_row = next(iter(self.cells.values()), {})
+        mm_cells = "".join(
+            f" {first_row.get(size, (0.0, 0.0))[0]:>12.1f}"
+            for size in self.buffer_sizes
+        )
+        lines.append(f"{'main memory':24s}" + mm_cells)
+        for label, row in self.cells.items():
+            cells = "".join(
+                f" {row.get(size, (0.0, 0.0))[1]:>12.1f}"
+                for size in self.buffer_sizes
+            )
+            lines.append(f"{label:24s}" + cells)
+        return "\n".join(lines)
+
+
+def _measure(kind: str, size: int, mm_size: int,
+             strategy: UpdateStrategy,
+             duration: float) -> Tuple[float, float]:
+    config = debit_credit_config(
+        second_level_cache_scheme(kind, size),
+        update_strategy=strategy,
+        buffer_size=mm_size,
+    )
+    system = TransactionSystem(config,
+                               DebitCreditWorkload(arrival_rate=ARRIVAL_RATE))
+    results = system.run(warmup=3.0, duration=duration)
+    mm_hit = results.hit_ratio("main_memory") * 100
+    second = (results.hit_ratio("nvem_cache")
+              + results.hit_ratio("disk_cache")) * 100
+    return mm_hit, second
+
+
+def run(fast: bool = False, duration: float = None
+        ) -> Dict[str, HitRatioTable]:
+    """Measure both halves of Table 4.2; returns {"a": ..., "b": ...}."""
+    sizes = FAST_BUFFER_SIZES if fast else BUFFER_SIZES
+    duration = duration or (4.0 if fast else 8.0)
+    tables: Dict[str, HitRatioTable] = {}
+    for part, strategy, rows in (
+        ("a", UpdateStrategy.NOFORCE, ROWS_NOFORCE),
+        ("b", UpdateStrategy.FORCE, ROWS_FORCE),
+    ):
+        table = HitRatioTable(strategy=strategy.value.upper(),
+                              buffer_sizes=list(sizes))
+        for label, kind, size in rows:
+            row: Dict[int, Tuple[float, float]] = {}
+            for mm_size in sizes:
+                row[mm_size] = _measure(kind, size, mm_size, strategy,
+                                        duration)
+            table.cells[label] = row
+        tables[part] = table
+    return tables
+
+
+def main() -> None:  # pragma: no cover - convenience entry point
+    tables = run()
+    print(tables["a"].to_table())
+    print()
+    print(tables["b"].to_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

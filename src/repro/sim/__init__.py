@@ -1,0 +1,67 @@
+"""Discrete-event simulation kernel used by the TPSIM reproduction.
+
+The original TPSIM system was written in the DeNet simulation language
+[Li89].  DeNet is not available, so this package provides an equivalent
+substrate: a generator-based process model (``repro.sim.core``), queueing
+resources (``repro.sim.resources``), reproducible random-variate streams
+(``repro.sim.rng``) and online statistics (``repro.sim.stats``).
+
+The public surface re-exported here is everything a model needs::
+
+    from repro.sim import Environment, Resource, RandomStreams
+
+    env = Environment()
+
+    def customer(env, server):
+        req = server.request()
+        yield req
+        yield env.timeout(1.0)
+        server.release(req)
+
+    env.process(customer(env, Resource(env, capacity=1)))
+    env.run(until=10.0)
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import (
+    PriorityResource,
+    Resource,
+    ResourceMonitor,
+    Store,
+)
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import (
+    Accumulator,
+    CategoryCounter,
+    Histogram,
+    TimeWeighted,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Accumulator",
+    "CategoryCounter",
+    "Environment",
+    "Event",
+    "Histogram",
+    "Interrupt",
+    "PriorityResource",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "ResourceMonitor",
+    "SimulationError",
+    "Store",
+    "TimeWeighted",
+    "Timeout",
+]

@@ -1,0 +1,432 @@
+"""Core of the discrete-event simulation kernel.
+
+This module implements the event loop, events, timeouts, generator-based
+processes, process interruption and condition events.  It plays the role
+the DeNet runtime played for the original TPSIM: everything else in the
+reproduction (CPUs, disks, lock queues, buffer managers) is expressed as
+processes that yield events produced here.
+
+Design notes
+------------
+* Events are scheduled on a binary heap keyed by ``(time, sequence)``;
+  the sequence number makes simultaneous events FIFO and the simulation
+  fully deterministic for a fixed seed.
+* A :class:`Process` wraps a Python generator.  The generator yields
+  :class:`Event` objects; the process resumes when the yielded event is
+  processed.  ``yield from`` composes sub-operations naturally, which is
+  how transaction code in :mod:`repro.core.tm` stays readable.
+* A process may be interrupted (:meth:`Process.interrupt`): the victim's
+  current wait is cancelled and an :class:`Interrupt` exception is thrown
+  into its generator.  TPSIM uses this for transaction aborts initiated
+  by deadlock victims other than the requester (an extension; the paper's
+  base policy aborts the requester itself).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (double trigger, unhandled failure, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that has been interrupted.
+
+    ``cause`` carries an arbitrary, caller-supplied reason (for TPSIM it
+    is typically the aborting transaction or a string tag).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event states.
+_PENDING = 0
+_TRIGGERED = 1  # scheduled on the heap, value fixed
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    Events start *pending*, become *triggered* when given a value via
+    :meth:`succeed` / :meth:`fail` (which schedules them), and are
+    *processed* once the event loop has run their callbacks.
+    """
+
+    __slots__ = ("env", "callbacks", "_state", "_ok", "_value", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list] = []
+        self._state = _PENDING
+        self._ok = True
+        self._value: Any = None
+        self._defused = False
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled."""
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._state == _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Schedule the event to succeed with ``value`` (now)."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Schedule the event to fail with ``exception`` (now)."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel will not re-raise."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {_PENDING: "pending", _TRIGGERED: "triggered",
+                 _PROCESSED: "processed"}[self._state]
+        return f"<{type(self).__name__} {state} at t={self.env.now:g}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay)
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env.schedule(self)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it terminates.
+
+    The process succeeds with the generator's return value, or fails with
+    the exception that escaped it.  Other processes may therefore wait
+    for a process simply by yielding it.
+    """
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._state == _PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for (or None)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a terminated process")
+        if self._target is None:
+            raise SimulationError("cannot interrupt a process mid-step")
+        target = self._target
+        if target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        # Deliver the interrupt via an immediate, already-failed event.
+        carrier = Event(self.env)
+        carrier._ok = False
+        carrier._value = Interrupt(cause)
+        carrier._defused = True
+        carrier.callbacks.append(self._resume)
+        self.env.schedule(carrier)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        env = self.env
+        self._target = None
+        while True:
+            try:
+                if event is None or event._ok:
+                    next_event = self._generator.send(
+                        None if event is None else event._value
+                    )
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                return
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                return
+
+            if not isinstance(next_event, Event):
+                exc = SimulationError(
+                    f"process yielded a non-event: {next_event!r}"
+                )
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                return
+
+            if next_event._state == _PROCESSED:
+                # Already over: feed its value straight back in.
+                event = next_event
+                continue
+            if next_event.callbacks is None:  # pragma: no cover - safety
+                event = next_event
+                continue
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+            return
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("_events", "_outstanding")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._outstanding = 0
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("events belong to different environments")
+            if ev._state == _PROCESSED:
+                self._observe(ev)
+            else:
+                self._outstanding += 1
+                ev.callbacks.append(self._observe)
+        if self._state == _PENDING:
+            self._check_initial()
+
+    def _check_initial(self) -> None:
+        raise NotImplementedError
+
+    def _observe(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect_values(self) -> dict:
+        return {
+            i: ev._value
+            for i, ev in enumerate(self._events)
+            if ev._state == _PROCESSED and ev._ok
+        }
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired."""
+
+    __slots__ = ()
+
+    def _check_initial(self) -> None:
+        if self._outstanding == 0:
+            self.succeed(self._collect_values())
+
+    def _observe(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            self.succeed(self._collect_values())
+
+
+class AnyOf(_Condition):
+    """Fires as soon as one constituent event has fired."""
+
+    __slots__ = ()
+
+    def _check_initial(self) -> None:
+        for ev in self._events:
+            if ev._state == _PROCESSED:
+                self.succeed(self._collect_values())
+                return
+        if not self._events:
+            self.succeed({})
+
+    def _observe(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect_values())
+
+
+class Environment:
+    """The event loop: owns simulated time and the pending-event heap."""
+
+    __slots__ = ("_now", "_heap", "_seq", "_active")
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list = []
+        self._seq = 0
+        self._active = True
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # -- factories -------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Put a triggered event on the heap ``delay`` from now."""
+        if event._state != _PENDING:
+            raise SimulationError("event already scheduled")
+        event._state = _TRIGGERED
+        self._seq += 1
+        heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next event, or +inf if none is scheduled."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _, event = heappop(self._heap)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._state = _PROCESSED
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until a time, until an event fires, or until empty.
+
+        * ``until`` float: run all events up to and including that time,
+          then set ``now`` to it.
+        * ``until`` Event: run until that event is processed and return
+          its value (raising if it failed).
+        * ``until`` None: run until no events remain.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            if sentinel._state == _PROCESSED:
+                if not sentinel._ok:
+                    raise sentinel._value
+                return sentinel._value
+            finished = []
+            if sentinel.callbacks is None:  # pragma: no cover - safety
+                raise SimulationError("cannot wait on this event")
+            sentinel.callbacks.append(lambda ev: finished.append(ev))
+            while not finished:
+                if not self._heap:
+                    raise SimulationError(
+                        "event loop ran dry before the awaited event fired"
+                    )
+                self.step()
+            if not sentinel._ok:
+                raise sentinel._value
+            return sentinel._value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(
+                f"cannot run to {horizon!r}: time is already {self._now!r}"
+            )
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

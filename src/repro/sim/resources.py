@@ -1,0 +1,215 @@
+"""Queueing resources for the simulation kernel.
+
+TPSIM models every service station — CPUs, NVEM servers, disk
+controllers, disk servers, multiprogramming slots — as a resource with a
+fixed capacity and a FIFO (or priority) wait queue.  This module
+provides those stations plus a :class:`Store` (producer/consumer queue,
+used for the transaction input queue) and per-resource monitoring of
+utilization and queue lengths.
+
+Usage pattern (inside a process generator)::
+
+    req = cpu.request()
+    yield req
+    yield env.timeout(service_time)
+    cpu.release(req)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from typing import Any, Optional
+
+from repro.sim.core import Environment, Event, SimulationError
+from repro.sim.stats import TimeWeighted
+
+__all__ = ["PriorityResource", "Resource", "ResourceMonitor", "Store"]
+
+
+class ResourceMonitor:
+    """Time-weighted utilization / queue statistics for one resource."""
+
+    __slots__ = ("busy", "queue", "requests", "completions")
+
+    def __init__(self, env: Environment, capacity: int):
+        self.busy = TimeWeighted(env)
+        self.queue = TimeWeighted(env)
+        self.requests = 0
+        self.completions = 0
+
+    def utilization(self, capacity: int) -> float:
+        """Mean busy servers divided by capacity."""
+        if capacity <= 0:
+            return 0.0
+        return self.busy.mean() / capacity
+
+    def mean_queue_length(self) -> float:
+        return self.queue.mean()
+
+    def reset(self) -> None:
+        """Restart statistics (warm-up boundary); keeps current levels."""
+        self.busy.reset()
+        self.queue.reset()
+        self.requests = 0
+        self.completions = 0
+
+
+class Request(Event):
+    """A pending or granted claim on a resource."""
+
+    __slots__ = ("resource", "priority", "key", "cancelled")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self.key: Any = None
+        self.cancelled = False
+
+
+class Resource:
+    """A server pool with ``capacity`` units and a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1,
+                 name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.users: int = 0
+        self._waiters: deque = deque()
+        self.monitor = ResourceMonitor(env, capacity)
+
+    # -- queue discipline hooks (overridden by PriorityResource) ---------
+    def _enqueue(self, request: Request) -> None:
+        self._waiters.append(request)
+
+    def _dequeue(self) -> Optional[Request]:
+        while self._waiters:
+            request = self._waiters.popleft()
+            if not request.cancelled:
+                return request
+        return None
+
+    def _queue_len(self) -> int:
+        return len(self._waiters)
+
+    # -- public API ------------------------------------------------------
+    def request(self, priority: int = 0) -> Request:
+        """Claim one unit; the returned event fires when granted."""
+        request = Request(self, priority)
+        self.monitor.requests += 1
+        if self.users < self.capacity:
+            self.users += 1
+            self.monitor.busy.record(self.users)
+            request.succeed(request)
+        else:
+            self._enqueue(request)
+            self.monitor.queue.record(self._queue_len())
+        return request
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a not-yet-granted request (e.g. on interrupt)."""
+        if request.triggered and not request.cancelled:
+            # Already granted: treat as release.
+            self.release(request)
+            return
+        request.cancelled = True
+        self.monitor.queue.record(self._queue_len())
+
+    def release(self, request: Request) -> None:
+        """Return one unit and grant the next waiter, if any."""
+        if not request.triggered:
+            raise SimulationError("releasing a request that was never granted")
+        if request.cancelled:
+            raise SimulationError("releasing a cancelled request")
+        request.cancelled = True  # guard against double release
+        self.monitor.completions += 1
+        nxt = self._dequeue()
+        if nxt is not None:
+            self.monitor.queue.record(self._queue_len())
+            nxt.succeed(nxt)
+        else:
+            self.users -= 1
+            self.monitor.busy.record(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests currently waiting."""
+        return self._queue_len()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<{type(self).__name__} {self.name!r} "
+                f"{self.users}/{self.capacity} busy, "
+                f"{self._queue_len()} queued>")
+
+
+class PriorityResource(Resource):
+    """Resource whose waiters are served lowest-priority-value first.
+
+    Ties are FIFO (stable via a sequence number).
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
+        super().__init__(env, capacity, name)
+        self._heap: list = []
+        self._seq = 0
+
+    def _enqueue(self, request: Request) -> None:
+        self._seq += 1
+        request.key = (request.priority, self._seq)
+        heappush(self._heap, (request.key, request))
+
+    def _dequeue(self) -> Optional[Request]:
+        while self._heap:
+            _, request = heappop(self._heap)
+            if not request.cancelled:
+                return request
+        return None
+
+    def _queue_len(self) -> int:
+        return sum(1 for _, r in self._heap if not r.cancelled)
+
+
+class Store:
+    """Unbounded FIFO queue of items with blocking ``get``.
+
+    Used for the transaction input queue of the transaction manager:
+    the SOURCE ``put``s arrivals; MPL slots ``get`` them.
+    """
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self._items: deque = deque()
+        self._getters: deque = deque()
+        self.monitor = ResourceMonitor(env, 1)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item; wakes one blocked getter if present."""
+        self.monitor.requests += 1
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.succeed(item)
+                self.monitor.completions += 1
+                return
+        self._items.append(item)
+        self.monitor.queue.record(len(self._items))
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        event = Event(self.env)
+        if self._items:
+            item = self._items.popleft()
+            self.monitor.queue.record(len(self._items))
+            self.monitor.completions += 1
+            event.succeed(item)
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,214 @@
+"""Online statistics for simulation output analysis.
+
+TPSIM reports response times, device utilizations, queue lengths, hit
+ratios and lock statistics (§4 of the paper).  The classes here collect
+those measures in a single pass:
+
+* :class:`Accumulator` — Welford mean/variance plus min/max and an
+  optional bounded sample reservoir for percentiles.
+* :class:`TimeWeighted` — time-integral of a step function (queue
+  lengths, busy servers); supports warm-up resets.
+* :class:`Histogram` — fixed-bin histogram for distributions.
+* :class:`CategoryCounter` — counters keyed by category (hit levels,
+  abort reasons, I/O classes).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.core import Environment
+
+__all__ = ["Accumulator", "CategoryCounter", "Histogram", "TimeWeighted"]
+
+
+class Accumulator:
+    """Welford accumulator with optional reservoir for percentiles."""
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max",
+                 "_reservoir", "_reservoir_cap", "_seen")
+
+    def __init__(self, reservoir: int = 0):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._reservoir_cap = reservoir
+        self._reservoir: Optional[List[float]] = [] if reservoir else None
+        self._seen = 0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self._reservoir is not None:
+            self._seen += 1
+            if len(self._reservoir) < self._reservoir_cap:
+                self._reservoir.append(value)
+            else:
+                # Deterministic systematic reservoir: keep every k-th value.
+                stride = self._seen // self._reservoir_cap + 1
+                if self._seen % stride == 0:
+                    self._reservoir[self._seen % self._reservoir_cap] = value
+
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    def stdev(self) -> float:
+        return math.sqrt(self.variance())
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile from the reservoir (q in [0, 100])."""
+        if not self._reservoir:
+            return self.mean()
+        data = sorted(self._reservoir)
+        if len(data) == 1:
+            return data[0]
+        rank = (q / 100.0) * (len(data) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(data) - 1)
+        frac = rank - lo
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+    def reset(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        if self._reservoir is not None:
+            self._reservoir.clear()
+            self._seen = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Accumulator n={self.count} mean={self.mean():.6g}>"
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant signal.
+
+    ``record(level)`` notes that the signal has the new ``level`` from
+    the current simulation time onward.  ``mean()`` integrates over the
+    observation window (since construction or the last ``reset``).
+    """
+
+    __slots__ = ("_env", "_level", "_area", "_start", "_last")
+
+    def __init__(self, env: "Environment", level: float = 0.0):
+        self._env = env
+        self._level = level
+        self._area = 0.0
+        self._start = env.now
+        self._last = env.now
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def record(self, level: float) -> None:
+        now = self._env.now
+        self._area += self._level * (now - self._last)
+        self._last = now
+        self._level = level
+
+    def mean(self) -> float:
+        now = self._env.now
+        span = now - self._start
+        if span <= 0:
+            return self._level
+        area = self._area + self._level * (now - self._last)
+        return area / span
+
+    def integral(self) -> float:
+        now = self._env.now
+        return self._area + self._level * (now - self._last)
+
+    def reset(self) -> None:
+        """Restart the observation window, keeping the current level."""
+        self._area = 0.0
+        self._start = self._env.now
+        self._last = self._env.now
+
+
+class Histogram:
+    """Fixed-width-bin histogram over [low, high) with overflow bins."""
+
+    __slots__ = ("low", "high", "bins", "_width", "counts",
+                 "underflow", "overflow", "total")
+
+    def __init__(self, low: float, high: float, bins: int):
+        if high <= low:
+            raise ValueError("high must exceed low")
+        if bins < 1:
+            raise ValueError("need at least one bin")
+        self.low = low
+        self.high = high
+        self.bins = bins
+        self._width = (high - low) / bins
+        self.counts = [0] * bins
+        self.underflow = 0
+        self.overflow = 0
+        self.total = 0
+
+    def add(self, value: float) -> None:
+        self.total += 1
+        if value < self.low:
+            self.underflow += 1
+        elif value >= self.high:
+            self.overflow += 1
+        else:
+            self.counts[int((value - self.low) / self._width)] += 1
+
+    def bin_edges(self) -> List[float]:
+        return [self.low + i * self._width for i in range(self.bins + 1)]
+
+    def reset(self) -> None:
+        self.counts = [0] * self.bins
+        self.underflow = 0
+        self.overflow = 0
+        self.total = 0
+
+
+class CategoryCounter:
+    """Counters keyed by category with ratio helpers."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self):
+        self._counts: Dict[str, int] = {}
+
+    def add(self, category: str, amount: int = 1) -> None:
+        self._counts[category] = self._counts.get(category, 0) + amount
+
+    def get(self, category: str) -> int:
+        return self._counts.get(category, 0)
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def ratio(self, category: str) -> float:
+        """Share of ``category`` among all counted occurrences."""
+        total = self.total()
+        return self._counts.get(category, 0) / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CategoryCounter {self._counts!r}>"

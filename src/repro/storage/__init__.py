@@ -1,0 +1,37 @@
+"""External storage devices of the extended storage hierarchy (§2–3.3).
+
+Sub-modules:
+
+* :mod:`repro.storage.lru` — the LRU mechanism shared by all cache levels.
+* :mod:`repro.storage.cache` — disk-cache policies (volatile,
+  non-volatile, write-buffer-only).
+* :mod:`repro.storage.disk` — disk units (regular / cached / SSD).
+* :mod:`repro.storage.nvem` — the non-volatile extended memory device.
+* :mod:`repro.storage.hierarchy` — device wiring + allocation resolution.
+"""
+
+from repro.storage.cache import (
+    CacheDecision,
+    NonVolatileCachePolicy,
+    VolatileCachePolicy,
+    WriteBufferPolicy,
+    make_cache_policy,
+)
+from repro.storage.disk import DiskUnit, IOResult
+from repro.storage.hierarchy import StorageSubsystem
+from repro.storage.lru import LRUCache, LRUEntry
+from repro.storage.nvem import NVEMDevice
+
+__all__ = [
+    "CacheDecision",
+    "DiskUnit",
+    "IOResult",
+    "LRUCache",
+    "LRUEntry",
+    "NVEMDevice",
+    "NonVolatileCachePolicy",
+    "StorageSubsystem",
+    "VolatileCachePolicy",
+    "WriteBufferPolicy",
+    "make_cache_policy",
+]

@@ -1,0 +1,219 @@
+"""Disk-cache replacement policies (IBM 3990 style, §3.3).
+
+The policies are pure state machines over an :class:`~repro.storage.lru.LRUCache`;
+the owning :class:`~repro.storage.disk.DiskUnit` drives all timing.  Three
+behaviours from the paper:
+
+* **Volatile cache** — read hits avoid the disk; read misses allocate
+  (plain LRU eviction); *every* write goes to disk; a write hit merely
+  refreshes the cached copy, a write miss leaves the cache unchanged.
+* **Non-volatile cache** — writes are satisfied in the cache whenever
+  possible and the disk copy is updated asynchronously.  A write miss
+  replaces the least recently used *unmodified* page; if every cached
+  page still has its disk update outstanding, the write bypasses the
+  cache and goes synchronously to disk.
+* **Write-buffer only** — a non-volatile cache used purely to absorb
+  writes (the paper's log-disk configuration): no read caching, no LRU;
+  a write is absorbed while a buffer slot is free, i.e. while fewer
+  than ``capacity`` disk updates are outstanding.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.sim.stats import CategoryCounter
+from repro.storage.lru import LRUCache, LRUEntry
+
+__all__ = [
+    "CacheDecision",
+    "NonVolatileCachePolicy",
+    "VolatileCachePolicy",
+    "WriteBufferPolicy",
+]
+
+
+class CacheDecision:
+    """Outcome of a cache lookup, telling the disk unit what to do."""
+
+    __slots__ = ("hit", "needs_disk", "async_disk_write", "entry")
+
+    def __init__(self, hit: bool, needs_disk: bool,
+                 async_disk_write: bool = False,
+                 entry: Optional[LRUEntry] = None):
+        #: Page found in cache (read) or absorbed by cache (write).
+        self.hit = hit
+        #: The caller must perform a synchronous disk access.
+        self.needs_disk = needs_disk
+        #: The caller must start an asynchronous disk update.
+        self.async_disk_write = async_disk_write
+        #: Cache entry involved (for completion bookkeeping).
+        self.entry = entry
+
+
+class VolatileCachePolicy:
+    """LRU read cache; write-through with no write-allocate."""
+
+    nonvolatile = False
+
+    def __init__(self, capacity: int):
+        self.lru = LRUCache(capacity)
+        self.stats = CategoryCounter()
+
+    def on_read(self, key: Hashable) -> CacheDecision:
+        entry = self.lru.get(key)
+        if entry is not None:
+            self.stats.add("read_hit")
+            return CacheDecision(hit=True, needs_disk=False, entry=entry)
+        self.stats.add("read_miss")
+        return CacheDecision(hit=False, needs_disk=True)
+
+    def on_read_fill(self, key: Hashable) -> None:
+        """Install a page after a read miss (evicting plain LRU)."""
+        if key in self.lru:
+            return
+        if self.lru.is_full:
+            victim = self.lru.victim()
+            self.lru.remove(victim.key)
+            self.stats.add("evict")
+        self.lru.insert(key)
+
+    def on_write(self, key: Hashable) -> CacheDecision:
+        entry = self.lru.get(key)
+        if entry is not None:
+            # Write hit: the cached copy is refreshed, LRU updated; the
+            # disk access still happens (volatile = no write absorption).
+            self.stats.add("write_hit")
+        else:
+            self.stats.add("write_miss")
+        return CacheDecision(hit=False, needs_disk=True, entry=entry)
+
+    def on_disk_write_complete(self, entry: Optional[LRUEntry]) -> None:
+        """No-op: volatile caches hold no modified pages."""
+
+    def __len__(self) -> int:
+        return len(self.lru)
+
+
+class NonVolatileCachePolicy:
+    """LRU cache absorbing writes; disk updated asynchronously."""
+
+    nonvolatile = True
+
+    def __init__(self, capacity: int):
+        self.lru = LRUCache(capacity)
+        self.stats = CategoryCounter()
+
+    # -- reads -------------------------------------------------------------
+    def on_read(self, key: Hashable) -> CacheDecision:
+        entry = self.lru.get(key)
+        if entry is not None:
+            self.stats.add("read_hit")
+            return CacheDecision(hit=True, needs_disk=False, entry=entry)
+        self.stats.add("read_miss")
+        return CacheDecision(hit=False, needs_disk=True)
+
+    def on_read_fill(self, key: Hashable) -> None:
+        """Install after a read miss; only clean pages may be evicted."""
+        if key in self.lru:
+            return
+        if self.lru.is_full:
+            victim = self.lru.victim(lambda e: not e.dirty)
+            if victim is None:
+                # Everything awaits its disk update: skip caching.
+                self.stats.add("fill_skipped")
+                return
+            self.lru.remove(victim.key)
+            self.stats.add("evict")
+        self.lru.insert(key)
+
+    # -- writes ------------------------------------------------------------
+    def on_write(self, key: Hashable) -> CacheDecision:
+        entry = self.lru.get(key)
+        if entry is not None:
+            self.stats.add("write_hit")
+            if entry.dirty:
+                # A disk update for this page is already on its way; the
+                # cache absorbs the new version without a second update.
+                return CacheDecision(hit=True, needs_disk=False,
+                                     async_disk_write=False, entry=entry)
+            entry.dirty = True
+            return CacheDecision(hit=True, needs_disk=False,
+                                 async_disk_write=True, entry=entry)
+
+        # Write miss: take the least recently used unmodified page.
+        if self.lru.is_full:
+            victim = self.lru.victim(lambda e: not e.dirty)
+            if victim is None:
+                self.stats.add("write_bypass")
+                return CacheDecision(hit=False, needs_disk=True)
+            self.lru.remove(victim.key)
+            self.stats.add("evict")
+        self.stats.add("write_miss_allocated")
+        entry = self.lru.insert(key, dirty=True)
+        return CacheDecision(hit=True, needs_disk=False,
+                             async_disk_write=True, entry=entry)
+
+    def on_disk_write_complete(self, entry: Optional[LRUEntry]) -> None:
+        """The disk copy is current: the page becomes replaceable."""
+        if entry is None:
+            return
+        current = self.lru.peek(entry.key)
+        if current is entry:
+            entry.dirty = False
+
+    def dirty_count(self) -> int:
+        return sum(1 for e in self.lru.items_mru_to_lru() if e.dirty)
+
+    def __len__(self) -> int:
+        return len(self.lru)
+
+
+class WriteBufferPolicy:
+    """Non-volatile cache used purely as a write buffer (log units)."""
+
+    nonvolatile = True
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("write buffer needs capacity >= 1")
+        self.capacity = capacity
+        self.pending = 0
+        self.stats = CategoryCounter()
+
+    def on_read(self, key: Hashable) -> CacheDecision:
+        # The buffer holds only in-flight writes; reads go to disk.
+        self.stats.add("read_miss")
+        return CacheDecision(hit=False, needs_disk=True)
+
+    def on_read_fill(self, key: Hashable) -> None:
+        """Write buffers do not cache reads."""
+
+    def on_write(self, key: Hashable) -> CacheDecision:
+        if self.pending < self.capacity:
+            self.pending += 1
+            self.stats.add("write_absorbed")
+            return CacheDecision(hit=True, needs_disk=False,
+                                 async_disk_write=True)
+        # Buffer saturated: all slots hold pages whose disk update is
+        # still queued (the Fig. 4.1 saturation regime).
+        self.stats.add("write_bypass")
+        return CacheDecision(hit=False, needs_disk=True)
+
+    def on_disk_write_complete(self, entry: Optional[LRUEntry]) -> None:
+        self.pending -= 1
+
+    def __len__(self) -> int:
+        return self.pending
+
+
+def make_cache_policy(capacity: int, nonvolatile: bool,
+                      write_buffer_only: bool) -> "VolatileCachePolicy | NonVolatileCachePolicy | WriteBufferPolicy":
+    """Factory used by :class:`repro.storage.disk.DiskUnit`."""
+    if write_buffer_only:
+        if not nonvolatile:
+            raise ValueError("a write buffer must be non-volatile")
+        return WriteBufferPolicy(capacity)
+    if nonvolatile:
+        return NonVolatileCachePolicy(capacity)
+    return VolatileCachePolicy(capacity)

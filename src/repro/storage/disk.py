@@ -1,0 +1,234 @@
+"""Disk units: regular disks, cached disks and solid-state disks (§3.3).
+
+A *disk unit* is anything behind the channel-oriented disk interface:
+
+* ``REGULAR`` — controller + transmission + disk access for every I/O.
+* ``VOLATILE_CACHE`` / ``NONVOLATILE_CACHE`` — a controller-managed
+  cache (policies in :mod:`repro.storage.cache`) in front of the disks.
+* ``SSD`` — all data in semiconductor memory: controller + transmission
+  only.
+
+Timing model (matching §4.1's "without queuing delays" arithmetic:
+SSD/cache hit 1.4 ms = 1 ms controller + 0.4 ms transfer; disk
+16.4 ms = + 15 ms disk access):
+
+* The controller is a server pool (``NumControllers``) held for the
+  controller service time; it disconnects during disk positioning.
+* Each of the ``NumDisks`` disks is its own FIFO server; pages are
+  spread uniformly by page number (striping, §3.3).
+* Transmission is a pure delay (the paper assumes the channel subsystem
+  is never the bottleneck).
+
+Asynchronous cache-to-disk updates run as background processes inside
+the unit (they model the disk controller's destage activity and consume
+no host CPU).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Hashable
+
+from repro.core.config import DiskUnitConfig, DiskUnitType, Distribution
+from repro.sim import Environment, RandomStreams, Resource
+from repro.sim.core import Event
+from repro.sim.stats import CategoryCounter
+from repro.storage.cache import CacheDecision, make_cache_policy
+
+__all__ = ["DiskUnit", "IOResult"]
+
+#: Service levels reported back to the buffer manager for statistics.
+LEVEL_CACHE = "disk_cache"
+LEVEL_DISK = "disk"
+LEVEL_SSD = "ssd"
+
+
+class IOResult:
+    """Outcome of one I/O against a disk unit."""
+
+    __slots__ = ("level", "latency")
+
+    def __init__(self, level: str, latency: float):
+        #: Where the I/O was satisfied: "disk_cache", "disk" or "ssd".
+        self.level = level
+        #: Elapsed simulated time for the synchronous part of the I/O.
+        self.latency = latency
+
+
+class DiskUnit:
+    """One disk unit with its controllers, disks and optional cache."""
+
+    def __init__(self, env: Environment, streams: RandomStreams,
+                 config: DiskUnitConfig):
+        config.validate()
+        self.env = env
+        self.config = config
+        self.name = config.name
+        self._streams = streams
+        self.controllers = Resource(
+            env, config.num_controllers, name=f"{config.name}.ctrl"
+        )
+        if config.unit_type == DiskUnitType.SSD:
+            self.disks: list = []
+        else:
+            self.disks = [
+                Resource(env, 1, name=f"{config.name}.disk{i}")
+                for i in range(config.num_disks)
+            ]
+        if config.unit_type in (DiskUnitType.VOLATILE_CACHE,
+                                DiskUnitType.NONVOLATILE_CACHE):
+            self.cache = make_cache_policy(
+                config.cache_size,
+                nonvolatile=config.unit_type == DiskUnitType.NONVOLATILE_CACHE,
+                write_buffer_only=config.write_buffer_only,
+            )
+        else:
+            self.cache = None
+        self.stats = CategoryCounter()
+        #: Completion events of in-flight asynchronous destage writes;
+        #: exposed so tests and drain logic can wait for quiescence.
+        self._inflight: set = set()
+
+    # -- service-time draws --------------------------------------------------
+    def _controller_time(self) -> float:
+        if self.config.controller_distribution is Distribution.EXPONENTIAL:
+            return self._streams.exponential(
+                f"{self.name}-ctrl", self.config.controller_delay
+            )
+        return self.config.controller_delay
+
+    def _disk_time(self) -> float:
+        if self.config.disk_distribution is Distribution.EXPONENTIAL:
+            return self._streams.exponential(
+                f"{self.name}-disk", self.config.disk_delay
+            )
+        return self.config.disk_delay
+
+    def _disk_for(self, key: Hashable) -> Resource:
+        """Select the disk server for an I/O (see config.striping)."""
+        if len(self.disks) == 1:
+            return self.disks[0]
+        if self.config.striping == "random":
+            index = self._streams.uniform_int(
+                f"{self.name}-stripe", 0, len(self.disks) - 1
+            )
+            return self.disks[index]
+        if isinstance(key, tuple):
+            page_no = key[-1]
+        else:
+            page_no = key
+        return self.disks[int(page_no) % len(self.disks)]
+
+    # -- primitive stages ------------------------------------------------------
+    def _controller_service(self) -> Generator:
+        request = self.controllers.request()
+        yield request
+        yield self.env.timeout(self._controller_time())
+        self.controllers.release(request)
+
+    def _disk_service(self, key: Hashable) -> Generator:
+        disk = self._disk_for(key)
+        request = disk.request()
+        yield request
+        yield self.env.timeout(self._disk_time())
+        disk.release(request)
+
+    def _transmission(self) -> Generator:
+        if self.config.trans_delay > 0:
+            yield self.env.timeout(self.config.trans_delay)
+
+    # -- background destage ------------------------------------------------------
+    def _destage(self, key: Hashable, entry) -> Generator:
+        """Asynchronous cache-to-disk update (controller destage)."""
+        self.stats.add("destage_write")
+        yield from self._disk_service(key)
+        self.cache.on_disk_write_complete(entry)
+
+    def _spawn_destage(self, key: Hashable, entry) -> Event:
+        proc = self.env.process(self._destage(key, entry))
+        self._inflight.add(proc)
+        proc.callbacks.append(self._inflight.discard)
+        return proc
+
+    def pending_destages(self) -> int:
+        return len(self._inflight)
+
+    def drain(self) -> Generator:
+        """Wait until all in-flight destage writes have completed."""
+        while self._inflight:
+            yield next(iter(self._inflight))
+
+    # -- public I/O API ------------------------------------------------------
+    def read(self, key: Hashable) -> Generator:
+        """Read one page; returns an :class:`IOResult`."""
+        start = self.env.now
+        self.stats.add("read")
+        if self.config.unit_type == DiskUnitType.SSD:
+            yield from self._controller_service()
+            yield from self._transmission()
+            return IOResult(LEVEL_SSD, self.env.now - start)
+
+        if self.cache is None:
+            yield from self._controller_service()
+            yield from self._disk_service(key)
+            yield from self._transmission()
+            return IOResult(LEVEL_DISK, self.env.now - start)
+
+        decision: CacheDecision = self.cache.on_read(key)
+        yield from self._controller_service()
+        if decision.hit:
+            yield from self._transmission()
+            return IOResult(LEVEL_CACHE, self.env.now - start)
+        yield from self._disk_service(key)
+        self.cache.on_read_fill(key)
+        yield from self._transmission()
+        return IOResult(LEVEL_DISK, self.env.now - start)
+
+    def write(self, key: Hashable) -> Generator:
+        """Write one page; returns an :class:`IOResult`.
+
+        For non-volatile caches the result reports ``disk_cache`` when
+        the write was absorbed (the disk copy is updated asynchronously
+        by a destage process).
+        """
+        start = self.env.now
+        self.stats.add("write")
+        if self.config.unit_type == DiskUnitType.SSD:
+            yield from self._controller_service()
+            yield from self._transmission()
+            return IOResult(LEVEL_SSD, self.env.now - start)
+
+        if self.cache is None:
+            yield from self._controller_service()
+            yield from self._transmission()
+            yield from self._disk_service(key)
+            return IOResult(LEVEL_DISK, self.env.now - start)
+
+        decision = self.cache.on_write(key)
+        yield from self._controller_service()
+        yield from self._transmission()
+        if decision.hit and not decision.needs_disk:
+            if decision.async_disk_write:
+                self._spawn_destage(key, decision.entry)
+            return IOResult(LEVEL_CACHE, self.env.now - start)
+        # Volatile cache, or a saturated non-volatile cache: synchronous
+        # disk write.
+        yield from self._disk_service(key)
+        return IOResult(LEVEL_DISK, self.env.now - start)
+
+    # -- introspection ------------------------------------------------------
+    def mean_disk_utilization(self) -> float:
+        if not self.disks:
+            return 0.0
+        total = sum(d.monitor.utilization(1) for d in self.disks)
+        return total / len(self.disks)
+
+    def controller_utilization(self) -> float:
+        return self.controllers.monitor.utilization(self.controllers.capacity)
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        self.controllers.monitor.reset()
+        for disk in self.disks:
+            disk.monitor.reset()
+        if self.cache is not None:
+            self.cache.stats.reset()

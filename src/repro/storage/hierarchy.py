@@ -1,0 +1,140 @@
+"""Storage-hierarchy wiring: devices + partition/log allocation (Fig. 3.2).
+
+:class:`StorageSubsystem` instantiates the NVEM device and every disk
+unit of a :class:`~repro.core.config.SystemConfig` and resolves, per
+partition, where its permanent pages live.  The buffer manager asks it
+three questions:
+
+* *Where is partition P?*  (memory-resident / NVEM-resident / unit U)
+* *Read or write page X of P on its home device.*
+* *Read or write the log.*
+
+The software-managed intermediate levels (NVEM database cache, NVEM
+write buffer) are the buffer manager's business (§3.2); the hierarchy
+only covers the devices themselves, including the controller-managed
+disk caches that are transparent to the DBMS (§3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from repro.core.config import (
+    MEMORY,
+    NVEM,
+    SystemConfig,
+)
+from repro.sim import Environment, RandomStreams
+from repro.storage.disk import DiskUnit
+from repro.storage.nvem import NVEMDevice
+
+__all__ = ["StorageSubsystem"]
+
+#: Synthetic latency result for memory-resident partitions.
+LEVEL_MEMORY = "memory"
+LEVEL_NVEM = "nvem"
+
+
+class StorageSubsystem:
+    """All external devices of one simulated transaction system."""
+
+    def __init__(self, env: Environment, streams: RandomStreams,
+                 config: SystemConfig):
+        self.env = env
+        self.config = config
+        self.nvem_device = NVEMDevice(env, streams, config.nvem)
+        self.units: Dict[str, DiskUnit] = {
+            unit_cfg.name: DiskUnit(env, streams, unit_cfg)
+            for unit_cfg in config.disk_units
+        }
+        #: partition name -> allocation target string
+        self._alloc: Dict[str, str] = {
+            part.name: part.allocation for part in config.partitions
+        }
+        self._log_target = config.log.device
+        #: Monotonic page number for the sequential log file.
+        self._log_page = 0
+
+    # -- allocation queries ------------------------------------------------
+    def allocation_of(self, partition: str) -> str:
+        return self._alloc[partition]
+
+    def is_memory_resident(self, partition: str) -> bool:
+        return self._alloc[partition] == MEMORY
+
+    def is_nvem_resident(self, partition: str) -> bool:
+        return self._alloc[partition] == NVEM
+
+    def unit_of(self, partition: str) -> Optional[DiskUnit]:
+        target = self._alloc[partition]
+        if target in (MEMORY, NVEM):
+            return None
+        return self.units[target]
+
+    @property
+    def log_on_nvem(self) -> bool:
+        return self._log_target == NVEM
+
+    @property
+    def log_unit(self) -> Optional[DiskUnit]:
+        if self._log_target == NVEM:
+            return None
+        return self.units[self._log_target]
+
+    def next_log_page(self) -> int:
+        """Allocate the next page of the sequential log file."""
+        self._log_page += 1
+        return self._log_page
+
+    # -- device access ------------------------------------------------------
+    def read_page(self, partition_index: int, partition: str,
+                  page_no: int) -> Generator:
+        """Read a page from the partition's home device.
+
+        Memory- and NVEM-resident partitions are handled by the buffer
+        manager before this point; calling this for them is a logic
+        error, guarded here to fail fast.
+        """
+        unit = self.unit_of(partition)
+        if unit is None:
+            raise RuntimeError(
+                f"read_page called for resident partition {partition!r}"
+            )
+        result = yield from unit.read((partition_index, page_no))
+        return result
+
+    def write_page(self, partition_index: int, partition: str,
+                   page_no: int) -> Generator:
+        unit = self.unit_of(partition)
+        if unit is None:
+            raise RuntimeError(
+                f"write_page called for resident partition {partition!r}"
+            )
+        result = yield from unit.write((partition_index, page_no))
+        return result
+
+    def write_log_to_unit(self, page_no: int) -> Generator:
+        """Write one log page to the log's disk unit."""
+        unit = self.log_unit
+        if unit is None:
+            raise RuntimeError("log is NVEM-resident; no unit write")
+        # Partition index -1 identifies the log file in page keys.
+        result = yield from unit.write((-1, page_no))
+        return result
+
+    # -- statistics ------------------------------------------------------
+    def reset_stats(self) -> None:
+        self.nvem_device.reset_stats()
+        for unit in self.units.values():
+            unit.reset_stats()
+
+    def utilization_report(self) -> Dict[str, Dict[str, float]]:
+        report: Dict[str, Dict[str, float]] = {
+            "nvem": {"servers": self.nvem_device.utilization},
+        }
+        for name, unit in self.units.items():
+            report[name] = {
+                "controllers": unit.controller_utilization(),
+                "disks": unit.mean_disk_utilization(),
+            }
+        return report

@@ -1,0 +1,57 @@
+"""The non-volatile extended memory (NVEM) device.
+
+NVEM (§2, §3.3) is page-addressable semiconductor memory accessed by
+special machine instructions: transfers are performed by the CPU itself,
+so an NVEM access keeps the accessing CPU busy (the caller models that —
+see :mod:`repro.core.cpu`).  The device itself is a small server pool
+(``NumNVEMservers``) with a per-page service time (``NVEMdelay``,
+50 µs per 4 KB page in the paper's Table 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.config import Distribution, NVEMConfig
+from repro.sim import Environment, RandomStreams, Resource
+from repro.sim.stats import CategoryCounter
+
+__all__ = ["NVEMDevice"]
+
+
+class NVEMDevice:
+    """Server pool for page transfers between main memory and NVEM."""
+
+    def __init__(self, env: Environment, streams: RandomStreams,
+                 config: NVEMConfig):
+        config.validate()
+        self.env = env
+        self.config = config
+        self._streams = streams
+        self.servers = Resource(env, config.num_servers, name="nvem")
+        self.stats = CategoryCounter()
+
+    def _service_time(self) -> float:
+        if self.config.distribution is Distribution.EXPONENTIAL:
+            return self._streams.exponential("nvem-service", self.config.delay)
+        return self.config.delay
+
+    def access(self, kind: str = "access") -> Generator:
+        """One page transfer; yields until the transfer completes.
+
+        ``kind`` tags the access for statistics (read / write / migrate /
+        log).  The caller decides whether the CPU is held meanwhile.
+        """
+        self.stats.add(kind)
+        request = self.servers.request()
+        yield request
+        yield self.env.timeout(self._service_time())
+        self.servers.release(request)
+
+    @property
+    def utilization(self) -> float:
+        return self.servers.monitor.utilization(self.servers.capacity)
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        self.servers.monitor.reset()

@@ -1,0 +1,41 @@
+"""Workload generation: the three SOURCE variants of §3.1.
+
+* :mod:`repro.workload.synthetic` — the general synthetic model
+  (partitions, subpartitions, relative reference matrix).
+* :mod:`repro.workload.debit_credit` — Debit-Credit per [An85]/[Gr91].
+* :mod:`repro.workload.trace` — trace format + trace-driven SOURCE.
+* :mod:`repro.workload.tracegen` — synthetic generator of the
+  "real-life" trace used in §4.6/4.7 (substitution; see DESIGN.md).
+"""
+
+from repro.workload.base import PoissonArrivals, Workload
+from repro.workload.debit_credit import (
+    DebitCreditWorkload,
+    build_debit_credit_partitions,
+)
+from repro.workload.synthetic import SyntheticWorkload
+from repro.workload.trace import (
+    Trace,
+    TraceTransaction,
+    TraceWorkload,
+    build_trace_partitions,
+    read_trace,
+    write_trace,
+)
+from repro.workload.tracegen import RealWorkloadProfile, generate_trace
+
+__all__ = [
+    "DebitCreditWorkload",
+    "PoissonArrivals",
+    "RealWorkloadProfile",
+    "SyntheticWorkload",
+    "Trace",
+    "TraceTransaction",
+    "TraceWorkload",
+    "Workload",
+    "build_debit_credit_partitions",
+    "build_trace_partitions",
+    "generate_trace",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,57 @@
+"""SOURCE infrastructure shared by all workload generators.
+
+A workload is anything with a ``start(system)`` method that spawns
+arrival processes on the system's environment and submits
+:class:`~repro.core.transaction.Transaction` objects to the transaction
+manager.  :class:`PoissonArrivals` is the common open-system arrival
+machinery (exponential interarrival times at a configured rate).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional, Protocol, runtime_checkable
+
+from repro.core.transaction import Transaction
+
+__all__ = ["PoissonArrivals", "Workload"]
+
+
+@runtime_checkable
+class Workload(Protocol):
+    """Protocol for SOURCE components."""
+
+    def start(self, system) -> None:
+        """Spawn arrival processes on ``system`` (a TransactionSystem)."""
+        ...  # pragma: no cover - protocol definition
+
+
+class PoissonArrivals:
+    """Open-system arrivals: exponential interarrival times.
+
+    ``factory(tx_id)`` builds the next transaction; the stream name
+    isolates this source's randomness from everything else.
+    """
+
+    def __init__(self, rate: float, factory: Callable[[int], Transaction],
+                 stream_name: str = "arrivals",
+                 limit: Optional[int] = None):
+        if rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {rate!r}")
+        self.rate = rate
+        self.factory = factory
+        self.stream_name = stream_name
+        self.limit = limit
+        self.generated = 0
+
+    def process(self, system) -> Generator:
+        env = system.env
+        streams = system.streams
+        mean_gap = 1.0 / self.rate
+        while self.limit is None or self.generated < self.limit:
+            yield env.timeout(streams.exponential(self.stream_name, mean_gap))
+            tx = self.factory(self.generated)
+            self.generated += 1
+            system.tm.submit(tx)
+
+    def start(self, system) -> None:
+        system.env.process(self.process(system))

@@ -1,0 +1,107 @@
+"""Unit tests for the cost model (repro.analysis.cost)."""
+
+import pytest
+
+from repro.analysis.cost import (
+    STORES_1990,
+    StorageCost,
+    configuration_cost,
+    cost_effectiveness,
+    five_minute_rule,
+)
+
+
+class TestStorageCost:
+    def test_price_per_page(self):
+        store = StorageCost("x", price_per_mb=1024.0, access_time=1e-3)
+        # 4 KB page = 1/256 MB.
+        assert store.price_per_page() == pytest.approx(4.0)
+
+    def test_cost_of_pages(self):
+        store = STORES_1990["nvem"]
+        assert store.cost_of_pages(256) == pytest.approx(
+            store.price_per_mb, rel=1e-9
+        )
+
+    def test_table_2_1_orderings(self):
+        """Table 2.1: MM > NVEM > SSD ~ disk cache >> disk (price);
+        and the access-time ordering is the reverse."""
+        s = STORES_1990
+        assert s["main_memory"].price_per_mb > s["nvem"].price_per_mb
+        assert s["nvem"].price_per_mb > s["ssd"].price_per_mb
+        assert s["ssd"].price_per_mb == s["disk_cache"].price_per_mb
+        assert s["ssd"].price_per_mb > s["disk"].price_per_mb
+        assert s["nvem"].access_time < s["ssd"].access_time
+        assert s["ssd"].access_time < s["disk"].access_time
+
+    def test_nvem_roughly_double_ssd(self):
+        """§2: 'Extended memory is about twice as expensive as SSD'."""
+        ratio = STORES_1990["nvem"].price_per_mb / \
+            STORES_1990["ssd"].price_per_mb
+        assert ratio == pytest.approx(2.0, rel=0.1)
+
+
+class TestConfigurationCost:
+    def test_sums_allocations(self):
+        cost = configuration_cost([("disk", 1_000_000), ("nvem", 1000)])
+        expected = STORES_1990["disk"].cost_of_pages(1_000_000) + \
+            STORES_1990["nvem"].cost_of_pages(1000)
+        assert cost == pytest.approx(expected)
+
+    def test_unknown_store_rejected(self):
+        with pytest.raises(KeyError):
+            configuration_cost([("floppy", 10)])
+
+    def test_negative_pages_rejected(self):
+        with pytest.raises(ValueError):
+            configuration_cost([("disk", -1)])
+
+    def test_nvem_residence_far_more_expensive_than_write_buffer(self):
+        """§4.3's cost argument: a small write buffer beats keeping the
+        ACCOUNT file resident in semiconductor memory."""
+        account_pages = 5_000_000
+        resident = configuration_cost([("nvem", account_pages)])
+        buffered = configuration_cost([("disk", account_pages),
+                                       ("nvem", 500)])
+        assert resident > 50 * buffered
+
+
+class TestCostEffectiveness:
+    def test_ranking(self):
+        responses = {"disk": 47.0, "wb": 26.0, "nvem": 5.3}
+        costs = {"disk": 100.0, "wb": 130.0, "nvem": 30_000.0}
+        ranked = cost_effectiveness(responses, costs)
+        names = [name for name, _ in ranked]
+        # The write buffer gives the most ms saved per dollar.
+        assert names[0] == "wb"
+        assert names[-1] == "disk"  # baseline: zero gain
+
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cost_effectiveness({"a": 1.0}, {"b": 2.0})
+
+
+class TestFiveMinuteRule:
+    def test_break_even_in_minutes_range(self):
+        """[GP87] era parameters put the break-even at a few minutes."""
+        interval = five_minute_rule(
+            page_size_kb=1.0,
+            disk_price=15_000.0,
+            disk_accesses_per_second=15.0,
+            memory_price_per_mb=5_000.0,
+        )
+        assert 60 < interval < 600  # the 'five minute' ballpark
+
+    def test_cheaper_memory_extends_interval(self):
+        base = five_minute_rule()
+        cheaper = five_minute_rule(memory_price_per_mb=1500.0)
+        assert cheaper > base
+
+    def test_faster_disks_shorten_interval(self):
+        base = five_minute_rule()
+        faster = five_minute_rule(disk_accesses_per_second=30.0)
+        assert faster < base
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            five_minute_rule(disk_price=0.0)

@@ -1,0 +1,123 @@
+"""Unit tests for the recovery-time model (repro.analysis.recovery)."""
+
+import pytest
+
+from repro.analysis.recovery import (
+    RecoveryEstimate,
+    RecoveryModel,
+    recovery_comparison,
+)
+from repro.core.config import UpdateStrategy
+
+
+def model(**overrides):
+    params = dict(update_tps=500.0, checkpoint_interval=300.0)
+    params.update(overrides)
+    return RecoveryModel(**params)
+
+
+class TestEstimates:
+    def test_force_restart_is_tiny(self):
+        est = model().estimate(UpdateStrategy.FORCE)
+        assert est.total < 0.2  # a handful of page I/Os
+
+    def test_noforce_hand_computed(self):
+        """500 update TPS, 300 s interval, defaults:
+        exposure 150 s -> 75,000 log pages * 6.4 ms = 480 s scan;
+        redo pages = 500*150*3*0.5 = 112,500; read+write 16.4 ms each.
+        """
+        est = model().estimate(UpdateStrategy.NOFORCE)
+        assert est.log_scan_time == pytest.approx(480.0)
+        assert est.redo_read_time == pytest.approx(112_500 * 0.0164)
+        assert est.redo_write_time == pytest.approx(112_500 * 0.0164)
+        assert est.total == pytest.approx(480.0 + 2 * 1845.0)
+
+    def test_noforce_scales_with_checkpoint_interval(self):
+        short = model(checkpoint_interval=60.0).estimate(
+            UpdateStrategy.NOFORCE)
+        long = model(checkpoint_interval=600.0).estimate(
+            UpdateStrategy.NOFORCE)
+        assert long.total == pytest.approx(10 * short.total, rel=1e-9)
+
+    def test_redo_parallelism_divides_io(self):
+        serial = model().estimate(UpdateStrategy.NOFORCE)
+        striped = model(redo_parallelism=8.0).estimate(
+            UpdateStrategy.NOFORCE)
+        assert striped.redo_read_time == pytest.approx(
+            serial.redo_read_time / 8.0)
+        # Log scan is sequential regardless.
+        assert striped.log_scan_time == serial.log_scan_time
+
+    def test_propagated_fraction_reduces_redo(self):
+        none = model(already_propagated_fraction=0.0).estimate(
+            UpdateStrategy.NOFORCE)
+        all_done = model(already_propagated_fraction=1.0).estimate(
+            UpdateStrategy.NOFORCE)
+        assert all_done.redo_read_time == 0.0
+        assert none.redo_read_time > 0.0
+
+    def test_summary_renders(self):
+        text = model().estimate(UpdateStrategy.NOFORCE).summary()
+        assert "restart" in text and "log scan" in text
+
+
+class TestValidation:
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            model(checkpoint_interval=0.0).estimate(
+                UpdateStrategy.NOFORCE)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            model(already_propagated_fraction=1.5).estimate(
+                UpdateStrategy.NOFORCE)
+
+    def test_bad_parallelism(self):
+        with pytest.raises(ValueError):
+            model(redo_parallelism=0.5).estimate(UpdateStrategy.NOFORCE)
+
+    def test_negative_tps(self):
+        with pytest.raises(ValueError):
+            model(update_tps=-1.0).estimate(UpdateStrategy.NOFORCE)
+
+
+class TestBreakEven:
+    def test_interval_inversion_roundtrip(self):
+        m = model()
+        target = 60.0
+        interval = m.break_even_checkpoint_interval(target)
+        m2 = model(checkpoint_interval=interval)
+        assert m2.estimate(UpdateStrategy.NOFORCE).total == \
+            pytest.approx(target, rel=1e-9)
+
+    def test_nonpositive_target(self):
+        assert model().break_even_checkpoint_interval(0.0) == float("inf")
+
+    def test_zero_rate_never_needs_checkpoints(self):
+        assert model(update_tps=0.0).break_even_checkpoint_interval(
+            10.0) == float("inf")
+
+
+class TestStorageComparison:
+    def test_for_storage_device_times(self):
+        m = RecoveryModel.for_storage(100.0, "nvem", "nvem")
+        assert m.log_page_read_time == pytest.approx(56e-6)
+        assert m.db_page_read_time == pytest.approx(56e-6)
+
+    def test_unknown_devices(self):
+        with pytest.raises(ValueError):
+            RecoveryModel.for_storage(100.0, "tape", "disk")
+        with pytest.raises(ValueError):
+            RecoveryModel.for_storage(100.0, "disk", "tape")
+
+    def test_nvem_recovery_orders_of_magnitude_faster(self):
+        """The paper's implicit claim: non-volatile semiconductor
+        storage also slashes restart times."""
+        table = recovery_comparison(update_tps=500.0)
+        assert table["disk"]["noforce"] > 100 * table["nvem"]["noforce"]
+        assert table["ssd"]["noforce"] < table["disk"]["noforce"]
+
+    def test_force_always_faster_than_noforce(self):
+        table = recovery_comparison(update_tps=500.0)
+        for allocation in table.values():
+            assert allocation["force"] < allocation["noforce"]

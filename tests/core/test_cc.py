@@ -1,0 +1,321 @@
+"""Unit tests for the lock manager (repro.core.cc)."""
+
+import pytest
+
+from repro.core.cc import LockManager, LockMode, LockOutcome
+from repro.core.metrics import MetricsCollector
+from repro.core.transaction import Transaction
+from repro.sim import Environment
+
+
+def make_tx(tx_id: int) -> Transaction:
+    return Transaction(tx_id, "test", [])
+
+
+def setup():
+    env = Environment()
+    metrics = MetricsCollector(env)
+    locks = LockManager(env, metrics)
+    return env, metrics, locks
+
+
+def acquire_now(env, locks, tx, rid, mode):
+    """Drive an acquire that is expected to complete immediately."""
+    return env.run(until=env.process(locks.acquire(tx, rid, mode)))
+
+
+class TestBasicLocking:
+    def test_grant_free_lock(self):
+        env, _, locks = setup()
+        tx = make_tx(1)
+        assert acquire_now(env, locks, tx, "r1", LockMode.X) is \
+            LockOutcome.GRANTED
+        assert tx.held_locks["r1"] is LockMode.X
+
+    def test_shared_locks_compatible(self):
+        env, _, locks = setup()
+        tx1, tx2 = make_tx(1), make_tx(2)
+        assert acquire_now(env, locks, tx1, "r", LockMode.S) is \
+            LockOutcome.GRANTED
+        assert acquire_now(env, locks, tx2, "r", LockMode.S) is \
+            LockOutcome.GRANTED
+
+    def test_exclusive_blocks_shared(self):
+        env, _, locks = setup()
+        tx1, tx2 = make_tx(1), make_tx(2)
+        log = []
+
+        def holder(env):
+            yield from locks.acquire(tx1, "r", LockMode.X)
+            yield env.timeout(5.0)
+            locks.release_all(tx1)
+
+        def waiter(env):
+            yield env.timeout(1.0)
+            outcome = yield from locks.acquire(tx2, "r", LockMode.S)
+            log.append((env.now, outcome))
+
+        env.process(holder(env))
+        env.process(waiter(env))
+        env.run()
+        assert log == [(5.0, LockOutcome.GRANTED)]
+        assert tx2.wait_lock == pytest.approx(4.0)
+
+    def test_reacquire_same_lock_is_noop(self):
+        env, _, locks = setup()
+        tx = make_tx(1)
+        acquire_now(env, locks, tx, "r", LockMode.X)
+        assert acquire_now(env, locks, tx, "r", LockMode.S) is \
+            LockOutcome.GRANTED
+        assert tx.held_locks["r"] is LockMode.X
+
+    def test_fifo_wait_queue(self):
+        env, _, locks = setup()
+        order = []
+        holder = make_tx(0)
+
+        def hold(env):
+            yield from locks.acquire(holder, "r", LockMode.X)
+            yield env.timeout(5.0)
+            locks.release_all(holder)
+
+        def waiter(env, tx, delay):
+            yield env.timeout(delay)
+            yield from locks.acquire(tx, "r", LockMode.X)
+            order.append(tx.tx_id)
+            locks.release_all(tx)
+
+        env.process(hold(env))
+        for i, delay in ((1, 1.0), (2, 2.0), (3, 3.0)):
+            env.process(waiter(env, make_tx(i), delay))
+        env.run()
+        assert order == [1, 2, 3]
+
+    def test_shared_batch_granted_together(self):
+        env, _, locks = setup()
+        granted_at = []
+        holder = make_tx(0)
+
+        def hold(env):
+            yield from locks.acquire(holder, "r", LockMode.X)
+            yield env.timeout(5.0)
+            locks.release_all(holder)
+
+        def reader(env, tx):
+            yield env.timeout(1.0)
+            yield from locks.acquire(tx, "r", LockMode.S)
+            granted_at.append(env.now)
+
+        env.process(hold(env))
+        env.process(reader(env, make_tx(1)))
+        env.process(reader(env, make_tx(2)))
+        env.run()
+        assert granted_at == [5.0, 5.0]
+
+
+class TestConversions:
+    def test_upgrade_sole_holder(self):
+        env, _, locks = setup()
+        tx = make_tx(1)
+        acquire_now(env, locks, tx, "r", LockMode.S)
+        assert acquire_now(env, locks, tx, "r", LockMode.X) is \
+            LockOutcome.GRANTED
+        assert tx.held_locks["r"] is LockMode.X
+
+    def test_upgrade_waits_for_other_readers(self):
+        env, _, locks = setup()
+        tx1, tx2 = make_tx(1), make_tx(2)
+        log = []
+
+        def reader(env):
+            yield from locks.acquire(tx2, "r", LockMode.S)
+            yield env.timeout(3.0)
+            locks.release_all(tx2)
+
+        def upgrader(env):
+            yield from locks.acquire(tx1, "r", LockMode.S)
+            yield env.timeout(1.0)
+            outcome = yield from locks.acquire(tx1, "r", LockMode.X)
+            log.append((env.now, outcome))
+
+        env.process(reader(env))
+        env.process(upgrader(env))
+        env.run()
+        assert log == [(3.0, LockOutcome.GRANTED)]
+
+    def test_conversion_deadlock_detected(self):
+        """Two S holders both upgrading -> classic conversion deadlock."""
+        env, metrics, locks = setup()
+        tx1, tx2 = make_tx(1), make_tx(2)
+        outcomes = {}
+
+        def upgrader(env, tx, delay):
+            yield from locks.acquire(tx, "r", LockMode.S)
+            yield env.timeout(delay)
+            outcome = yield from locks.acquire(tx, "r", LockMode.X)
+            outcomes[tx.tx_id] = (env.now, outcome)
+            if outcome is LockOutcome.DEADLOCK:
+                locks.release_all(tx)
+            else:
+                yield env.timeout(1.0)
+                locks.release_all(tx)
+
+        env.process(upgrader(env, tx1, 1.0))
+        env.process(upgrader(env, tx2, 2.0))
+        env.run()
+        # tx2's upgrade request at t=2 closes the cycle and is denied.
+        assert outcomes[2][1] is LockOutcome.DEADLOCK
+        assert outcomes[1][1] is LockOutcome.GRANTED
+        assert metrics.lock_counts.get("deadlocks") == 1
+
+
+class TestDeadlockDetection:
+    def test_two_transaction_cycle(self):
+        env, metrics, locks = setup()
+        tx1, tx2 = make_tx(1), make_tx(2)
+        outcomes = {}
+
+        def proc(env, tx, first, second, delay):
+            yield from locks.acquire(tx, first, LockMode.X)
+            yield env.timeout(delay)
+            outcome = yield from locks.acquire(tx, second, LockMode.X)
+            outcomes[tx.tx_id] = outcome
+            locks.release_all(tx)
+
+        env.process(proc(env, tx1, "a", "b", 1.0))
+        env.process(proc(env, tx2, "b", "a", 2.0))
+        env.run()
+        # tx2 requests "a" at t=2 while tx1 waits for "b": cycle.
+        assert outcomes[2] is LockOutcome.DEADLOCK
+        assert outcomes[1] is LockOutcome.GRANTED
+
+    def test_three_transaction_cycle(self):
+        env, metrics, locks = setup()
+        outcomes = {}
+
+        def proc(env, tx, first, second, delay):
+            yield from locks.acquire(tx, first, LockMode.X)
+            yield env.timeout(delay)
+            outcome = yield from locks.acquire(tx, second, LockMode.X)
+            outcomes[tx.tx_id] = outcome
+            if outcome is LockOutcome.GRANTED:
+                yield env.timeout(0.5)
+            locks.release_all(tx)
+
+        env.process(proc(env, make_tx(1), "a", "b", 1.0))
+        env.process(proc(env, make_tx(2), "b", "c", 1.5))
+        env.process(proc(env, make_tx(3), "c", "a", 2.0))
+        env.run()
+        assert outcomes[3] is LockOutcome.DEADLOCK
+        assert outcomes[1] is LockOutcome.GRANTED
+        assert outcomes[2] is LockOutcome.GRANTED
+
+    def test_no_false_deadlock_on_chain(self):
+        """A waits-for chain without a cycle must not abort anyone."""
+        env, _, locks = setup()
+        outcomes = []
+
+        def proc(env, tx, rid, hold, delay):
+            yield env.timeout(delay)
+            outcome = yield from locks.acquire(tx, rid, LockMode.X)
+            outcomes.append(outcome)
+            yield env.timeout(hold)
+            locks.release_all(tx)
+
+        env.process(proc(env, make_tx(1), "r", 2.0, 0.0))
+        env.process(proc(env, make_tx(2), "r", 2.0, 0.5))
+        env.process(proc(env, make_tx(3), "r", 2.0, 1.0))
+        env.run()
+        assert outcomes == [LockOutcome.GRANTED] * 3
+
+    def test_youngest_victim_policy(self):
+        env = Environment()
+        metrics = MetricsCollector(env)
+        locks = LockManager(env, metrics, victim_policy="youngest")
+        outcomes = {}
+        tx1, tx2 = make_tx(1), make_tx(2)
+        tx1.start_time = 0.0
+        tx2.start_time = 1.0  # younger
+
+        def proc(env, tx, first, second, delay):
+            yield from locks.acquire(tx, first, LockMode.X)
+            yield env.timeout(delay)
+            outcome = yield from locks.acquire(tx, second, LockMode.X)
+            outcomes[tx.tx_id] = outcome
+            if outcome is LockOutcome.GRANTED:
+                yield env.timeout(0.5)
+            locks.release_all(tx)
+
+        # tx2 (young) waits first; tx1 (old) then closes the cycle.
+        env.process(proc(env, tx2, "b", "a", 1.0))
+        env.process(proc(env, tx1, "a", "b", 2.0))
+        env.run()
+        # The youngest (tx2) is the victim even though tx1 requested.
+        assert outcomes[2] is LockOutcome.DEADLOCK
+        assert outcomes[1] is LockOutcome.GRANTED
+
+    def test_invalid_victim_policy(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            LockManager(env, MetricsCollector(env), victim_policy="coin")
+
+
+class TestReleaseAll:
+    def test_release_clears_state(self):
+        env, _, locks = setup()
+        tx = make_tx(1)
+        acquire_now(env, locks, tx, "a", LockMode.S)
+        acquire_now(env, locks, tx, "b", LockMode.X)
+        locks.release_all(tx)
+        assert not tx.held_locks
+        assert locks.held_count() == 0
+
+    def test_release_grants_waiters(self):
+        env, _, locks = setup()
+        tx1, tx2 = make_tx(1), make_tx(2)
+        log = []
+
+        def holder(env):
+            yield from locks.acquire(tx1, "r", LockMode.X)
+            yield env.timeout(2.0)
+            locks.release_all(tx1)
+
+        def waiter(env):
+            yield env.timeout(0.5)
+            yield from locks.acquire(tx2, "r", LockMode.X)
+            log.append(env.now)
+
+        env.process(holder(env))
+        env.process(waiter(env))
+        env.run()
+        assert log == [2.0]
+
+    def test_lock_table_garbage_collected(self):
+        env, _, locks = setup()
+        tx = make_tx(1)
+        acquire_now(env, locks, tx, "r", LockMode.X)
+        locks.release_all(tx)
+        assert len(locks._locks) == 0
+
+
+class TestMetricsIntegration:
+    def test_conflict_counting(self):
+        env, metrics, locks = setup()
+        tx1, tx2 = make_tx(1), make_tx(2)
+
+        def holder(env):
+            yield from locks.acquire(tx1, "r", LockMode.X)
+            yield env.timeout(2.0)
+            locks.release_all(tx1)
+
+        def waiter(env):
+            yield env.timeout(1.0)
+            yield from locks.acquire(tx2, "r", LockMode.X)
+            locks.release_all(tx2)
+
+        env.process(holder(env))
+        env.process(waiter(env))
+        env.run()
+        assert metrics.lock_counts.get("requests") == 2
+        assert metrics.lock_counts.get("conflicts") == 1
+        assert metrics.lock_wait.count == 1

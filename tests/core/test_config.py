@@ -1,0 +1,259 @@
+"""Unit tests for the configuration model (repro.core.config)."""
+
+import pytest
+
+from repro.core.config import (
+    AccessMode,
+    CCMode,
+    CMConfig,
+    DiskUnitConfig,
+    DiskUnitType,
+    LogAllocation,
+    MEMORY,
+    NVEM,
+    NVEMCachingMode,
+    NVEMConfig,
+    PartitionConfig,
+    SubPartition,
+    SystemConfig,
+    TransactionTypeConfig,
+)
+
+
+def minimal_config(**overrides):
+    config = SystemConfig(
+        partitions=[PartitionConfig("p0", num_objects=1000,
+                                    allocation="unit0")],
+        disk_units=[DiskUnitConfig(name="unit0")],
+        log=LogAllocation(device="unit0"),
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+class TestSubPartition:
+    def test_valid(self):
+        sp = SubPartition(size=1.0, access_prob=0.5)
+        assert sp.size == 1.0
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            SubPartition(size=0.0, access_prob=0.5)
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(ValueError):
+            SubPartition(size=1.0, access_prob=-0.1)
+
+
+class TestPartitionConfig:
+    def test_num_pages_rounds_up(self):
+        part = PartitionConfig("p", num_objects=95, block_factor=10)
+        assert part.num_pages == 10
+
+    def test_page_of_object(self):
+        part = PartitionConfig("p", num_objects=100, block_factor=10)
+        assert part.page_of_object(0) == 0
+        assert part.page_of_object(9) == 0
+        assert part.page_of_object(10) == 1
+
+    def test_validate_rejects_bad_objects(self):
+        with pytest.raises(ValueError):
+            PartitionConfig("p", num_objects=0).validate()
+
+    def test_validate_rejects_bad_block_factor(self):
+        with pytest.raises(ValueError):
+            PartitionConfig("p", num_objects=10, block_factor=0).validate()
+
+    def test_validate_rejects_empty_subpartitions(self):
+        part = PartitionConfig("p", num_objects=10, subpartitions=[])
+        with pytest.raises(ValueError):
+            part.validate()
+
+    def test_validate_rejects_zero_probability_mass(self):
+        part = PartitionConfig(
+            "p", num_objects=10,
+            subpartitions=[SubPartition(1.0, 0.0)],
+        )
+        with pytest.raises(ValueError):
+            part.validate()
+
+    def test_nvem_cache_and_write_buffer_exclusive(self):
+        part = PartitionConfig(
+            "p", num_objects=10,
+            nvem_caching=NVEMCachingMode.ALL,
+            nvem_write_buffer=True,
+        )
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            part.validate()
+
+    def test_memory_resident_rejects_nvem_features(self):
+        part = PartitionConfig(
+            "p", num_objects=10, allocation=MEMORY,
+            nvem_caching=NVEMCachingMode.ALL,
+        )
+        with pytest.raises(ValueError):
+            part.validate()
+
+    def test_nvem_resident_rejects_write_buffer(self):
+        part = PartitionConfig(
+            "p", num_objects=10, allocation=NVEM,
+            nvem_write_buffer=True,
+        )
+        with pytest.raises(ValueError):
+            part.validate()
+
+
+class TestTransactionTypeConfig:
+    def test_valid(self):
+        tt = TransactionTypeConfig(
+            "t", arrival_rate=10, tx_size=5, write_prob=0.5,
+            reference_matrix={"p0": 1.0},
+        )
+        tt.validate(["p0"])
+
+    def test_matrix_must_sum_to_one(self):
+        tt = TransactionTypeConfig(
+            "t", arrival_rate=10, tx_size=5, write_prob=0.5,
+            reference_matrix={"p0": 0.5},
+        )
+        with pytest.raises(ValueError, match="sums to"):
+            tt.validate(["p0"])
+
+    def test_unknown_partition_rejected(self):
+        tt = TransactionTypeConfig(
+            "t", arrival_rate=10, tx_size=5, write_prob=0.5,
+            reference_matrix={"ghost": 1.0},
+        )
+        with pytest.raises(ValueError, match="unknown partitions"):
+            tt.validate(["p0"])
+
+    def test_bad_write_prob(self):
+        tt = TransactionTypeConfig(
+            "t", arrival_rate=10, tx_size=5, write_prob=1.5,
+            reference_matrix={"p0": 1.0},
+        )
+        with pytest.raises(ValueError):
+            tt.validate(["p0"])
+
+
+class TestDiskUnitConfig:
+    def test_cached_unit_needs_cache_size(self):
+        unit = DiskUnitConfig(name="u",
+                              unit_type=DiskUnitType.VOLATILE_CACHE)
+        with pytest.raises(ValueError, match="cache_size"):
+            unit.validate()
+
+    def test_write_buffer_only_requires_nonvolatile(self):
+        unit = DiskUnitConfig(name="u", unit_type=DiskUnitType.REGULAR,
+                              write_buffer_only=True)
+        with pytest.raises(ValueError):
+            unit.validate()
+
+    def test_ssd_needs_no_disks(self):
+        unit = DiskUnitConfig(name="u", unit_type=DiskUnitType.SSD,
+                              num_disks=0)
+        unit.validate()  # must not raise
+
+
+class TestCMConfig:
+    def test_cpu_seconds(self):
+        cm = CMConfig(mips=50.0)
+        assert cm.cpu_seconds(50_000_000) == pytest.approx(1.0)
+
+    def test_rejects_bad_mpl(self):
+        with pytest.raises(ValueError):
+            CMConfig(mpl=0).validate()
+
+    def test_rejects_zero_mips(self):
+        with pytest.raises(ValueError):
+            CMConfig(mips=0).validate()
+
+    def test_rejects_negative_instructions(self):
+        with pytest.raises(ValueError):
+            CMConfig(instr_bot=-1).validate()
+
+
+class TestLogAllocation:
+    def test_memory_log_rejected(self):
+        with pytest.raises(ValueError):
+            LogAllocation(device=MEMORY).validate()
+
+    def test_nvem_log_with_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            LogAllocation(device=NVEM, nvem_write_buffer=True).validate()
+
+
+class TestSystemConfig:
+    def test_minimal_validates(self):
+        minimal_config().validate()
+
+    def test_duplicate_partition_names(self):
+        config = minimal_config()
+        config.partitions.append(
+            PartitionConfig("p0", num_objects=5, allocation="unit0")
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            config.validate()
+
+    def test_unknown_allocation_target(self):
+        config = minimal_config()
+        config.partitions[0].allocation = "ghost"
+        with pytest.raises(ValueError, match="unknown allocation"):
+            config.validate()
+
+    def test_nvem_cache_requires_size(self):
+        config = minimal_config()
+        config.partitions[0].nvem_caching = NVEMCachingMode.ALL
+        with pytest.raises(ValueError, match="nvem_cache_size"):
+            config.validate()
+
+    def test_nvem_write_buffer_requires_size(self):
+        config = minimal_config()
+        config.partitions[0].nvem_write_buffer = True
+        with pytest.raises(ValueError, match="nvem_write_buffer_size"):
+            config.validate()
+
+    def test_footnote4_nvem_cache_plus_caching_unit(self):
+        """NVEM caching over a caching disk unit is not meaningful."""
+        config = minimal_config()
+        config.disk_units[0].unit_type = DiskUnitType.VOLATILE_CACHE
+        config.disk_units[0].cache_size = 100
+        config.partitions[0].nvem_caching = NVEMCachingMode.ALL
+        config.cm.nvem_cache_size = 100
+        with pytest.raises(ValueError, match="not meaningful"):
+            config.validate()
+
+    def test_footnote4_double_write_buffer(self):
+        """A write buffer in both NVEM and the disk cache is rejected."""
+        config = minimal_config()
+        config.disk_units[0].unit_type = DiskUnitType.NONVOLATILE_CACHE
+        config.disk_units[0].cache_size = 100
+        config.partitions[0].nvem_write_buffer = True
+        config.cm.nvem_write_buffer_size = 100
+        with pytest.raises(ValueError, match="both NVEM"):
+            config.validate()
+
+    def test_log_target_must_exist(self):
+        config = minimal_config()
+        config.log = LogAllocation(device="ghost")
+        with pytest.raises(ValueError, match="log allocation"):
+            config.validate()
+
+    def test_partition_lookup(self):
+        config = minimal_config()
+        assert config.partition("p0").name == "p0"
+        with pytest.raises(KeyError):
+            config.partition("ghost")
+
+    def test_disk_unit_lookup(self):
+        config = minimal_config()
+        assert config.disk_unit("unit0").name == "unit0"
+        with pytest.raises(KeyError):
+            config.disk_unit("ghost")
+
+    def test_theoretical_mips(self):
+        config = minimal_config()
+        config.cm.num_cpus = 4
+        config.cm.mips = 50
+        assert config.theoretical_mips == 200

@@ -1,0 +1,165 @@
+"""Unit tests for the CPU server pool (repro.core.cpu)."""
+
+import pytest
+
+from repro.core.config import CMConfig
+from repro.core.cpu import CPUPool
+from repro.core.transaction import Transaction
+from repro.sim import Environment, RandomStreams, Resource
+
+
+def make_pool(num_cpus=1, mips=50.0):
+    env = Environment()
+    cm = CMConfig(num_cpus=num_cpus, mips=mips)
+    pool = CPUPool(env, RandomStreams(1), cm)
+    return env, pool
+
+
+def make_tx():
+    return Transaction(1, "t", [])
+
+
+class TestExecute:
+    def test_constant_service_time(self):
+        env, pool = make_pool()
+        tx = make_tx()
+
+        def proc(env):
+            yield from pool.execute(tx, 50_000, exponential=False)
+            return env.now
+
+        finished = env.run(until=env.process(proc(env)))
+        # 50_000 instructions at 50 MIPS = 1 ms.
+        assert finished == pytest.approx(0.001)
+        assert tx.service_cpu == pytest.approx(0.001)
+        assert tx.wait_cpu == 0.0
+
+    def test_zero_instructions_is_free(self):
+        env, pool = make_pool()
+
+        def proc(env):
+            yield from pool.execute(None, 0)
+            return env.now
+
+        assert env.run(until=env.process(proc(env))) == 0.0
+
+    def test_exponential_service_mean(self):
+        env, pool = make_pool(num_cpus=64)
+        total = []
+
+        def proc(env):
+            tx = make_tx()
+            yield from pool.execute(tx, 50_000, exponential=True)
+            total.append(tx.service_cpu)
+
+        for _ in range(2000):
+            env.process(proc(env))
+        env.run()
+        mean = sum(total) / len(total)
+        assert mean == pytest.approx(0.001, rel=0.1)
+
+    def test_queueing_on_busy_cpu(self):
+        env, pool = make_pool(num_cpus=1)
+        tx1, tx2 = make_tx(), make_tx()
+        done = []
+
+        def proc(env, tx):
+            yield from pool.execute(tx, 50_000, exponential=False)
+            done.append(env.now)
+
+        env.process(proc(env, tx1))
+        env.process(proc(env, tx2))
+        env.run()
+        assert done == [pytest.approx(0.001), pytest.approx(0.002)]
+        assert tx2.wait_cpu == pytest.approx(0.001)
+
+    def test_multi_cpu_parallelism(self):
+        env, pool = make_pool(num_cpus=2)
+        done = []
+
+        def proc(env):
+            yield from pool.execute(make_tx(), 50_000, exponential=False)
+            done.append(env.now)
+
+        env.process(proc(env))
+        env.process(proc(env))
+        env.run()
+        assert done == [pytest.approx(0.001), pytest.approx(0.001)]
+
+
+class TestSyncAccess:
+    def test_cpu_held_during_device_access(self):
+        """The §3.2 'special CPU interface': device time occupies the CPU."""
+        env, pool = make_pool(num_cpus=1)
+        device = Resource(env, capacity=1)
+        order = []
+
+        def device_access():
+            req = device.request()
+            yield req
+            yield env.timeout(0.005)
+            device.release(req)
+            return "done"
+
+        def sync_user(env):
+            tx = make_tx()
+            result = yield from pool.execute_with_sync_access(
+                tx, 50_000, device_access()
+            )
+            order.append(("sync", env.now, result))
+            assert tx.wait_nvem == pytest.approx(0.005)
+
+        def cpu_user(env):
+            yield env.timeout(0.0001)  # arrive while sync_user holds CPU
+            tx = make_tx()
+            yield from pool.execute(tx, 50_000, exponential=False)
+            order.append(("plain", env.now))
+            # Must wait for CPU through the whole device access.
+            assert tx.wait_cpu == pytest.approx(0.006 - 0.0001)
+
+        env.process(sync_user(env))
+        env.process(cpu_user(env))
+        env.run()
+        assert order[0][0] == "sync"
+        assert order[0][1] == pytest.approx(0.006)  # 1 ms CPU + 5 ms device
+        assert order[1][1] == pytest.approx(0.007)
+
+    def test_sync_access_returns_device_result(self):
+        env, pool = make_pool()
+
+        def device_access():
+            yield env.timeout(0.001)
+            return {"level": "nvem"}
+
+        def proc(env):
+            result = yield from pool.execute_with_sync_access(
+                None, 0, device_access()
+            )
+            return result
+
+        assert env.run(until=env.process(proc(env))) == {"level": "nvem"}
+
+
+class TestUtilization:
+    def test_utilization_measurement(self):
+        env, pool = make_pool(num_cpus=1)
+
+        def proc(env):
+            yield from pool.execute(None, 100_000, exponential=False)
+
+        env.process(proc(env))
+        env.run(until=0.004)
+        # busy 2 ms of 4 ms observed.
+        assert pool.utilization == pytest.approx(0.5)
+
+    def test_reset_stats(self):
+        env, pool = make_pool(num_cpus=1)
+
+        def proc(env):
+            yield from pool.execute(None, 100_000, exponential=False)
+
+        env.process(proc(env))
+        env.run(until=0.002)
+        pool.reset_stats()
+        env.run(until=0.004)
+        assert pool.utilization == pytest.approx(0.0)

@@ -1,0 +1,145 @@
+"""Unit tests for metrics collection (repro.core.metrics)."""
+
+import pytest
+
+from repro.core.metrics import MetricsCollector, Results
+from repro.core.transaction import Transaction
+from repro.sim import Environment
+
+
+def make_tx(tx_id=1, tx_type="t"):
+    return Transaction(tx_id, tx_type, [])
+
+
+class TestCollector:
+    def test_commit_accumulates_response(self):
+        env = Environment()
+        m = MetricsCollector(env)
+        m.record_commit(make_tx(), 0.05)
+        m.record_commit(make_tx(2), 0.15)
+        assert m.committed == 2
+        assert m.response.mean() == pytest.approx(0.10)
+
+    def test_by_type_responses(self):
+        env = Environment()
+        m = MetricsCollector(env)
+        m.record_commit(make_tx(1, "a"), 0.1)
+        m.record_commit(make_tx(2, "b"), 0.3)
+        assert m.response_by_type["a"].mean() == pytest.approx(0.1)
+        assert m.response_by_type["b"].mean() == pytest.approx(0.3)
+
+    def test_composition_sums_transaction_timers(self):
+        env = Environment()
+        m = MetricsCollector(env)
+        tx = make_tx()
+        tx.wait_cpu = 0.01
+        tx.service_cpu = 0.02
+        tx.wait_lock = 0.03
+        m.record_commit(tx, 0.06)
+        assert m.composition_totals["cpu_wait"] == pytest.approx(0.01)
+        assert m.composition_totals["cpu_service"] == pytest.approx(0.02)
+        assert m.composition_totals["lock_wait"] == pytest.approx(0.03)
+
+    def test_inactive_collector_ignores_events(self):
+        env = Environment()
+        m = MetricsCollector(env)
+        m.active = False
+        m.record_commit(make_tx(), 0.05)
+        m.record_page_access("p", "main_memory")
+        m.record_io("db_read")
+        assert m.committed == 0
+        assert m.page_access.total() == 0
+
+    def test_reset_clears_everything(self):
+        env = Environment()
+        m = MetricsCollector(env)
+        m.record_commit(make_tx(), 0.05)
+        m.record_page_access("p", "disk")
+        m.record_io("db_read")
+        m.record_deadlock()
+        m.reset()
+        assert m.committed == 0
+        assert m.page_access.total() == 0
+        assert m.io_counts.total() == 0
+        assert m.lock_counts.total() == 0
+
+    def test_page_access_by_tag(self):
+        env = Environment()
+        m = MetricsCollector(env)
+        m.record_page_access("ACCOUNT", "disk")
+        m.record_page_access("ACCOUNT", "main_memory")
+        m.record_page_access("BRANCH", "main_memory")
+        assert m.page_access_by_tag["ACCOUNT"].total() == 2
+        assert m.page_access_by_tag["BRANCH"].get("main_memory") == 1
+
+
+class TestFinalize:
+    def run_scenario(self):
+        env = Environment()
+        m = MetricsCollector(env)
+
+        def proc(env):
+            yield env.timeout(10.0)
+
+        env.process(proc(env))
+        tx = make_tx()
+        tx.wait_sync_io = 0.01
+        m.record_commit(tx, 0.1)
+        m.record_commit(make_tx(2), 0.2)
+        for _ in range(6):
+            m.record_page_access("p", "main_memory")
+        for _ in range(2):
+            m.record_page_access("p", "disk")
+        m.record_io("db_read")
+        m.record_io("db_read")
+        m.record_lock_request(True)
+        m.record_lock_request(False)
+        m.record_lock_wait(0.5)
+        env.run()
+        return m.finalize(cpu_utilization=0.5, device_utilization={})
+
+    def test_throughput(self):
+        results = self.run_scenario()
+        assert results.throughput == pytest.approx(0.2)
+
+    def test_hit_ratios(self):
+        results = self.run_scenario()
+        assert results.hit_ratio("main_memory") == pytest.approx(0.75)
+        assert results.hit_ratio("disk") == pytest.approx(0.25)
+        assert results.hit_ratio("nvem_cache") == 0.0
+
+    def test_io_per_tx(self):
+        results = self.run_scenario()
+        assert results.io_per_tx["db_read"] == pytest.approx(1.0)
+
+    def test_lock_stats(self):
+        results = self.run_scenario()
+        assert results.lock_stats["requests_per_tx"] == pytest.approx(1.0)
+        assert results.lock_stats["conflict_ratio"] == pytest.approx(0.5)
+        assert results.lock_stats["mean_lock_wait"] == pytest.approx(0.5)
+
+    def test_response_time_ms(self):
+        results = self.run_scenario()
+        assert results.response_time_ms == pytest.approx(150.0)
+
+    def test_normalized_response_time(self):
+        results = self.run_scenario()
+        # 0.3 s total response over 8 accesses, scaled to 4 accesses.
+        assert results.normalized_response_time(4) == pytest.approx(0.15)
+
+    def test_normalized_response_no_accesses(self):
+        env = Environment()
+        m = MetricsCollector(env)
+        results = m.finalize(0.0, {})
+        assert results.normalized_response_time(10) == 0.0
+
+    def test_summary_renders(self):
+        results = self.run_scenario()
+        text = results.summary()
+        assert "throughput" in text
+        assert "hit ratios" in text
+
+    def test_summary_marks_saturation(self):
+        results = self.run_scenario()
+        results.saturated = True
+        assert "saturated" in results.summary()

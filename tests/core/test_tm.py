@@ -1,0 +1,179 @@
+"""Unit tests for the transaction manager (repro.core.tm)."""
+
+import pytest
+
+from repro.core.bm import BufferManager
+from repro.core.cc import LockManager
+from repro.core.config import (
+    CCMode,
+    CMConfig,
+    DiskUnitConfig,
+    LogAllocation,
+    NVEM,
+    NVEMConfig,
+    PartitionConfig,
+    SystemConfig,
+)
+from repro.core.cpu import CPUPool
+from repro.core.metrics import MetricsCollector
+from repro.core.tm import TransactionManager
+from repro.core.transaction import ObjectRef, Transaction
+from repro.sim import Environment, RandomStreams
+from repro.storage.hierarchy import StorageSubsystem
+
+
+def build_tm(mpl=4, cc_mode=CCMode.PAGE, allocation=NVEM,
+             log_device=NVEM, buffer_size=64):
+    partitions = [
+        PartitionConfig("p0", num_objects=1000, block_factor=10,
+                        cc_mode=cc_mode, allocation=allocation),
+    ]
+    units = []
+    if allocation == "db0" or log_device == "log0":
+        units.append(DiskUnitConfig(name="db0", num_disks=4))
+    config = SystemConfig(
+        partitions=partitions,
+        disk_units=units,
+        nvem=NVEMConfig(),
+        cm=CMConfig(mpl=mpl, buffer_size=buffer_size),
+        log=LogAllocation(device=log_device if log_device != "log0"
+                          else "db0"),
+    )
+    config.validate()
+    env = Environment()
+    streams = RandomStreams(5)
+    metrics = MetricsCollector(env)
+    storage = StorageSubsystem(env, streams, config)
+    cpu = CPUPool(env, streams, config.cm)
+    locks = LockManager(env, metrics)
+    bm = BufferManager(env, streams, config, cpu, storage, metrics)
+    tm = TransactionManager(env, config, cpu, locks, bm, metrics)
+    return env, tm, metrics, locks
+
+
+def make_tx(tx_id, pages, write=True):
+    refs = [ObjectRef(0, page * 10, page, write) for page in pages]
+    return Transaction(tx_id, "test", refs)
+
+
+class TestLifecycle:
+    def test_commit_records_response_time(self):
+        env, tm, metrics, _ = build_tm()
+        tm.submit(make_tx(1, [1, 2, 3]))
+        env.run()
+        assert metrics.committed == 1
+        assert metrics.response.count == 1
+        # BOT + 3 OR + EOT CPU plus storage; well under 100 ms.
+        assert 0 < metrics.response.mean() < 0.1
+
+    def test_response_includes_input_queue_wait(self):
+        env, tm, metrics, _ = build_tm(mpl=1)
+        for tx_id in (1, 2, 3):
+            tm.submit(make_tx(tx_id, [tx_id]))
+        env.run()
+        assert metrics.committed == 3
+        totals = metrics.composition_totals
+        assert totals["input_queue"] > 0
+
+    def test_mpl_limits_concurrency(self):
+        env, tm, metrics, _ = build_tm(mpl=2)
+        peak = [0]
+
+        original = tm._execute
+
+        def tracking(tx):
+            peak[0] = max(peak[0], tm.active)
+            yield from original(tx)
+
+        tm._execute = tracking
+        for tx_id in range(6):
+            tm.submit(make_tx(tx_id, [tx_id % 3]))
+        env.run()
+        assert metrics.committed == 6
+        assert peak[0] <= 2
+
+    def test_locks_released_after_commit(self):
+        env, tm, metrics, locks = build_tm()
+        tm.submit(make_tx(1, [1, 2]))
+        env.run()
+        assert locks.held_count() == 0
+        assert locks.waiting_count() == 0
+
+    def test_no_cc_partition_takes_no_locks(self):
+        env, tm, metrics, locks = build_tm(cc_mode=CCMode.NONE)
+        tm.submit(make_tx(1, [1, 2]))
+        env.run()
+        assert metrics.lock_counts.get("requests") == 0
+
+    def test_object_level_lock_ids(self):
+        env, tm, metrics, _ = build_tm(cc_mode=CCMode.OBJECT)
+        # Two transactions writing different objects of the same page
+        # must not conflict under object locking.
+        tx1 = Transaction(1, "t", [ObjectRef(0, 10, 1, True)])
+        tx2 = Transaction(2, "t", [ObjectRef(0, 11, 1, True)])
+        tm.submit(tx1)
+        tm.submit(tx2)
+        env.run()
+        assert metrics.lock_counts.get("conflicts") == 0
+
+    def test_page_level_conflict_on_same_page(self):
+        env, tm, metrics, _ = build_tm(cc_mode=CCMode.PAGE)
+        tx1 = Transaction(1, "t", [ObjectRef(0, 10, 1, True)])
+        tx2 = Transaction(2, "t", [ObjectRef(0, 11, 1, True)])
+        tm.submit(tx1)
+        tm.submit(tx2)
+        env.run()
+        assert metrics.lock_counts.get("conflicts") == 1
+        assert metrics.committed == 2
+
+
+class TestDeadlockRestart:
+    def test_deadlock_victim_restarts_and_commits(self):
+        env, tm, metrics, _ = build_tm()
+        # Opposite lock orders -> guaranteed deadlock under page locks.
+        tx1 = Transaction(1, "t", [ObjectRef(0, 10, 1, True),
+                                   ObjectRef(0, 20, 2, True)])
+        tx2 = Transaction(2, "t", [ObjectRef(0, 20, 2, True),
+                                   ObjectRef(0, 10, 1, True)])
+        tm.submit(tx1)
+        tm.submit(tx2)
+        env.run()
+        assert metrics.committed == 2
+        assert metrics.aborted >= 1
+        assert metrics.lock_counts.get("deadlocks") >= 1
+
+    def test_restart_reuses_reference_string(self):
+        """Access invariance: the restarted tx touches the same pages."""
+        env, tm, metrics, _ = build_tm()
+        tx1 = Transaction(1, "t", [ObjectRef(0, 10, 1, True),
+                                   ObjectRef(0, 20, 2, True)])
+        tx2 = Transaction(2, "t", [ObjectRef(0, 20, 2, True),
+                                   ObjectRef(0, 10, 1, True)])
+        pages_before = [r.page_no for r in tx2.refs]
+        tm.submit(tx1)
+        tm.submit(tx2)
+        env.run()
+        assert [r.page_no for r in tx2.refs] == pages_before
+        assert tx1.restarts + tx2.restarts >= 1
+
+
+class TestCounters:
+    def test_submitted_and_completed(self):
+        env, tm, _, _ = build_tm()
+        for tx_id in range(5):
+            tm.submit(make_tx(tx_id, [tx_id]))
+        env.run()
+        assert tm.submitted == 5
+        assert tm.completed == 5
+        assert tm.active == 0
+
+    def test_input_queue_length(self):
+        env, tm, _, _ = build_tm(mpl=1)
+        for tx_id in range(4):
+            tm.submit(make_tx(tx_id, [1]))
+        # Let the lifecycle processes claim their MPL slots (time 0):
+        # one runs, three wait in the input queue.
+        env.run(until=0.0)
+        assert tm.input_queue_length == 3
+        env.run()
+        assert tm.input_queue_length == 0

@@ -1,0 +1,211 @@
+"""Tests for the distributed (data-sharing) extension."""
+
+import pytest
+
+from repro.distributed import (
+    CouplingConfig,
+    DistributedConfig,
+    DistributedSystem,
+    GlobalExtendedMemory,
+    MessageBus,
+)
+from repro.core.config import NVEMConfig
+from repro.core.cpu import CPUPool
+from repro.core.config import CMConfig
+from repro.experiments.defaults import debit_credit_config, disk_only
+from repro.sim import Environment, RandomStreams
+from repro.storage.nvem import NVEMDevice
+from repro.workload.debit_credit import DebitCreditWorkload
+
+
+def run_distributed(nodes=2, gem=0, rate=200.0, duration=4.0,
+                    coupling=None, routing="round_robin", seed=1):
+    config = debit_credit_config(disk_only())
+    dconfig = DistributedConfig(
+        num_nodes=nodes, gem_capacity=gem, routing=routing,
+        coupling=coupling or CouplingConfig.nvem_coupling(),
+    )
+    system = DistributedSystem(config, dconfig,
+                               DebitCreditWorkload(arrival_rate=rate),
+                               seed=seed)
+    results = system.run(warmup=2.0, duration=duration)
+    return results, system
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistributedConfig(num_nodes=0).validate()
+        with pytest.raises(ValueError):
+            DistributedConfig(num_nodes=2, central_lock_node=5).validate()
+        with pytest.raises(ValueError):
+            DistributedConfig(routing="carrier-pigeon").validate()
+        with pytest.raises(ValueError):
+            CouplingConfig(latency=-1).validate()
+
+    def test_coupling_presets(self):
+        nvem = CouplingConfig.nvem_coupling()
+        net = CouplingConfig.network_coupling()
+        assert nvem.latency < net.latency
+        assert nvem.instr_send < net.instr_send
+
+
+class TestMessageBus:
+    def test_round_trip_charges_both_cpus_and_latency(self):
+        env = Environment()
+        streams = RandomStreams(1)
+        cm = CMConfig(num_cpus=1, mips=50.0)
+        cpu_a = CPUPool(env, streams, cm)
+        cpu_b = CPUPool(env, streams, cm)
+        bus = MessageBus(env, CouplingConfig(instr_send=50_000,
+                                             instr_receive=50_000,
+                                             latency=0.001))
+
+        def proc(env):
+            yield from bus.round_trip(None, cpu_a, cpu_b)
+            return env.now
+
+        finished = env.run(until=env.process(proc(env)))
+        # send 1ms + latency 1ms + (recv+send) 2ms + latency 1ms + recv 1ms
+        assert finished == pytest.approx(0.006)
+        assert bus.stats.get("messages") == 2
+
+    def test_one_way(self):
+        env = Environment()
+        streams = RandomStreams(1)
+        cm = CMConfig(num_cpus=1, mips=50.0)
+        cpu_a = CPUPool(env, streams, cm)
+        cpu_b = CPUPool(env, streams, cm)
+        bus = MessageBus(env, CouplingConfig(instr_send=50_000,
+                                             instr_receive=50_000,
+                                             latency=0.002))
+
+        def proc(env):
+            yield from bus.one_way(None, cpu_a, cpu_b)
+            return env.now
+
+        finished = env.run(until=env.process(proc(env)))
+        assert finished == pytest.approx(0.004)
+        assert bus.stats.get("messages") == 1
+
+
+class TestGEM:
+    def make(self, capacity=4):
+        env = Environment()
+        device = NVEMDevice(env, RandomStreams(1), NVEMConfig())
+        return env, GlobalExtendedMemory(env, device, capacity)
+
+    def test_probe_keeps_copy(self):
+        _, gem = self.make()
+        gem.install(("k", 1), dirty=False)
+        assert gem.probe(("k", 1)) is not None
+        assert ("k", 1) in gem  # still cached after the hit
+
+    def test_install_refreshes_existing(self):
+        _, gem = self.make()
+        entry = gem.install(("k", 1), dirty=False)
+        again = gem.install(("k", 1), dirty=True)
+        assert again is entry
+        assert entry.dirty
+
+    def test_make_room_prefers_clean(self):
+        _, gem = self.make(capacity=2)
+        gem.install(("k", 1), dirty=True)
+        gem.install(("k", 2), dirty=False)
+        gem.install(("k", 3), dirty=False)  # displaces clean page 2
+        assert ("k", 1) in gem
+        assert ("k", 2) not in gem
+
+    def test_install_skipped_when_all_dirty(self):
+        _, gem = self.make(capacity=1)
+        gem.install(("k", 1), dirty=True)
+        assert gem.install(("k", 2), dirty=False) is None
+
+    def test_invalidate_clean_only(self):
+        _, gem = self.make()
+        entry = gem.install(("k", 1), dirty=True)
+        assert not gem.invalidate(("k", 1))  # dirty: disk not yet current
+        gem.mark_clean(("k", 1), entry)
+        assert gem.invalidate(("k", 1))
+
+    def test_capacity_validation(self):
+        env = Environment()
+        device = NVEMDevice(env, RandomStreams(1), NVEMConfig())
+        with pytest.raises(ValueError):
+            GlobalExtendedMemory(env, device, 0)
+
+
+class TestDistributedSystem:
+    def test_single_node_equivalent_workload(self):
+        results, system = run_distributed(nodes=1)
+        assert results.committed > 200
+        assert not results.saturated
+        assert system.message_stats() == {}
+
+    def test_round_robin_balances_nodes(self):
+        results, system = run_distributed(nodes=2)
+        per_node = [n.committed for n in system.node_results()]
+        assert sum(per_node) >= results.committed
+        assert min(per_node) > 0.4 * max(per_node)
+
+    def test_remote_lock_requests_cost_messages(self):
+        results, system = run_distributed(nodes=2)
+        msgs = system.message_stats()
+        # 3 locked accesses/tx, half the txs remote -> ~3 round trips
+        # (6 msgs) per remote tx plus 1 invalidation per commit.
+        assert msgs.get("lock_request", 0) > 0
+        assert msgs.get("invalidation", 0) > 0
+
+    def test_gem_improves_response_time(self):
+        no_gem, _ = run_distributed(nodes=2, gem=0)
+        with_gem, _ = run_distributed(nodes=2, gem=2000)
+        assert with_gem.response_time_mean < no_gem.response_time_mean
+
+    def test_gem_absorbs_writes(self):
+        results, system = run_distributed(nodes=2, gem=2000)
+        # Write-backs and commit propagation land in GEM, not on disk
+        # synchronously.
+        assert results.io_per_tx.get("nvem_cache_write", 0) > 1.0
+        assert results.io_per_tx.get("db_write_sync", 0) < 0.2
+
+    def test_invalidations_drop_stale_copies(self):
+        """BRANCH/TELLER pages are shared: commits on one node must
+        invalidate copies on the other."""
+        results, system = run_distributed(nodes=2, gem=2000,
+                                          duration=6.0)
+        assert system.invalidation_stats.get("pages_dropped") > 0
+
+    def test_network_coupling_slower_than_nvem(self):
+        nvem, _ = run_distributed(
+            nodes=2, coupling=CouplingConfig.nvem_coupling())
+        net, _ = run_distributed(
+            nodes=2, coupling=CouplingConfig.network_coupling())
+        assert net.response_time_mean > nvem.response_time_mean
+
+    def test_more_nodes_carry_higher_rates(self):
+        """Aggregate CPU scales with nodes: 4 nodes sustain a rate that
+        saturates 1 node (800 TPS > single-system CPU capacity)."""
+        one, _ = run_distributed(nodes=1, rate=900.0, duration=5.0)
+        four, _ = run_distributed(nodes=4, rate=900.0, duration=5.0,
+                                  gem=2000)
+        assert one.saturated or one.response_time_mean > 0.5
+        assert not four.saturated
+        assert four.throughput == pytest.approx(900, rel=0.1)
+
+    def test_random_routing(self):
+        results, system = run_distributed(nodes=2, routing="random")
+        per_node = [n.committed for n in system.node_results()]
+        assert all(count > 0 for count in per_node)
+
+    def test_workloads_unchanged(self):
+        """Any existing workload runs on the distributed system."""
+        from repro.experiments.fig4_8 import build_config
+        from repro.core.config import CCMode
+        from repro.workload.synthetic import SyntheticWorkload
+
+        config = build_config("db0", "db0", "log0", CCMode.OBJECT, 100.0)
+        dconfig = DistributedConfig(num_nodes=2)
+        system = DistributedSystem(config, dconfig,
+                                   SyntheticWorkload(config), seed=2)
+        results = system.run(warmup=2.0, duration=4.0)
+        assert results.committed > 100

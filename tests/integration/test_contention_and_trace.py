@@ -1,0 +1,104 @@
+"""Integration tests for §4.6 (trace) and §4.7 (lock contention)."""
+
+import pytest
+
+from repro.core.config import CCMode
+from repro.core.model import TransactionSystem
+from repro.experiments.fig4_8 import build_config
+from repro.experiments.trace_setup import (
+    trace_config,
+    trace_for,
+    trace_workload,
+)
+from repro.workload.synthetic import SyntheticWorkload
+
+
+def run_contention(small_alloc, large_alloc, log_device, cc_mode, rate,
+                   duration=6.0):
+    config = build_config(small_alloc, large_alloc, log_device, cc_mode,
+                          rate)
+    system = TransactionSystem(config, SyntheticWorkload(config))
+    return system.run(warmup=3.0, duration=duration)
+
+
+class TestLockContention:
+    """§4.7: page locking thrashes on disk, not on NVEM."""
+
+    def test_disk_page_locking_thrashes(self):
+        low = run_contention("db0", "db0", "log0", CCMode.PAGE, 50)
+        high = run_contention("db0", "db0", "log0", CCMode.PAGE, 200,
+                              duration=8.0)
+        assert not low.saturated
+        # Beyond the thrash point: either flagged saturated or response
+        # times explode by an order of magnitude.
+        assert high.saturated or \
+            high.response_time_mean > 5 * low.response_time_mean
+
+    def test_object_locking_removes_bottleneck(self):
+        results = run_contention("db0", "db0", "log0", CCMode.OBJECT, 200,
+                                 duration=8.0)
+        assert not results.saturated
+        assert results.throughput == pytest.approx(200, rel=0.1)
+
+    def test_nvem_resident_page_locking_fine(self):
+        from repro.core.config import NVEM
+        results = run_contention(NVEM, NVEM, NVEM, CCMode.PAGE, 200,
+                                 duration=8.0)
+        assert not results.saturated
+        assert results.throughput == pytest.approx(200, rel=0.1)
+        assert results.response_time_ms < 50
+
+    def test_lock_waits_dominate_thrashing_response(self):
+        high = run_contention("db0", "db0", "log0", CCMode.PAGE, 150,
+                              duration=8.0)
+        if not high.saturated:
+            assert high.composition["lock_wait"] > \
+                high.composition["sync_io"] + high.composition["async_io"]
+
+    def test_mixed_better_than_disk_under_page_locks(self):
+        from repro.core.config import NVEM
+        disk = run_contention("db0", "db0", "log0", CCMode.PAGE, 100,
+                              duration=8.0)
+        mixed = run_contention(NVEM, "db0", NVEM, CCMode.PAGE, 100,
+                               duration=8.0)
+        assert mixed.response_time_mean < disk.response_time_mean
+
+
+class TestTraceWorkloadIntegration:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return trace_for(fast=True)
+
+    def run_kind(self, trace, kind, mm_size=500, second=2000,
+                 duration=12.0):
+        config = trace_config(trace, kind, mm_size, second_level=second)
+        system = TransactionSystem(config, trace_workload(trace))
+        return system.run(warmup=4.0, duration=duration)
+
+    def test_read_dominated(self, trace):
+        assert trace.write_fraction < 0.03
+
+    def test_second_level_flattens_mm_curve(self, trace):
+        """Fig. 4.6: with an NVEM cache, small MM buffers suffice."""
+        small_no2nd = self.run_kind(trace, "none", mm_size=250)
+        small_nvem = self.run_kind(trace, "nvem", mm_size=250)
+        assert small_nvem.response_time_mean < \
+            0.6 * small_no2nd.response_time_mean
+
+    def test_nvem_beats_disk_caches(self, trace):
+        vol = self.run_kind(trace, "volatile", mm_size=500)
+        nvem = self.run_kind(trace, "nvem", mm_size=500)
+        assert nvem.response_time_mean < vol.response_time_mean
+
+    def test_volatile_close_to_nonvolatile_for_reads(self, trace):
+        """§4.6: read-dominated loads make the two disk caches alike."""
+        vol = self.run_kind(trace, "volatile", mm_size=500)
+        nv = self.run_kind(trace, "nonvolatile", mm_size=500)
+        vol_hits = vol.hit_ratio("disk_cache")
+        nv_hits = nv.hit_ratio("disk_cache")
+        assert vol_hits == pytest.approx(nv_hits, abs=0.03)
+
+    def test_nvem_resident_fastest(self, trace):
+        resident = self.run_kind(trace, "nvem-resident", mm_size=500)
+        ssd = self.run_kind(trace, "ssd", mm_size=500)
+        assert resident.response_time_mean <= ssd.response_time_mean

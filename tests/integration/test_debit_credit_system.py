@@ -1,0 +1,222 @@
+"""End-to-end integration tests: the paper's §4 claims, measured.
+
+These run short Debit-Credit simulations and assert the published
+qualitative results — hit-ratio patterns (footnote 6), I/O counts per
+transaction, response-time orderings of Figs. 4.1–4.4, FORCE/NOFORCE
+behaviour, and Table 4.2 cells (loose tolerances; the EXPERIMENTS.md
+runs use longer windows).
+"""
+
+import pytest
+
+from repro.core.config import UpdateStrategy
+from repro.core.model import TransactionSystem
+from repro.experiments.defaults import (
+    debit_credit_config,
+    disk_only,
+    disk_with_nv_cache_write_buffer,
+    memory_resident,
+    nvem_resident,
+    nvem_write_buffer,
+    second_level_cache_scheme,
+    ssd_resident,
+)
+from repro.workload.debit_credit import DebitCreditWorkload
+
+RATE = 500.0
+
+
+def run_scheme(scheme, strategy=UpdateStrategy.NOFORCE, buffer_size=2000,
+               rate=RATE, duration=6.0, seed=1):
+    config = debit_credit_config(scheme, update_strategy=strategy,
+                                 buffer_size=buffer_size)
+    system = TransactionSystem(config, DebitCreditWorkload(arrival_rate=rate),
+                               seed=seed)
+    results = system.run(warmup=3.0, duration=duration)
+    assert not results.saturated
+    return results, system
+
+
+@pytest.fixture(scope="module")
+def disk_results():
+    return run_scheme(disk_only())[0]
+
+
+class TestFootnote6HitRatios:
+    """Footnote 6: per-record-type MM hit ratios at 2000 frames."""
+
+    def test_aggregate_hit_ratio_72_5(self, disk_results):
+        assert disk_results.hit_ratio("main_memory") * 100 == \
+            pytest.approx(72.5, abs=1.5)
+
+    def test_account_hit_ratio_zero(self, disk_results):
+        assert disk_results.mm_hit_by_tag["ACCOUNT"] < 0.01
+
+    def test_history_hit_ratio_95(self, disk_results):
+        assert disk_results.mm_hit_by_tag["HISTORY"] * 100 == \
+            pytest.approx(95.0, abs=1.0)
+
+    def test_branch_hit_ratio_95(self, disk_results):
+        assert disk_results.mm_hit_by_tag["BRANCH"] * 100 == \
+            pytest.approx(95.0, abs=3.0)
+
+    def test_teller_hit_ratio_100(self, disk_results):
+        assert disk_results.mm_hit_by_tag["TELLER"] == pytest.approx(1.0)
+
+
+class TestIOCounts:
+    """§4.3: 'about 2 database I/Os and 1 log I/O occur per transaction'."""
+
+    def test_two_db_ios_one_log_io(self, disk_results):
+        db_ios = disk_results.io_per_tx.get("db_read", 0) + \
+            disk_results.io_per_tx.get("db_write_sync", 0)
+        assert db_ios == pytest.approx(2.2, abs=0.3)
+        assert disk_results.io_per_tx.get("log_disk", 0) == \
+            pytest.approx(1.0, abs=0.05)
+
+    def test_noforce_write_back_per_miss(self, disk_results):
+        # All pages are modified, so reads and write-backs pair up.
+        assert disk_results.io_per_tx["db_write_sync"] == pytest.approx(
+            disk_results.io_per_tx["db_read"], rel=0.1
+        )
+
+    def test_throughput_matches_arrival_rate(self, disk_results):
+        assert disk_results.throughput == pytest.approx(RATE, rel=0.06)
+
+
+class TestFig42Ordering:
+    """Response-time ordering of the six §4.3 allocations."""
+
+    @pytest.fixture(scope="class")
+    def responses(self):
+        out = {}
+        for scheme_fn in (disk_only, disk_with_nv_cache_write_buffer,
+                          nvem_write_buffer, ssd_resident, nvem_resident,
+                          memory_resident):
+            scheme = scheme_fn()
+            out[scheme.name] = run_scheme(scheme)[0].response_time_ms
+        return out
+
+    def test_full_ordering(self, responses):
+        assert responses["disk"] > responses["disk-cache-wb"]
+        assert responses["disk-cache-wb"] > responses["memory"]
+        assert responses["memory"] > responses["ssd"]
+        assert responses["ssd"] > responses["nvem"]
+
+    def test_write_buffer_halves_disk_response(self, responses):
+        ratio = responses["disk"] / responses["disk-cache-wb"]
+        assert ratio == pytest.approx(2.0, abs=0.5)
+
+    def test_nvem_wb_slightly_better_than_cache_wb(self, responses):
+        assert responses["nvem-wb"] <= responses["disk-cache-wb"]
+        assert responses["nvem-wb"] > 0.8 * responses["disk-cache-wb"]
+
+    def test_memory_exceeds_nvem_by_log_disk_io(self, responses):
+        # §4.3: memory-resident pays one 6.4 ms log disk I/O (plus its
+        # queueing) that the NVEM-resident configuration does not.
+        assert responses["memory"] - responses["nvem"] == \
+            pytest.approx(7.0, abs=2.5)
+
+
+class TestForceVsNoforce:
+    def test_force_worse_on_disk(self):
+        force, _ = run_scheme(disk_only(), strategy=UpdateStrategy.FORCE)
+        noforce, _ = run_scheme(disk_only())
+        assert force.response_time_mean > 1.2 * noforce.response_time_mean
+
+    def test_force_with_write_buffer_beats_disk_noforce(self):
+        """Fig. 4.3: FORCE + write buffer < NOFORCE on plain disks."""
+        force_wb, _ = run_scheme(disk_with_nv_cache_write_buffer(),
+                                 strategy=UpdateStrategy.FORCE)
+        noforce_disk, _ = run_scheme(disk_only())
+        assert force_wb.response_time_mean < noforce_disk.response_time_mean
+
+    def test_force_noforce_close_on_nvem(self):
+        force, _ = run_scheme(nvem_resident(),
+                              strategy=UpdateStrategy.FORCE)
+        noforce, _ = run_scheme(nvem_resident())
+        assert force.response_time_ms == pytest.approx(
+            noforce.response_time_ms, abs=2.0
+        )
+
+    def test_force_has_no_replacement_writes(self):
+        """§4.4 fn. 7: with FORCE there are always clean pages to
+        replace, so misses trigger no write-backs."""
+        force, _ = run_scheme(disk_only(), strategy=UpdateStrategy.FORCE)
+        write_backs = force.io_per_tx.get("db_write_sync", 0)
+        # ~3 forced writes, but no miss-triggered write-backs on top.
+        assert write_backs == pytest.approx(3.0, abs=0.3)
+
+
+class TestTable42Cells:
+    """Spot checks against Table 4.2 (see experiments for the full grid)."""
+
+    def test_volatile_cache_dies_at_mm_1000(self):
+        results, _ = run_scheme(second_level_cache_scheme("volatile", 1000),
+                                buffer_size=1000)
+        assert results.hit_ratio("disk_cache") * 100 < 0.5  # paper: 0
+
+    def test_nv_cache_retains_hits_at_mm_1000(self):
+        results, _ = run_scheme(
+            second_level_cache_scheme("nonvolatile", 1000),
+            buffer_size=1000,
+        )
+        assert results.hit_ratio("disk_cache") * 100 == \
+            pytest.approx(3.8, abs=1.0)
+
+    def test_nvem_beats_nv_disk_cache(self):
+        nvem, _ = run_scheme(second_level_cache_scheme("nvem", 1000),
+                             buffer_size=500)
+        nv, _ = run_scheme(second_level_cache_scheme("nonvolatile", 1000),
+                           buffer_size=500)
+        assert nvem.hit_ratio("nvem_cache") > nv.hit_ratio("disk_cache")
+
+    def test_aggregate_buffer_equivalence(self):
+        """§4.5: combined MM+NVEM hits depend only on aggregate size."""
+        a, _ = run_scheme(second_level_cache_scheme("nvem", 1000),
+                          buffer_size=500)
+        b, _ = run_scheme(second_level_cache_scheme("nvem", 500),
+                          buffer_size=1000)
+        combined_a = a.hit_ratio("main_memory") + a.hit_ratio("nvem_cache")
+        combined_b = b.hit_ratio("main_memory") + b.hit_ratio("nvem_cache")
+        assert combined_a == pytest.approx(combined_b, abs=0.01)
+
+    def test_force_lowers_second_level_hits(self):
+        noforce, _ = run_scheme(second_level_cache_scheme("nvem", 1000),
+                                buffer_size=1000)
+        force, _ = run_scheme(second_level_cache_scheme("nvem", 1000),
+                              strategy=UpdateStrategy.FORCE,
+                              buffer_size=1000)
+        assert force.hit_ratio("nvem_cache") < \
+            noforce.hit_ratio("nvem_cache")
+
+
+class TestSystemHealth:
+    def test_buffer_invariants_after_run(self):
+        for scheme_fn in (disk_only, nvem_resident):
+            _, system = run_scheme(scheme_fn(), duration=4.0)
+            assert system.bm.check_invariants() == []
+
+    def test_nvem_cache_invariants_after_run(self):
+        _, system = run_scheme(second_level_cache_scheme("nvem", 500),
+                               buffer_size=500, duration=4.0)
+        assert system.bm.check_invariants() == []
+
+    def test_no_locks_leak(self):
+        _, system = run_scheme(disk_only(), duration=4.0)
+        system.env.run(until=system.env.now + 2.0)
+        # After draining, at most the currently active txs hold locks.
+        assert system.locks.held_count() <= 4 * system.tm.active + 8
+
+    def test_determinism_same_seed(self):
+        a, _ = run_scheme(disk_only(), duration=4.0, seed=9)
+        b, _ = run_scheme(disk_only(), duration=4.0, seed=9)
+        assert a.committed == b.committed
+        assert a.response_time_mean == pytest.approx(b.response_time_mean,
+                                                     rel=1e-12)
+
+    def test_different_seeds_differ(self):
+        a, _ = run_scheme(disk_only(), duration=4.0, seed=1)
+        b, _ = run_scheme(disk_only(), duration=4.0, seed=2)
+        assert a.committed != b.committed or \
+            a.response_time_mean != b.response_time_mean

@@ -1,0 +1,130 @@
+"""Property-based tests for buffer-manager invariants (hypothesis).
+
+The buffer manager is driven with random access streams under random
+configurations; after every simulated run the §3.2 invariants must
+hold:
+
+* frame counts never exceed capacities;
+* NOFORCE: no page cached in both main memory and NVEM;
+* the write-buffer occupancy is never negative;
+* every page access is attributed to exactly one hierarchy level.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import NVEMCachingMode, UpdateStrategy
+from repro.core.transaction import ObjectRef, Transaction
+from tests.core.test_bm import build_system
+
+
+def drive(env, bm, accesses):
+    """Run a stream of (page, is_write) accesses as one process each."""
+    def tx_proc(tx, ref):
+        yield from bm.fix_page(tx, ref)
+
+    for i, (page, is_write) in enumerate(accesses):
+        tx = Transaction(i + 1, "t", [])
+        ref = ObjectRef(0, page, page, is_write)
+        env.process(tx_proc(tx, ref))
+    env.run()
+
+
+access_stream = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=40), st.booleans()),
+    min_size=1, max_size=120,
+)
+
+
+@given(
+    accesses=access_stream,
+    buffer_size=st.integers(min_value=1, max_value=8),
+    strategy=st.sampled_from([UpdateStrategy.NOFORCE,
+                              UpdateStrategy.FORCE]),
+)
+@settings(max_examples=60, deadline=None)
+def test_mm_buffer_invariants(accesses, buffer_size, strategy):
+    env, bm, metrics, _ = build_system(buffer_size=buffer_size,
+                                       update_strategy=strategy)
+    drive(env, bm, accesses)
+    assert bm.check_invariants() == []
+    assert len(bm.mm) <= buffer_size
+    # Every access was classified to a level.
+    assert metrics.page_access.total() == len(accesses)
+
+
+@given(
+    accesses=access_stream,
+    buffer_size=st.integers(min_value=1, max_value=6),
+    cache_size=st.integers(min_value=1, max_value=6),
+    mode=st.sampled_from([NVEMCachingMode.MODIFIED,
+                          NVEMCachingMode.UNMODIFIED,
+                          NVEMCachingMode.ALL]),
+    strategy=st.sampled_from([UpdateStrategy.NOFORCE,
+                              UpdateStrategy.FORCE]),
+)
+@settings(max_examples=60, deadline=None)
+def test_nvem_cache_invariants(accesses, buffer_size, cache_size, mode,
+                               strategy):
+    env, bm, metrics, _ = build_system(
+        buffer_size=buffer_size, update_strategy=strategy,
+        nvem_caching=mode, nvem_cache_size=cache_size,
+    )
+    drive(env, bm, accesses)
+    assert bm.check_invariants() == []
+    assert len(bm.nvem_cache) <= cache_size
+    if strategy is UpdateStrategy.NOFORCE:
+        overlap = set(bm.mm.keys()) & set(bm.nvem_cache.keys())
+        assert not overlap
+
+
+@given(
+    accesses=access_stream,
+    wb_size=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_write_buffer_occupancy_never_negative(accesses, wb_size):
+    env, bm, metrics, _ = build_system(
+        buffer_size=2, nvem_write_buffer=True,
+        nvem_write_buffer_size=wb_size,
+    )
+    drive(env, bm, accesses)
+    assert bm.write_buffer_pending() == 0  # all drained at quiescence
+    absorbed = metrics.io_counts.get("db_write_buffered")
+    drained = metrics.io_counts.get("db_write_async")
+    assert absorbed == drained
+
+
+@given(
+    accesses=access_stream,
+    buffer_size=st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_prewarm_then_run_consistent(accesses, buffer_size):
+    """Prewarming must leave a state from which simulation is sound."""
+    env, bm, metrics, _ = build_system(buffer_size=buffer_size)
+    for page, is_write in accesses:
+        bm.prewarm_reference(0, page, is_write)
+    assert len(bm.mm) <= buffer_size
+    drive(env, bm, accesses)
+    assert bm.check_invariants() == []
+
+
+@given(accesses=access_stream)
+@settings(max_examples=30, deadline=None)
+def test_force_leaves_no_dirty_pages_after_commits(accesses):
+    """Under FORCE, committing every writer leaves a clean buffer."""
+    env, bm, _, _ = build_system(buffer_size=16,
+                                 update_strategy=UpdateStrategy.FORCE)
+
+    def tx_proc(tx, refs):
+        for ref in refs:
+            yield from bm.fix_page(tx, ref)
+        yield from bm.commit(tx)
+
+    for i, (page, is_write) in enumerate(accesses):
+        tx = Transaction(i + 1, "t", [])
+        tx.is_update = is_write
+        env.process(tx_proc(tx, [ObjectRef(0, page, page, is_write)]))
+    env.run()
+    dirty = [e.key for e in bm.mm.items_mru_to_lru() if e.dirty]
+    assert dirty == []

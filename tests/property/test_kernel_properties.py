@@ -1,0 +1,139 @@
+"""Property-based tests for the simulation kernel (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Environment, Resource
+from repro.storage.cache import NonVolatileCachePolicy, VolatileCachePolicy
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0,
+                                 allow_nan=False),
+                       min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_time_is_monotonic(delays):
+    """Event processing never moves the clock backwards."""
+    env = Environment()
+    observed = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        observed.append(env.now)
+
+    for delay in delays:
+        env.process(proc(env, delay))
+    env.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=5),
+    jobs=st.lists(st.floats(min_value=0.001, max_value=5.0,
+                            allow_nan=False),
+                  min_size=1, max_size=40),
+)
+@settings(max_examples=100, deadline=None)
+def test_resource_conservation(capacity, jobs):
+    """Work conservation: busy servers never exceed capacity and total
+    busy time equals total service demand."""
+    env = Environment()
+    resource = Resource(env, capacity=capacity)
+    max_users = [0]
+
+    def job(env, service):
+        req = resource.request()
+        yield req
+        max_users[0] = max(max_users[0], resource.users)
+        yield env.timeout(service)
+        resource.release(req)
+
+    for service in jobs:
+        env.process(job(env, service))
+    env.run()
+    assert max_users[0] <= capacity
+    assert resource.users == 0
+    assert resource.monitor.busy.integral() == \
+        _approx(sum(jobs))
+
+
+def _approx(value):
+    import pytest
+    return pytest.approx(value, rel=1e-9)
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=5),
+    jobs=st.lists(st.floats(min_value=0.001, max_value=5.0,
+                            allow_nan=False),
+                  min_size=1, max_size=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_fifo_resource_completion_order_single_server(capacity, jobs):
+    """With capacity 1 and simultaneous arrival, completion order is
+    submission order (FIFO)."""
+    if capacity != 1:
+        return
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    completions = []
+
+    def job(env, index, service):
+        req = resource.request()
+        yield req
+        yield env.timeout(service)
+        resource.release(req)
+        completions.append(index)
+
+    for i, service in enumerate(jobs):
+        env.process(job(env, i, service))
+    env.run()
+    assert completions == list(range(len(jobs)))
+
+
+cache_ops = st.lists(
+    st.tuples(st.sampled_from(["read", "write", "complete"]),
+              st.integers(min_value=0, max_value=15)),
+    max_size=200,
+)
+
+
+@given(capacity=st.integers(min_value=1, max_value=8), ops=cache_ops)
+@settings(max_examples=100, deadline=None)
+def test_volatile_cache_policy_bounded(capacity, ops):
+    cache = VolatileCachePolicy(capacity)
+    for op, key in ops:
+        if op == "read":
+            decision = cache.on_read(key)
+            if not decision.hit:
+                cache.on_read_fill(key)
+        elif op == "write":
+            decision = cache.on_write(key)
+            # Volatile caches never absorb writes.
+            assert decision.needs_disk
+        assert len(cache) <= capacity
+
+
+@given(capacity=st.integers(min_value=1, max_value=8), ops=cache_ops)
+@settings(max_examples=100, deadline=None)
+def test_nonvolatile_cache_policy_invariants(capacity, ops):
+    cache = NonVolatileCachePolicy(capacity)
+    pending = []
+    for op, key in ops:
+        if op == "read":
+            decision = cache.on_read(key)
+            if not decision.hit:
+                cache.on_read_fill(key)
+        elif op == "write":
+            decision = cache.on_write(key)
+            if decision.async_disk_write:
+                pending.append(decision.entry)
+            # Either absorbed by the cache or sent to disk, never both.
+            assert decision.hit != decision.needs_disk
+        elif op == "complete" and pending:
+            cache.on_disk_write_complete(pending.pop(0))
+        assert len(cache) <= capacity
+        assert cache.dirty_count() <= len(cache)
+    # Completing everything leaves no dirty pages.
+    while pending:
+        cache.on_disk_write_complete(pending.pop(0))
+    assert cache.dirty_count() == 0

@@ -1,0 +1,94 @@
+"""Property-based tests for the LRU mechanism (hypothesis)."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.lru import LRUCache
+
+# Operations: (op, key) with op in {"access", "remove"}
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(["access", "remove"]),
+              st.integers(min_value=0, max_value=30)),
+    max_size=300,
+)
+
+
+class ModelLRU:
+    """Reference model: OrderedDict-based LRU."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.data = OrderedDict()
+
+    def access(self, key):
+        if key in self.data:
+            self.data.move_to_end(key)
+            return "hit"
+        if len(self.data) >= self.capacity:
+            self.data.popitem(last=False)
+        self.data[key] = True
+        return "miss"
+
+    def remove(self, key):
+        return self.data.pop(key, None)
+
+
+@given(capacity=st.integers(min_value=1, max_value=16), ops=ops_strategy)
+@settings(max_examples=200, deadline=None)
+def test_lru_matches_reference_model(capacity, ops):
+    """Our intrusive LRU behaves exactly like an OrderedDict LRU."""
+    cache = LRUCache(capacity)
+    model = ModelLRU(capacity)
+    for op, key in ops:
+        if op == "access":
+            expected = model.access(key)
+            if cache.get(key) is not None:
+                actual = "hit"
+            else:
+                actual = "miss"
+                if cache.is_full:
+                    victim = cache.victim()
+                    cache.remove(victim.key)
+                cache.insert(key)
+            assert actual == expected
+        else:
+            in_model = model.remove(key) is not None
+            if key in cache:
+                cache.remove(key)
+                assert in_model
+            else:
+                assert not in_model
+        # State equivalence after every operation.
+        assert set(cache.keys()) == set(model.data.keys())
+        mru_order = [e.key for e in cache.items_mru_to_lru()]
+        assert mru_order == list(reversed(model.data.keys()))
+
+
+@given(capacity=st.integers(min_value=1, max_value=16), ops=ops_strategy)
+@settings(max_examples=100, deadline=None)
+def test_lru_never_exceeds_capacity(capacity, ops):
+    cache = LRUCache(capacity)
+    for _, key in ops:
+        if cache.get(key) is None:
+            if cache.is_full:
+                cache.remove(cache.victim().key)
+            cache.insert(key)
+        assert len(cache) <= capacity
+
+
+@given(keys=st.lists(st.integers(0, 50), min_size=1, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_victim_predicate_consistency(keys):
+    """victim(pred) returns the first qualifying entry from the LRU end."""
+    cache = LRUCache(64)
+    for key in keys:
+        if cache.get(key) is None:
+            entry = cache.insert(key)
+            entry.dirty = key % 2 == 0
+    victim = cache.victim(lambda e: not e.dirty)
+    lru_clean = [e for e in cache.items_lru_to_mru() if not e.dirty]
+    if lru_clean:
+        assert victim is lru_clean[0]
+    else:
+        assert victim is None

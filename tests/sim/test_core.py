@@ -1,0 +1,391 @@
+"""Unit tests for the discrete-event kernel (repro.sim.core)."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_environment_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_environment_custom_initial_time():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_time():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        yield env.timeout(3.5)
+        log.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert log == [3.5]
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+    got = []
+
+    def proc(env):
+        value = yield env.timeout(1.0, value="payload")
+        got.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert got == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_zero_timeout_runs_in_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(0.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        env.process(proc(env, tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_are_deterministic():
+    env = Environment()
+    order = []
+
+    def proc(env, tag, delay):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(proc(env, "first", 2.0))
+    env.process(proc(env, "second", 2.0))
+    env.run()
+    assert order == ["first", "second"]
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc(env):
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run(until=10.5)
+    assert env.now == 10.5
+
+
+def test_run_until_past_time_raises():
+    env = Environment(initial_time=5.0)
+    with pytest.raises(ValueError):
+        env.run(until=1.0)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+        return 42
+
+    result = env.run(until=env.process(proc(env)))
+    assert result == 42
+    assert env.now == 2.0
+
+
+def test_run_until_event_never_fires_raises():
+    env = Environment()
+    orphan = env.event()
+    with pytest.raises(SimulationError):
+        env.run(until=orphan)
+
+
+def test_process_waits_for_process():
+    env = Environment()
+    log = []
+
+    def child(env):
+        yield env.timeout(3.0)
+        return "done"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        log.append((env.now, result))
+
+    env.process(parent(env))
+    env.run()
+    assert log == [(3.0, "done")]
+
+
+def test_process_return_value_via_run():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        return {"answer": 7}
+
+    assert env.run(until=env.process(proc(env))) == {"answer": 7}
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+    log = []
+
+    def waiter(env):
+        value = yield gate
+        log.append((env.now, value))
+
+    def opener(env):
+        yield env.timeout(4.0)
+        gate.succeed("open")
+
+    env.process(waiter(env))
+    env.process(opener(env))
+    env.run()
+    assert log == [(4.0, "open")]
+
+
+def test_event_double_succeed_raises():
+    env = Environment()
+    event = env.event()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_event_fail_propagates_into_process():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer(env):
+        yield env.timeout(1.0)
+        gate.fail(RuntimeError("boom"))
+
+    env.process(waiter(env))
+    env.process(failer(env))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_unhandled_failure_raises_from_run():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        raise ValueError("unhandled")
+
+    env.process(proc(env))
+    with pytest.raises(ValueError, match="unhandled"):
+        env.run()
+
+
+def test_yielding_non_event_fails_process():
+    env = Environment()
+
+    def proc(env):
+        yield 42
+
+    env.process(proc(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_waiting_on_already_processed_event():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        done = env.timeout(0.0, value="early")
+        yield env.timeout(5.0)
+        # `done` processed long ago; waiting must return immediately.
+        value = yield done
+        log.append((env.now, value))
+
+    env.process(proc(env))
+    env.run()
+    assert log == [(5.0, "early")]
+
+
+def test_interrupt_during_timeout():
+    env = Environment()
+    log = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+            log.append("finished")
+        except Interrupt as intr:
+            log.append(("interrupted", env.now, intr.cause))
+
+    def attacker(env, target):
+        yield env.timeout(2.0)
+        target.interrupt(cause="deadlock")
+
+    target = env.process(victim(env))
+    env.process(attacker(env, target))
+    env.run()
+    assert log == [("interrupted", 2.0, "deadlock")]
+
+
+def test_interrupt_dead_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    proc = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    log = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            pass
+        yield env.timeout(1.0)
+        log.append(env.now)
+
+    def attacker(env, target):
+        yield env.timeout(5.0)
+        target.interrupt()
+
+    target = env.process(victim(env))
+    env.process(attacker(env, target))
+    env.run()
+    assert log == [6.0]
+
+
+def test_is_alive_reflects_lifecycle():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_all_of_waits_for_everything():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(3.0, value="b")
+        results = yield AllOf(env, [t1, t2])
+        log.append((env.now, sorted(results.values())))
+
+    env.process(proc(env))
+    env.run()
+    assert log == [(3.0, ["a", "b"])]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        yield AllOf(env, [])
+        log.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert log == [0.0]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(9.0, value="slow")
+        results = yield AnyOf(env, [t1, t2])
+        log.append((env.now, list(results.values())))
+
+    env.process(proc(env))
+    env.run(until=20.0)
+    assert log == [(1.0, ["fast"])]
+
+
+def test_peek_returns_next_event_time():
+    env = Environment()
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+
+
+def test_peek_empty_heap_is_inf():
+    env = Environment()
+    assert env.peek() == float("inf")
+
+
+def test_nested_yield_from_composition():
+    env = Environment()
+    log = []
+
+    def inner(env):
+        yield env.timeout(2.0)
+        return "inner-result"
+
+    def outer(env):
+        value = yield from inner(env)
+        log.append((env.now, value))
+        yield env.timeout(1.0)
+        log.append(env.now)
+
+    env.process(outer(env))
+    env.run()
+    assert log == [(2.0, "inner-result"), 3.0]
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        _ = env.event().value

@@ -1,0 +1,381 @@
+"""Unit tests for queueing resources (repro.sim.resources)."""
+
+import pytest
+
+from repro.sim import Environment, PriorityResource, Resource, Store
+from repro.sim.core import SimulationError
+
+
+def test_resource_grants_immediately_when_free():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def proc(env):
+        req = res.request()
+        yield req
+        log.append(env.now)
+        res.release(req)
+
+    env.process(proc(env))
+    env.run()
+    assert log == [0.0]
+
+
+def test_resource_fifo_ordering():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def proc(env, tag, hold):
+        req = res.request()
+        yield req
+        order.append((tag, env.now))
+        yield env.timeout(hold)
+        res.release(req)
+
+    env.process(proc(env, "a", 2.0))
+    env.process(proc(env, "b", 2.0))
+    env.process(proc(env, "c", 2.0))
+    env.run()
+    assert order == [("a", 0.0), ("b", 2.0), ("c", 4.0)]
+
+
+def test_resource_capacity_two_parallel_grants():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    order = []
+
+    def proc(env, tag):
+        req = res.request()
+        yield req
+        order.append((tag, env.now))
+        yield env.timeout(1.0)
+        res.release(req)
+
+    for tag in "abc":
+        env.process(proc(env, tag))
+    env.run()
+    assert order == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_release_without_grant_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release(res.__class__ and _pending_request(env, res))
+
+
+def _pending_request(env, res):
+    """Produce a request that is queued, never granted."""
+    holder = res.request()  # grabs the only unit
+    assert holder.triggered
+    waiting = res.request()
+    assert not waiting.triggered
+    return waiting
+
+
+def test_double_release_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+    env.run()
+    res.release(req)
+    with pytest.raises(SimulationError):
+        res.release(req)
+
+
+def test_cancel_waiting_request_skipped_on_grant():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        req = res.request()
+        yield req
+        yield env.timeout(5.0)
+        res.release(req)
+
+    def cancelled(env):
+        req = res.request()
+        yield env.timeout(1.0)  # give up before being granted
+        res.cancel(req)
+
+    def patient(env):
+        req = res.request()
+        yield req
+        order.append(env.now)
+        res.release(req)
+
+    env.process(holder(env))
+    env.process(cancelled(env))
+    env.process(patient(env))
+    env.run()
+    assert order == [5.0]
+
+
+def test_cancel_granted_request_behaves_like_release():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+    env.run()
+    assert res.users == 1
+    res.cancel(req)
+    assert res.users == 0
+
+
+def test_queue_length_tracking():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    res.request()
+    res.request()
+    res.request()
+    assert res.queue_length == 2
+
+
+def test_monitor_utilization_single_server():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def proc(env):
+        req = res.request()
+        yield req
+        yield env.timeout(4.0)
+        res.release(req)
+
+    env.process(proc(env))
+    env.run(until=8.0)
+    # Busy 4 of 8 time units -> 50% utilization.
+    assert res.monitor.utilization(res.capacity) == pytest.approx(0.5)
+
+
+def test_monitor_reset_clears_history():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def proc(env):
+        req = res.request()
+        yield req
+        yield env.timeout(4.0)
+        res.release(req)
+
+    env.process(proc(env))
+    env.run(until=4.0)
+    res.monitor.reset()
+    env.run(until=8.0)
+    assert res.monitor.utilization(res.capacity) == pytest.approx(0.0)
+
+
+def test_priority_resource_orders_by_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        req = res.request()
+        yield req
+        yield env.timeout(1.0)
+        res.release(req)
+
+    def proc(env, tag, priority):
+        req = res.request(priority=priority)
+        yield req
+        order.append(tag)
+        res.release(req)
+
+    env.process(holder(env))
+    env.process(proc(env, "low", 10))
+    env.process(proc(env, "high", 1))
+    env.process(proc(env, "mid", 5))
+    env.run()
+    assert order == ["high", "mid", "low"]
+
+
+def test_priority_resource_fifo_within_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        req = res.request()
+        yield req
+        yield env.timeout(1.0)
+        res.release(req)
+
+    def proc(env, tag):
+        req = res.request(priority=5)
+        yield req
+        order.append(tag)
+        res.release(req)
+
+    env.process(holder(env))
+    for tag in ("first", "second", "third"):
+        env.process(proc(env, tag))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    store.put("x")
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append(item)
+
+    env.process(consumer(env))
+    env.run()
+    assert got == ["x"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(3.0)
+        store.put("late")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [(3.0, "late")]
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    for item in (1, 2, 3):
+        store.put(item)
+    env.process(consumer(env))
+    env.run()
+    assert got == [1, 2, 3]
+
+
+def test_store_len_reports_backlog():
+    env = Environment()
+    store = Store(env)
+    store.put("a")
+    store.put("b")
+    assert len(store) == 2
+
+
+def test_mm1_queue_matches_theory():
+    """M/M/1 with rho=0.5: mean wait in queue Wq = rho/(mu-lambda)."""
+    env = Environment()
+    from repro.sim import RandomStreams
+
+    streams = RandomStreams(seed=7)
+    server = Resource(env, capacity=1)
+    waits = []
+    lam, mu = 0.5, 1.0
+
+    def customer(env):
+        arrived = env.now
+        req = server.request()
+        yield req
+        waits.append(env.now - arrived)
+        yield env.timeout(streams.exponential("svc", 1.0 / mu))
+        server.release(req)
+
+    def source(env):
+        while True:
+            yield env.timeout(streams.exponential("arr", 1.0 / lam))
+            env.process(customer(env))
+
+    env.process(source(env))
+    env.run(until=40000.0)
+    rho = lam / mu
+    expected_wq = rho / (mu - lam)  # = 1.0
+    measured = sum(waits) / len(waits)
+    assert measured == pytest.approx(expected_wq, rel=0.10)
+
+
+def test_mmc_queue_matches_erlang_c():
+    """M/M/2 with rho=0.6 per server: compare against Erlang-C."""
+    import math
+
+    env = Environment()
+    from repro.sim import RandomStreams
+
+    streams = RandomStreams(seed=11)
+    c, lam, mu = 2, 1.2, 1.0
+    server = Resource(env, capacity=c)
+    waits = []
+
+    def customer(env):
+        arrived = env.now
+        req = server.request()
+        yield req
+        waits.append(env.now - arrived)
+        yield env.timeout(streams.exponential("svc", 1.0 / mu))
+        server.release(req)
+
+    def source(env):
+        while True:
+            yield env.timeout(streams.exponential("arr", 1.0 / lam))
+            env.process(customer(env))
+
+    env.process(source(env))
+    env.run(until=40000.0)
+
+    a = lam / mu
+    rho = a / c
+    erlang_b = (a ** c / math.factorial(c)) / sum(
+        a ** k / math.factorial(k) for k in range(c + 1)
+    )
+    erlang_c = erlang_b / (1 - rho + rho * erlang_b)
+    expected_wq = erlang_c / (c * mu - lam)
+    measured = sum(waits) / len(waits)
+    assert measured == pytest.approx(expected_wq, rel=0.15)
+
+
+def test_md1_queue_matches_theory():
+    """M/D/1 with rho=0.6: Wq = rho*S / (2(1-rho)) (Pollaczek-Khinchine)."""
+    env = Environment()
+    from repro.sim import RandomStreams
+
+    streams = RandomStreams(seed=13)
+    server = Resource(env, capacity=1)
+    waits = []
+    lam, service = 0.6, 1.0
+
+    def customer(env):
+        arrived = env.now
+        req = server.request()
+        yield req
+        waits.append(env.now - arrived)
+        yield env.timeout(service)  # deterministic service
+        server.release(req)
+
+    def source(env):
+        while True:
+            yield env.timeout(streams.exponential("arr", 1.0 / lam))
+            env.process(customer(env))
+
+    env.process(source(env))
+    env.run(until=40000.0)
+    rho = lam * service
+    expected_wq = rho * service / (2 * (1 - rho))  # = 0.75
+    measured = sum(waits) / len(waits)
+    assert measured == pytest.approx(expected_wq, rel=0.10)

@@ -1,0 +1,185 @@
+"""Unit tests for the statistics engine (repro.sim.stats)."""
+
+import math
+
+import pytest
+
+from repro.sim import Accumulator, CategoryCounter, Environment, Histogram, TimeWeighted
+
+
+class TestAccumulator:
+    def test_empty_mean_is_zero(self):
+        assert Accumulator().mean() == 0.0
+
+    def test_mean_of_known_values(self):
+        acc = Accumulator()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            acc.add(v)
+        assert acc.mean() == pytest.approx(2.5)
+
+    def test_variance_matches_sample_variance(self):
+        acc = Accumulator()
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        for v in values:
+            acc.add(v)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert acc.variance() == pytest.approx(var)
+
+    def test_variance_of_single_value_is_zero(self):
+        acc = Accumulator()
+        acc.add(3.0)
+        assert acc.variance() == 0.0
+
+    def test_min_max_tracking(self):
+        acc = Accumulator()
+        for v in (5.0, -1.0, 3.0):
+            acc.add(v)
+        assert acc.min == -1.0
+        assert acc.max == 5.0
+
+    def test_stdev_is_sqrt_of_variance(self):
+        acc = Accumulator()
+        for v in (1.0, 3.0):
+            acc.add(v)
+        assert acc.stdev() == pytest.approx(math.sqrt(acc.variance()))
+
+    def test_percentile_with_reservoir(self):
+        acc = Accumulator(reservoir=1000)
+        for v in range(100):
+            acc.add(float(v))
+        assert acc.percentile(50) == pytest.approx(49.5, abs=1.0)
+        assert acc.percentile(0) == 0.0
+        assert acc.percentile(100) == 99.0
+
+    def test_percentile_without_reservoir_falls_back_to_mean(self):
+        acc = Accumulator()
+        acc.add(10.0)
+        acc.add(20.0)
+        assert acc.percentile(99) == pytest.approx(15.0)
+
+    def test_reset(self):
+        acc = Accumulator(reservoir=10)
+        acc.add(42.0)
+        acc.reset()
+        assert acc.count == 0
+        assert acc.mean() == 0.0
+
+    def test_welford_numerical_stability(self):
+        acc = Accumulator()
+        base = 1e9
+        for v in (base + 4, base + 7, base + 13, base + 16):
+            acc.add(v)
+        assert acc.mean() == pytest.approx(base + 10)
+        assert acc.variance() == pytest.approx(30.0)
+
+
+class TestTimeWeighted:
+    def test_constant_level(self):
+        env = Environment()
+        tw = TimeWeighted(env, level=3.0)
+        env.run(until=10.0)
+        assert tw.mean() == pytest.approx(3.0)
+
+    def test_step_function_average(self):
+        env = Environment()
+        tw = TimeWeighted(env, level=0.0)
+
+        def proc(env):
+            yield env.timeout(4.0)
+            tw.record(2.0)
+            yield env.timeout(6.0)
+            tw.record(0.0)
+
+        env.process(proc(env))
+        env.run(until=10.0)
+        # 4 time units at 0, 6 at 2 -> mean 1.2
+        assert tw.mean() == pytest.approx(1.2)
+
+    def test_integral(self):
+        env = Environment()
+        tw = TimeWeighted(env, level=5.0)
+        env.run(until=4.0)
+        assert tw.integral() == pytest.approx(20.0)
+
+    def test_reset_keeps_level(self):
+        env = Environment()
+        tw = TimeWeighted(env, level=7.0)
+        env.run(until=5.0)
+        tw.reset()
+        env.run(until=10.0)
+        assert tw.mean() == pytest.approx(7.0)
+
+    def test_zero_span_returns_level(self):
+        env = Environment()
+        tw = TimeWeighted(env, level=9.0)
+        assert tw.mean() == 9.0
+
+
+class TestHistogram:
+    def test_basic_binning(self):
+        h = Histogram(0.0, 10.0, 10)
+        for v in (0.5, 1.5, 1.7, 9.9):
+            h.add(v)
+        assert h.counts[0] == 1
+        assert h.counts[1] == 2
+        assert h.counts[9] == 1
+
+    def test_underflow_overflow(self):
+        h = Histogram(0.0, 10.0, 5)
+        h.add(-1.0)
+        h.add(10.0)
+        h.add(99.0)
+        assert h.underflow == 1
+        assert h.overflow == 2
+        assert h.total == 3
+
+    def test_bin_edges(self):
+        h = Histogram(0.0, 4.0, 4)
+        assert h.bin_edges() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            Histogram(5.0, 5.0, 4)
+        with pytest.raises(ValueError):
+            Histogram(0.0, 5.0, 0)
+
+    def test_reset(self):
+        h = Histogram(0.0, 1.0, 2)
+        h.add(0.5)
+        h.reset()
+        assert h.total == 0
+        assert sum(h.counts) == 0
+
+
+class TestCategoryCounter:
+    def test_add_and_get(self):
+        c = CategoryCounter()
+        c.add("hit")
+        c.add("hit")
+        c.add("miss")
+        assert c.get("hit") == 2
+        assert c.get("miss") == 1
+        assert c.get("unknown") == 0
+
+    def test_ratio(self):
+        c = CategoryCounter()
+        c.add("hit", 3)
+        c.add("miss", 1)
+        assert c.ratio("hit") == pytest.approx(0.75)
+
+    def test_ratio_empty_counter(self):
+        assert CategoryCounter().ratio("anything") == 0.0
+
+    def test_as_dict_copy(self):
+        c = CategoryCounter()
+        c.add("a")
+        d = c.as_dict()
+        d["a"] = 99
+        assert c.get("a") == 1
+
+    def test_reset(self):
+        c = CategoryCounter()
+        c.add("x")
+        c.reset()
+        assert c.total() == 0

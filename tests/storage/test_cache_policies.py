@@ -1,0 +1,192 @@
+"""Unit tests for disk-cache policies (repro.storage.cache)."""
+
+import pytest
+
+from repro.storage.cache import (
+    NonVolatileCachePolicy,
+    VolatileCachePolicy,
+    WriteBufferPolicy,
+    make_cache_policy,
+)
+
+
+class TestVolatileCache:
+    def test_read_miss_then_hit(self):
+        cache = VolatileCachePolicy(2)
+        first = cache.on_read("x")
+        assert not first.hit and first.needs_disk
+        cache.on_read_fill("x")
+        second = cache.on_read("x")
+        assert second.hit and not second.needs_disk
+
+    def test_read_fill_evicts_lru(self):
+        cache = VolatileCachePolicy(2)
+        for key in ("a", "b"):
+            cache.on_read(key)
+            cache.on_read_fill(key)
+        cache.on_read("a")  # promote a
+        cache.on_read("c")
+        cache.on_read_fill("c")  # evicts b
+        assert cache.on_read("b").needs_disk
+        assert cache.on_read("a").hit
+
+    def test_write_always_needs_disk(self):
+        cache = VolatileCachePolicy(2)
+        cache.on_read("x")
+        cache.on_read_fill("x")
+        hit_decision = cache.on_write("x")
+        assert hit_decision.needs_disk  # write-through
+        miss_decision = cache.on_write("y")
+        assert miss_decision.needs_disk
+
+    def test_write_miss_does_not_allocate(self):
+        cache = VolatileCachePolicy(2)
+        cache.on_write("y")
+        assert cache.on_read("y").needs_disk  # still not cached
+        assert cache.stats.get("write_miss") == 1
+
+    def test_write_hit_refreshes_lru_position(self):
+        cache = VolatileCachePolicy(2)
+        for key in ("a", "b"):
+            cache.on_read(key)
+            cache.on_read_fill(key)
+        cache.on_write("a")  # refresh: a becomes MRU
+        cache.on_read("c")
+        cache.on_read_fill("c")  # evicts b, not a
+        assert cache.on_read("a").hit
+        assert cache.on_read("b").needs_disk
+
+    def test_double_fill_is_idempotent(self):
+        cache = VolatileCachePolicy(2)
+        cache.on_read_fill("x")
+        cache.on_read_fill("x")
+        assert len(cache) == 1
+
+    def test_hit_ratio_stats(self):
+        cache = VolatileCachePolicy(4)
+        cache.on_read("a")
+        cache.on_read_fill("a")
+        cache.on_read("a")
+        cache.on_read("a")
+        assert cache.stats.get("read_hit") == 2
+        assert cache.stats.get("read_miss") == 1
+
+
+class TestNonVolatileCache:
+    def test_write_miss_allocates_and_destages(self):
+        cache = NonVolatileCachePolicy(2)
+        decision = cache.on_write("x")
+        assert decision.hit and not decision.needs_disk
+        assert decision.async_disk_write
+        assert len(cache) == 1
+
+    def test_write_hit_on_clean_page_destages(self):
+        cache = NonVolatileCachePolicy(2)
+        d1 = cache.on_write("x")
+        cache.on_disk_write_complete(d1.entry)  # now clean
+        d2 = cache.on_write("x")
+        assert d2.hit and d2.async_disk_write
+
+    def test_write_hit_on_dirty_page_no_second_destage(self):
+        cache = NonVolatileCachePolicy(2)
+        cache.on_write("x")  # dirty, destage in flight
+        d2 = cache.on_write("x")
+        assert d2.hit and not d2.async_disk_write
+
+    def test_write_bypass_when_all_dirty(self):
+        cache = NonVolatileCachePolicy(2)
+        cache.on_write("a")
+        cache.on_write("b")
+        # Cache full, both dirty (disk updates outstanding).
+        decision = cache.on_write("c")
+        assert not decision.hit and decision.needs_disk
+        assert cache.stats.get("write_bypass") == 1
+
+    def test_write_miss_evicts_lru_unmodified(self):
+        cache = NonVolatileCachePolicy(2)
+        da = cache.on_write("a")
+        db = cache.on_write("b")
+        cache.on_disk_write_complete(da.entry)
+        cache.on_disk_write_complete(db.entry)
+        decision = cache.on_write("c")  # evicts a (LRU clean)
+        assert decision.hit
+        assert cache.on_read("a").needs_disk
+        assert cache.on_read("b").hit
+
+    def test_disk_write_complete_marks_clean(self):
+        cache = NonVolatileCachePolicy(1)
+        decision = cache.on_write("x")
+        assert cache.dirty_count() == 1
+        cache.on_disk_write_complete(decision.entry)
+        assert cache.dirty_count() == 0
+
+    def test_stale_completion_for_evicted_entry_ignored(self):
+        cache = NonVolatileCachePolicy(1)
+        d1 = cache.on_write("x")
+        cache.on_disk_write_complete(d1.entry)
+        d2 = cache.on_write("y")  # evicts x
+        # Late completion signal for the old entry must not corrupt y.
+        cache.on_disk_write_complete(d1.entry)
+        assert cache.dirty_count() == 1
+
+    def test_read_fill_skipped_when_all_dirty(self):
+        cache = NonVolatileCachePolicy(1)
+        cache.on_write("a")  # dirty
+        cache.on_read("b")
+        cache.on_read_fill("b")  # cannot evict dirty a
+        assert cache.on_read("b").needs_disk
+        assert cache.stats.get("fill_skipped") == 1
+
+    def test_read_fill_evicts_clean(self):
+        cache = NonVolatileCachePolicy(1)
+        d = cache.on_write("a")
+        cache.on_disk_write_complete(d.entry)
+        cache.on_read_fill("b")
+        assert cache.on_read("b").hit
+
+    def test_completion_with_none_entry_is_noop(self):
+        cache = NonVolatileCachePolicy(1)
+        cache.on_disk_write_complete(None)
+
+
+class TestWriteBuffer:
+    def test_absorbs_until_capacity(self):
+        wb = WriteBufferPolicy(2)
+        assert wb.on_write(1).hit
+        assert wb.on_write(2).hit
+        bypass = wb.on_write(3)
+        assert not bypass.hit and bypass.needs_disk
+
+    def test_completion_frees_slot(self):
+        wb = WriteBufferPolicy(1)
+        wb.on_write(1)
+        assert not wb.on_write(2).hit
+        wb.on_disk_write_complete(None)
+        assert wb.on_write(3).hit
+
+    def test_reads_go_to_disk(self):
+        wb = WriteBufferPolicy(4)
+        decision = wb.on_read(1)
+        assert decision.needs_disk and not decision.hit
+
+    def test_read_fill_is_noop(self):
+        wb = WriteBufferPolicy(4)
+        wb.on_read_fill(1)
+        assert len(wb) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            WriteBufferPolicy(0)
+
+
+class TestFactory:
+    def test_factory_types(self):
+        assert isinstance(make_cache_policy(4, False, False),
+                          VolatileCachePolicy)
+        assert isinstance(make_cache_policy(4, True, False),
+                          NonVolatileCachePolicy)
+        assert isinstance(make_cache_policy(4, True, True), WriteBufferPolicy)
+
+    def test_volatile_write_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            make_cache_policy(4, False, True)

@@ -1,0 +1,169 @@
+"""Unit tests for the LRU mechanism (repro.storage.lru)."""
+
+import pytest
+
+from repro.storage.lru import LRUCache
+
+
+def test_insert_and_contains():
+    cache = LRUCache(3)
+    cache.insert("a")
+    assert "a" in cache
+    assert "b" not in cache
+    assert len(cache) == 1
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        LRUCache(0)
+
+
+def test_insert_duplicate_raises():
+    cache = LRUCache(2)
+    cache.insert("a")
+    with pytest.raises(KeyError):
+        cache.insert("a")
+
+
+def test_insert_beyond_capacity_raises():
+    cache = LRUCache(1)
+    cache.insert("a")
+    with pytest.raises(OverflowError):
+        cache.insert("b")
+
+
+def test_victim_is_least_recently_used():
+    cache = LRUCache(3)
+    for key in ("a", "b", "c"):
+        cache.insert(key)
+    assert cache.victim().key == "a"
+
+
+def test_get_promotes_to_mru():
+    cache = LRUCache(3)
+    for key in ("a", "b", "c"):
+        cache.insert(key)
+    cache.get("a")
+    assert cache.victim().key == "b"
+
+
+def test_peek_does_not_promote():
+    cache = LRUCache(3)
+    for key in ("a", "b", "c"):
+        cache.insert(key)
+    cache.peek("a")
+    assert cache.victim().key == "a"
+
+
+def test_get_missing_returns_none():
+    cache = LRUCache(2)
+    assert cache.get("nope") is None
+
+
+def test_remove():
+    cache = LRUCache(2)
+    cache.insert("a")
+    entry = cache.remove("a")
+    assert entry.key == "a"
+    assert "a" not in cache
+    assert len(cache) == 0
+
+
+def test_remove_missing_raises():
+    cache = LRUCache(2)
+    with pytest.raises(KeyError):
+        cache.remove("ghost")
+
+
+def test_victim_with_predicate_skips_nonmatching():
+    cache = LRUCache(3)
+    a = cache.insert("a")
+    b = cache.insert("b")
+    cache.insert("c")
+    a.dirty = True
+    b.dirty = True
+    victim = cache.victim(lambda e: not e.dirty)
+    assert victim.key == "c"
+
+
+def test_victim_with_predicate_none_match():
+    cache = LRUCache(2)
+    cache.insert("a").dirty = True
+    cache.insert("b").dirty = True
+    assert cache.victim(lambda e: not e.dirty) is None
+
+
+def test_victim_empty_cache_is_none():
+    assert LRUCache(2).victim() is None
+
+
+def test_is_full():
+    cache = LRUCache(2)
+    assert not cache.is_full
+    cache.insert("a")
+    cache.insert("b")
+    assert cache.is_full
+
+
+def test_lru_order_full_scan():
+    cache = LRUCache(4)
+    for key in ("a", "b", "c", "d"):
+        cache.insert(key)
+    cache.get("b")
+    mru_order = [e.key for e in cache.items_mru_to_lru()]
+    assert mru_order == ["b", "d", "c", "a"]
+    lru_order = [e.key for e in cache.items_lru_to_mru()]
+    assert lru_order == ["a", "c", "d", "b"]
+
+
+def test_touch_promotes_entry():
+    cache = LRUCache(3)
+    entry = cache.insert("a")
+    cache.insert("b")
+    cache.touch(entry)
+    assert cache.victim().key == "b"
+
+
+def test_clear():
+    cache = LRUCache(3)
+    cache.insert("a")
+    cache.insert("b")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.victim() is None
+    cache.insert("c")  # reusable after clear
+    assert "c" in cache
+
+
+def test_classic_lru_trace():
+    """Reference trace: capacity 3, accesses a b c a d -> evict order."""
+    cache = LRUCache(3)
+    evictions = []
+
+    def access(key):
+        if cache.get(key) is None:
+            if cache.is_full:
+                victim = cache.victim()
+                evictions.append(victim.key)
+                cache.remove(victim.key)
+            cache.insert(key)
+
+    for key in ("a", "b", "c", "a", "d", "e", "b"):
+        access(key)
+    # After a b c a: order (MRU->LRU) a c b. d evicts b; e evicts c;
+    # then b misses again and evicts a.
+    assert evictions == ["b", "c", "a"]
+
+
+def test_keys_listing():
+    cache = LRUCache(2)
+    cache.insert(("p", 1))
+    cache.insert(("p", 2))
+    assert set(cache.keys()) == {("p", 1), ("p", 2)}
+
+
+def test_fix_count_default_zero():
+    cache = LRUCache(1)
+    entry = cache.insert("a")
+    assert entry.fix_count == 0
+    assert entry.pending_write is None

@@ -1,0 +1,45 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_command(capsys):
+    code = main(["run", "--scheme", "nvem", "--rate", "100",
+                 "--duration", "2", "--warmup", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "throughput" in out
+    assert "scheme=nvem" in out
+
+
+def test_run_force_flag(capsys):
+    code = main(["run", "--scheme", "nvem", "--rate", "50",
+                 "--duration", "2", "--warmup", "1", "--force"])
+    assert code == 0
+    assert "strategy=force" in capsys.readouterr().out
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--scheme", "punchcards"])
+
+
+def test_trace_gen_and_run(tmp_path, capsys):
+    path = str(tmp_path / "t.trace")
+    code = main(["trace-gen", "--out", path, "--transactions", "200",
+                 "--accesses", "4000", "--seed", "9"])
+    assert code == 0
+    assert "wrote" in capsys.readouterr().out
+
+    code = main(["trace-run", "--trace", path, "--kind", "nvem-resident",
+                 "--mm", "200", "--rate", "40", "--duration", "5"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "normalized response" in out
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,88 @@
+"""Unit tests for SOURCE infrastructure (repro.workload.base)."""
+
+import pytest
+
+from repro.core.config import (
+    CMConfig,
+    LogAllocation,
+    NVEM,
+    NVEMConfig,
+    PartitionConfig,
+    SystemConfig,
+)
+from repro.core.model import TransactionSystem
+from repro.core.transaction import ObjectRef, Transaction
+from repro.workload.base import PoissonArrivals, Workload
+
+
+def make_system(workload):
+    config = SystemConfig(
+        partitions=[PartitionConfig("p", num_objects=100,
+                                    allocation=NVEM)],
+        disk_units=[],
+        nvem=NVEMConfig(),
+        cm=CMConfig(buffer_size=32),
+        log=LogAllocation(device=NVEM),
+    )
+    return TransactionSystem(config, workload)
+
+
+def factory(n):
+    return Transaction(n + 1, "t", [ObjectRef(0, n % 100, n % 100, False)])
+
+
+class TestPoissonArrivals:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0, factory)
+
+    def test_mean_rate(self):
+        source = PoissonArrivals(100.0, factory)
+
+        class W:
+            def start(self, system):
+                source.start(system)
+
+        system = make_system(W())
+        system.start_workload()
+        system.env.run(until=20.0)
+        # ~2000 arrivals expected over 20 s at 100 TPS.
+        assert source.generated == pytest.approx(2000, rel=0.1)
+
+    def test_limit_stops_generation(self):
+        source = PoissonArrivals(1000.0, factory, limit=25)
+
+        class W:
+            def start(self, system):
+                source.start(system)
+
+        system = make_system(W())
+        system.start_workload()
+        system.env.run(until=5.0)
+        assert source.generated == 25
+
+    def test_transactions_reach_tm(self):
+        source = PoissonArrivals(50.0, factory, limit=10)
+
+        class W:
+            def start(self, system):
+                source.start(system)
+
+        system = make_system(W())
+        system.start_workload()
+        system.env.run(until=5.0)
+        assert system.tm.submitted == 10
+        assert system.tm.completed == 10
+
+
+class TestWorkloadProtocol:
+    def test_sources_satisfy_protocol(self):
+        from repro.workload.debit_credit import DebitCreditWorkload
+        from repro.workload.trace import TraceWorkload, Trace, TraceFile, TraceTransaction
+
+        assert isinstance(DebitCreditWorkload(arrival_rate=1.0), Workload)
+        trace = Trace.from_transactions(
+            [TraceFile("f", 10)],
+            [TraceTransaction("t", [(0, 1, False)])],
+        )
+        assert isinstance(TraceWorkload(trace, arrival_rate=1.0), Workload)

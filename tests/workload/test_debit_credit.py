@@ -1,0 +1,128 @@
+"""Unit tests for the Debit-Credit workload generator."""
+
+import pytest
+
+from repro.sim import RandomStreams
+from repro.workload.debit_credit import (
+    DebitCreditWorkload,
+    P_ACCOUNT,
+    P_BRANCH_TELLER,
+    P_HISTORY,
+    build_debit_credit_partitions,
+)
+
+
+class TestPartitions:
+    def test_clustered_bt_partition_has_one_page_per_branch(self):
+        parts = build_debit_credit_partitions(num_branches=500,
+                                              tellers_per_branch=10)
+        bt = parts[P_BRANCH_TELLER]
+        assert bt.num_pages == 500
+        assert bt.block_factor == 11  # 1 branch + 10 tellers
+
+    def test_account_partition_size(self):
+        parts = build_debit_credit_partitions(
+            num_branches=500, accounts_per_branch=100_000,
+            account_block_factor=10,
+        )
+        account = parts[P_ACCOUNT]
+        assert account.num_objects == 50_000_000
+        assert account.num_pages == 5_000_000
+
+    def test_history_has_no_locking(self):
+        from repro.core.config import CCMode
+        parts = build_debit_credit_partitions()
+        assert parts[P_HISTORY].cc_mode is CCMode.NONE
+        assert parts[P_HISTORY].sequential_append
+
+
+class TestTransactionShape:
+    def make(self, **kwargs):
+        params = dict(arrival_rate=100.0, num_branches=10,
+                      accounts_per_branch=100)
+        params.update(kwargs)
+        return DebitCreditWorkload(**params)
+
+    def test_four_object_accesses_all_writes(self):
+        workload = self.make()
+        tx = workload.make_transaction(RandomStreams(1))
+        assert len(tx.refs) == 4
+        assert all(ref.is_write for ref in tx.refs)
+        assert tx.is_update
+
+    def test_three_distinct_pages_with_clustering(self):
+        workload = self.make()
+        tx = workload.make_transaction(RandomStreams(1))
+        assert len({ref.page_key for ref in tx.refs}) == 3
+
+    def test_access_order_account_history_branch_teller(self):
+        workload = self.make()
+        tx = workload.make_transaction(RandomStreams(1))
+        assert [ref.tag for ref in tx.refs] == \
+            ["ACCOUNT", "HISTORY", "BRANCH", "TELLER"]
+
+    def test_branch_and_teller_share_page(self):
+        workload = self.make()
+        tx = workload.make_transaction(RandomStreams(1))
+        assert tx.refs[2].page_key == tx.refs[3].page_key
+
+    def test_teller_belongs_to_selected_branch(self):
+        workload = self.make(tellers_per_branch=10)
+        for seed in range(20):
+            tx = workload.make_transaction(RandomStreams(seed))
+            branch_page = tx.refs[2].page_no
+            teller_obj = tx.refs[3].object_no
+            assert teller_obj // 11 == branch_page
+
+    def test_history_appends_sequentially(self):
+        workload = self.make(history_block_factor=20)
+        streams = RandomStreams(1)
+        history_objects = [
+            workload.make_transaction(streams).refs[1].object_no
+            for _ in range(25)
+        ]
+        assert history_objects == list(range(25))
+        # 20 objects per page: first 20 on page 0, next on page 1.
+        pages = [obj // 20 for obj in history_objects]
+        assert pages[:20] == [0] * 20
+        assert pages[20:] == [1] * 5
+
+    def test_home_account_probability(self):
+        workload = self.make(home_account_probability=1.0,
+                             num_branches=10, accounts_per_branch=100)
+        streams = RandomStreams(3)
+        for _ in range(50):
+            tx = workload.make_transaction(streams)
+            branch = tx.refs[2].page_no
+            account = tx.refs[0].object_no
+            assert account // 100 == branch
+
+    def test_remote_account_goes_to_other_branch(self):
+        workload = self.make(home_account_probability=0.0,
+                             num_branches=10, accounts_per_branch=100)
+        streams = RandomStreams(3)
+        for _ in range(50):
+            tx = workload.make_transaction(streams)
+            branch = tx.refs[2].page_no
+            account = tx.refs[0].object_no
+            assert account // 100 != branch
+
+    def test_k85_split(self):
+        workload = self.make(home_account_probability=0.85,
+                             num_branches=50, accounts_per_branch=100)
+        streams = RandomStreams(7)
+        home = 0
+        n = 3000
+        for _ in range(n):
+            tx = workload.make_transaction(streams)
+            if tx.refs[0].object_no // 100 == tx.refs[2].page_no:
+                home += 1
+        assert home / n == pytest.approx(0.85, abs=0.02)
+
+    def test_invalid_arrival_rate(self):
+        with pytest.raises(ValueError):
+            DebitCreditWorkload(arrival_rate=0)
+
+    def test_invalid_home_probability(self):
+        with pytest.raises(ValueError):
+            DebitCreditWorkload(arrival_rate=1, home_account_probability=2.0)

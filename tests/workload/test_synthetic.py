@@ -1,0 +1,183 @@
+"""Unit tests for the general synthetic workload model (§3.1)."""
+
+import pytest
+
+from repro.core.config import (
+    CMConfig,
+    DiskUnitConfig,
+    LogAllocation,
+    PartitionConfig,
+    SubPartition,
+    SystemConfig,
+    TransactionTypeConfig,
+)
+from repro.sim import RandomStreams
+from repro.workload.synthetic import SyntheticWorkload, _PartitionSampler
+
+
+def make_config(partitions, tx_types):
+    config = SystemConfig(
+        partitions=partitions,
+        disk_units=[DiskUnitConfig(name="db0", num_disks=4)],
+        cm=CMConfig(),
+        log=LogAllocation(device="db0"),
+        tx_types=tx_types,
+    )
+    config.validate()
+    return config
+
+
+def simple_config(write_prob=0.5, sequential=False, var_size=False,
+                  tx_size=5, matrix=None, subpartitions=None):
+    partitions = [
+        PartitionConfig("a", num_objects=1000, block_factor=10,
+                        allocation="db0",
+                        subpartitions=subpartitions or
+                        [SubPartition(1.0, 1.0)]),
+        PartitionConfig("b", num_objects=2000, block_factor=10,
+                        allocation="db0"),
+    ]
+    tx_types = [TransactionTypeConfig(
+        "t", arrival_rate=10, tx_size=tx_size, write_prob=write_prob,
+        reference_matrix=matrix or {"a": 0.7, "b": 0.3},
+        sequential=sequential, var_size=var_size,
+    )]
+    return make_config(partitions, tx_types)
+
+
+class TestPartitionSampler:
+    def test_uniform_sampling_covers_range(self):
+        part = PartitionConfig("p", num_objects=100)
+        sampler = _PartitionSampler(0, part)
+        streams = RandomStreams(1)
+        values = {sampler.sample_object(streams, "s") for _ in range(2000)}
+        assert min(values) >= 0
+        assert max(values) <= 99
+        assert len(values) > 80
+
+    def test_bc_rule_skew(self):
+        """An 80/20 rule: 80% of accesses on the first 20% of objects."""
+        part = PartitionConfig(
+            "p", num_objects=1000,
+            subpartitions=[SubPartition(20, 80), SubPartition(80, 20)],
+        )
+        sampler = _PartitionSampler(0, part)
+        streams = RandomStreams(1)
+        n = 10_000
+        hot = sum(
+            1 for _ in range(n)
+            if sampler.sample_object(streams, "s") < 200
+        )
+        assert hot / n == pytest.approx(0.8, abs=0.02)
+
+    def test_two_level_90_10_rule(self):
+        """The paper's example: subpartition sizes 81/9/10 with access
+        probabilities 1/9/90 encode a two-level 90/10 rule."""
+        part = PartitionConfig(
+            "p", num_objects=1000,
+            subpartitions=[SubPartition(81, 1), SubPartition(9, 9),
+                           SubPartition(10, 90)],
+        )
+        sampler = _PartitionSampler(0, part)
+        streams = RandomStreams(1)
+        n = 20_000
+        counts = [0, 0, 0]
+        for _ in range(n):
+            obj = sampler.sample_object(streams, "s")
+            if obj < 810:
+                counts[0] += 1
+            elif obj < 900:
+                counts[1] += 1
+            else:
+                counts[2] += 1
+        assert counts[2] / n == pytest.approx(0.90, abs=0.02)
+        assert counts[1] / n == pytest.approx(0.09, abs=0.01)
+
+    def test_append_cursor_wraps(self):
+        part = PartitionConfig("p", num_objects=3)
+        sampler = _PartitionSampler(0, part)
+        assert [sampler.append_object() for _ in range(5)] == \
+            [0, 1, 2, 0, 1]
+
+
+class TestTransactionGeneration:
+    def test_fixed_size(self):
+        workload = SyntheticWorkload(simple_config(tx_size=5))
+        tx = workload.make_transaction(RandomStreams(1),
+                                       workload.config.tx_types[0])
+        assert len(tx.refs) == 5
+
+    def test_variable_size_mean(self):
+        config = simple_config(tx_size=10, var_size=True)
+        workload = SyntheticWorkload(config)
+        streams = RandomStreams(1)
+        sizes = [
+            len(workload.make_transaction(streams,
+                                          config.tx_types[0]).refs)
+            for _ in range(2000)
+        ]
+        assert sum(sizes) / len(sizes) == pytest.approx(10, rel=0.1)
+        assert min(sizes) >= 1
+
+    def test_reference_matrix_split(self):
+        config = simple_config(matrix={"a": 0.7, "b": 0.3})
+        workload = SyntheticWorkload(config)
+        streams = RandomStreams(1)
+        counts = {0: 0, 1: 0}
+        for _ in range(2000):
+            tx = workload.make_transaction(streams, config.tx_types[0])
+            for ref in tx.refs:
+                counts[ref.partition_index] += 1
+        total = counts[0] + counts[1]
+        assert counts[0] / total == pytest.approx(0.7, abs=0.02)
+
+    def test_write_probability(self):
+        config = simple_config(write_prob=0.25)
+        workload = SyntheticWorkload(config)
+        streams = RandomStreams(1)
+        writes = reads = 0
+        for _ in range(1000):
+            tx = workload.make_transaction(streams, config.tx_types[0])
+            for ref in tx.refs:
+                if ref.is_write:
+                    writes += 1
+                else:
+                    reads += 1
+        assert writes / (writes + reads) == pytest.approx(0.25, abs=0.03)
+
+    def test_sequential_access_consecutive_objects(self):
+        config = simple_config(sequential=True, tx_size=4)
+        workload = SyntheticWorkload(config)
+        tx = workload.make_transaction(RandomStreams(1),
+                                       config.tx_types[0])
+        # All refs in one partition, objects consecutive (mod size).
+        parts = {ref.partition_index for ref in tx.refs}
+        assert len(parts) == 1
+        objs = [ref.object_no for ref in tx.refs]
+        num_objects = workload.config.partitions[objs and
+                                                 tx.refs[0].partition_index
+                                                 ].num_objects
+        for prev, nxt in zip(objs, objs[1:]):
+            assert nxt == (prev + 1) % num_objects
+
+    def test_page_numbers_respect_block_factor(self):
+        config = simple_config()
+        workload = SyntheticWorkload(config)
+        tx = workload.make_transaction(RandomStreams(1),
+                                       config.tx_types[0])
+        for ref in tx.refs:
+            assert ref.page_no == ref.object_no // 10
+
+    def test_requires_tx_types(self):
+        config = simple_config()
+        config.tx_types = []
+        with pytest.raises(ValueError):
+            SyntheticWorkload(config)
+
+    def test_transaction_ids_increase(self):
+        config = simple_config()
+        workload = SyntheticWorkload(config)
+        streams = RandomStreams(1)
+        tx1 = workload.make_transaction(streams, config.tx_types[0])
+        tx2 = workload.make_transaction(streams, config.tx_types[0])
+        assert tx2.tx_id == tx1.tx_id + 1
