@@ -9,6 +9,11 @@ ACCOUNT on cached disks, HISTORY on plain disks with an NVEM write
 buffer, log in NVEM — compares it against the pure configurations, and
 prices each with the Table 2.1 cost model.
 
+It also demonstrates the storage-device registry: a phase-change-memory
+device kind is registered below and dropped into a configuration purely
+through a ``DeviceSpec`` — no wiring code changes (see README.md,
+*Architecture & extension points*).
+
 Run with::
 
     python examples/custom_storage.py
@@ -16,6 +21,7 @@ Run with::
 
 from repro import (
     DebitCreditWorkload,
+    DeviceSpec,
     DiskUnitConfig,
     DiskUnitType,
     LogAllocation,
@@ -24,6 +30,7 @@ from repro import (
     SystemConfig,
     TransactionSystem,
 )
+from repro.storage import FlashSSDDevice, register_device
 from repro.analysis.cost import configuration_cost, cost_effectiveness
 from repro.experiments.defaults import (
     db_disk_unit,
@@ -38,6 +45,39 @@ from repro.workload.debit_credit import build_debit_credit_partitions
 RATE = 300.0
 ACCOUNT_PAGES = 5_000_000
 BT_PAGES = 500
+
+
+# -- a custom device kind, registered by name ---------------------------
+# Phase-change memory: reads almost as fast as DRAM, writes an order of
+# magnitude slower.  Reusing the flash channel model with PCM service
+# times is all it takes; the registry makes the kind configurable.
+@register_device("pcm")
+def make_pcm(env, streams, spec):
+    params = dict(read_delay=0.00005, write_delay=0.0008,
+                  num_channels=8)
+    params.update(spec.params)
+    return FlashSSDDevice(env, streams, name=spec.name, **params)
+
+
+def pcm_config() -> SystemConfig:
+    """The whole database and log on the custom PCM device."""
+    partitions = build_debit_credit_partitions(allocation="pcm0",
+                                               bt_allocation="pcm0")
+    config = SystemConfig(
+        partitions=partitions,
+        devices=[
+            DeviceSpec(kind="pcm", name="pcm0",
+                       params={"num_controllers": 8}),
+            DeviceSpec(kind="pcm", name="pcmlog",
+                       params={"num_controllers": 2}),
+        ],
+        cm=default_cm(),
+        nvem=default_nvem(),
+        log=LogAllocation(device="pcmlog"),
+        seed=21,
+    )
+    config.validate()
+    return config
 
 
 def combined_config() -> SystemConfig:
@@ -84,6 +124,7 @@ def main() -> None:
     responses = {
         "all-disk": measure(debit_credit_config(disk_only())),
         "combined 3-tier": measure(combined_config()),
+        "custom PCM": measure(pcm_config()),
         "all-NVEM": measure(debit_credit_config(nvem_resident())),
     }
     costs = {
@@ -95,6 +136,9 @@ def main() -> None:
             ("ssd", BT_PAGES),
             ("nvem", 500 + 100),  # write buffer + log buffer
         ]),
+        # Priced like SSD semiconductor storage (Table 2.1 has no PCM).
+        "custom PCM": configuration_cost([("ssd",
+                                           ACCOUNT_PAGES + BT_PAGES)]),
         "all-NVEM": configuration_cost([("nvem",
                                          ACCOUNT_PAGES + BT_PAGES)]),
     }

@@ -27,6 +27,7 @@ from repro.core import (
     AccessMode,
     CCMode,
     CMConfig,
+    DeviceSpec,
     DiskUnitConfig,
     DiskUnitType,
     Distribution,
@@ -36,6 +37,7 @@ from repro.core import (
     NVEMCachingMode,
     NVEMConfig,
     PartitionConfig,
+    PolicySpec,
     SubPartition,
     SystemConfig,
     TransactionTypeConfig,
@@ -58,6 +60,7 @@ __all__ = [
     "CCMode",
     "CMConfig",
     "DebitCreditWorkload",
+    "DeviceSpec",
     "DiskUnitConfig",
     "DiskUnitType",
     "Distribution",
@@ -67,6 +70,7 @@ __all__ = [
     "NVEMCachingMode",
     "NVEMConfig",
     "PartitionConfig",
+    "PolicySpec",
     "Results",
     "SubPartition",
     "SyntheticWorkload",

@@ -15,17 +15,20 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.config import UpdateStrategy
+from repro.core.config import PolicySpec, UpdateStrategy
 from repro.core.model import TransactionSystem
 from repro.experiments.defaults import (
+    battery_dram_resident,
     debit_credit_config,
     disk_only,
     disk_with_nv_cache_write_buffer,
+    flash_resident,
     memory_resident,
     nvem_resident,
     nvem_write_buffer,
     ssd_resident,
 )
+from repro.storage.registry import device_kinds, policy_kinds
 from repro.workload.debit_credit import DebitCreditWorkload
 
 __all__ = ["main"]
@@ -35,9 +38,15 @@ SCHEMES = {
     "disk-cache-wb": disk_with_nv_cache_write_buffer,
     "nvem-wb": nvem_write_buffer,
     "ssd": ssd_resident,
+    "flash": flash_resident,
+    "battery-dram": battery_dram_resident,
     "nvem": nvem_resident,
     "memory": memory_resident,
 }
+
+#: Policy choices come from the registry, so user-registered kinds
+#: (imported before main() runs) are accepted by --mm-policy too.
+POLICIES = tuple(policy_kinds())
 
 EXPERIMENTS = ("fig4_1", "fig4_2", "fig4_3", "fig4_4", "fig4_5",
                "fig4_6", "fig4_7", "fig4_8", "table4_2")
@@ -64,6 +73,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="main-memory buffer frames (default: 2000)")
     run.add_argument("--force", action="store_true",
                      help="use the FORCE update strategy")
+    run.add_argument("--mm-policy", choices=POLICIES, default="lru",
+                     help="main-memory buffer replacement policy "
+                          "(default: lru, as in the paper)")
     run.add_argument("--seed", type=int, default=1)
 
     exp = sub.add_parser("experiment",
@@ -71,6 +83,13 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("id", choices=EXPERIMENTS)
     exp.add_argument("--fast", action="store_true",
                      help="reduced sweep (benchmark settings)")
+    exp.add_argument("--parallel", action="store_true",
+                     help="evaluate sweep points across worker processes "
+                          "(deterministic; ignored with --fast)")
+
+    sub.add_parser("registry",
+                   help="list registered device kinds and replacement "
+                        "policies")
 
     gen = sub.add_parser("trace-gen",
                          help="generate a synthetic real-life trace")
@@ -99,8 +118,10 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_run(args) -> int:
     strategy = UpdateStrategy.FORCE if args.force else \
         UpdateStrategy.NOFORCE
+    scheme = SCHEMES[args.scheme]()
+    scheme.mm_policy = PolicySpec(kind=args.mm_policy)
     config = debit_credit_config(
-        SCHEMES[args.scheme](), update_strategy=strategy,
+        scheme, update_strategy=strategy,
         buffer_size=args.buffer_size,
     )
     system = TransactionSystem(
@@ -116,9 +137,13 @@ def _cmd_run(args) -> int:
 
 def _cmd_experiment(args) -> int:
     import importlib
+    import inspect
 
     module = importlib.import_module(f"repro.experiments.{args.id}")
-    result = module.run(fast=args.fast)
+    kwargs = {"fast": args.fast}
+    if "parallel" in inspect.signature(module.run).parameters:
+        kwargs["parallel"] = args.parallel
+    result = module.run(**kwargs)
     if args.id == "table4_2":
         print(result["a"].to_table())
         print()
@@ -168,11 +193,18 @@ def _cmd_trace_run(args) -> int:
     return 0
 
 
+def _cmd_registry(args) -> int:
+    print("device kinds       :", ", ".join(device_kinds()))
+    print("replacement policies:", ", ".join(policy_kinds()))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
         "experiment": _cmd_experiment,
+        "registry": _cmd_registry,
         "trace-gen": _cmd_trace_gen,
         "trace-run": _cmd_trace_run,
     }

@@ -21,6 +21,7 @@ from repro.core.config import (
     AccessMode,
     CCMode,
     CMConfig,
+    DeviceSpec,
     DiskUnitConfig,
     DiskUnitType,
     Distribution,
@@ -30,6 +31,7 @@ from repro.core.config import (
     NVEMCachingMode,
     NVEMConfig,
     PartitionConfig,
+    PolicySpec,
     SubPartition,
     SystemConfig,
     TransactionTypeConfig,
@@ -40,6 +42,7 @@ __all__ = [
     "AccessMode",
     "CCMode",
     "CMConfig",
+    "DeviceSpec",
     "DiskUnitConfig",
     "DiskUnitType",
     "Distribution",
@@ -49,6 +52,7 @@ __all__ = [
     "NVEMCachingMode",
     "NVEMConfig",
     "PartitionConfig",
+    "PolicySpec",
     "SubPartition",
     "SystemConfig",
     "TransactionTypeConfig",

@@ -2,7 +2,8 @@
 
 This module implements §3.2's buffer manager:
 
-* a main-memory database buffer under global LRU;
+* a main-memory database buffer under a registry-selected replacement
+  policy (global LRU in the paper; CLOCK and 2Q are available);
 * an optional second-level database cache in NVEM with per-partition
   migration modes (modified / unmodified / all pages);
 * the NOFORCE single-copy invariant — a page is cached in at most one
@@ -38,8 +39,10 @@ from repro.core.config import (
 )
 from repro.core.cpu import CPUPool
 from repro.core.metrics import (
+    LEVEL_BATTERY_DRAM,
     LEVEL_DISK,
     LEVEL_DISK_CACHE,
+    LEVEL_FLASH,
     LEVEL_MAIN_MEMORY,
     LEVEL_MEMORY_RESIDENT,
     LEVEL_NVEM_CACHE,
@@ -51,15 +54,21 @@ from repro.core.transaction import Transaction
 from repro.sim import Environment, RandomStreams
 from repro.sim.core import Event
 from repro.storage.hierarchy import StorageSubsystem
-from repro.storage.lru import LRUCache
+from repro.storage.policies import ReplacementPolicy
+from repro.storage.registry import make_policy
 
 __all__ = ["BufferManager"]
 
 #: Map device-level IOResult levels onto metrics levels (identical names).
+#: User-registered device kinds may report their own level strings;
+#: those pass through as their own hit-ratio category (the metrics
+#: counters accept arbitrary level names).
 _DEVICE_LEVELS = {
     "disk": LEVEL_DISK,
     "disk_cache": LEVEL_DISK_CACHE,
     "ssd": LEVEL_SSD,
+    "flash": LEVEL_FLASH,
+    "battery_dram": LEVEL_BATTERY_DRAM,
 }
 
 #: Migration-mode predicates: does a page with this dirtiness migrate?
@@ -97,9 +106,11 @@ class BufferManager:
         self._streams = streams
         self.partitions: List[PartitionConfig] = list(config.partitions)
 
-        self.mm = LRUCache(self.cm.buffer_size)
-        self.nvem_cache: Optional[LRUCache] = (
-            LRUCache(self.cm.nvem_cache_size)
+        self.mm: ReplacementPolicy = make_policy(
+            self.cm.mm_policy, self.cm.buffer_size
+        )
+        self.nvem_cache: Optional[ReplacementPolicy] = (
+            make_policy(self.cm.nvem_policy, self.cm.nvem_cache_size)
             if self.cm.nvem_cache_size > 0 else None
         )
         #: Shared NVEM write-buffer occupancy (database + log pages).
@@ -236,7 +247,7 @@ class BufferManager:
             )
             tx.wait_async_io += self.env.now - io_start
         self.metrics.record_io("db_read")
-        return _DEVICE_LEVELS[result.level]
+        return _DEVICE_LEVELS.get(result.level, result.level)
 
     # ------------------------------------------------------------------
     # Replacement
@@ -518,8 +529,8 @@ class BufferManager:
             tx.wait_async_io += self.env.now - io_start
         if result.level == "disk_cache":
             self.metrics.record_io("log_absorbed")
-        elif result.level == "ssd":
-            self.metrics.record_io("log_ssd")
+        elif result.level in (LEVEL_SSD, LEVEL_FLASH, LEVEL_BATTERY_DRAM):
+            self.metrics.record_io(f"log_{result.level}")
         else:
             self.metrics.record_io("log_disk")
 

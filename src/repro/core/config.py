@@ -20,12 +20,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Sequence
 
 __all__ = [
     "AccessMode",
     "CCMode",
     "CMConfig",
+    "DeviceSpec",
     "DiskUnitConfig",
     "DiskUnitType",
     "Distribution",
@@ -35,6 +36,7 @@ __all__ = [
     "NVEMCachingMode",
     "NVEMConfig",
     "PartitionConfig",
+    "PolicySpec",
     "SubPartition",
     "SystemConfig",
     "TransactionTypeConfig",
@@ -92,6 +94,44 @@ class Distribution(Enum):
 
     CONSTANT = "constant"
     EXPONENTIAL = "exponential"
+
+
+@dataclass
+class DeviceSpec:
+    """A storage device as a ``(kind, params)`` spec.
+
+    ``kind`` names a factory in the device registry
+    (:mod:`repro.storage.registry`); ``params`` are its keyword
+    arguments.  Configuration stays pure data — it never imports a
+    concrete device class.
+    """
+
+    kind: str
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if not self.kind:
+            raise ValueError(f"device {self.name!r}: empty kind")
+        if not self.name:
+            raise ValueError(f"device spec of kind {self.kind!r} needs a name")
+
+
+@dataclass
+class PolicySpec:
+    """A replacement policy as a ``(kind, params)`` spec.
+
+    Resolved through the policy registry by the buffer manager and the
+    disk-cache policies.  ``params`` are forwarded to the policy factory
+    (e.g. ``kin`` / ``kout`` for 2Q).
+    """
+
+    kind: str = "lru"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if not self.kind:
+            raise ValueError("replacement policy spec: empty kind")
 
 
 @dataclass(frozen=True)
@@ -234,8 +274,12 @@ class DiskUnitConfig:
     #: avoids hot-page hotspots (e.g. the HISTORY tail page under
     #: FORCE); "page" pins each page to one disk (page_no mod NumDisks).
     striping: str = "random"
+    #: Replacement policy of the controller-managed cache (registry
+    #: kind + params); the paper's IBM-3990-style caches are LRU.
+    cache_policy: PolicySpec = field(default_factory=PolicySpec)
 
     def validate(self) -> None:
+        self.cache_policy.validate()
         if self.striping not in ("random", "page"):
             raise ValueError(
                 f"unit {self.name}: unknown striping {self.striping!r}"
@@ -322,8 +366,14 @@ class CMConfig:
     group_commit_timeout: float = 0.0
     async_replacement: bool = False
     deferred_nvem_propagation: bool = False
+    #: Replacement policies of the software-managed caching levels,
+    #: as registry specs ("lru" reproduces the paper).
+    mm_policy: PolicySpec = field(default_factory=PolicySpec)
+    nvem_policy: PolicySpec = field(default_factory=PolicySpec)
 
     def validate(self) -> None:
+        self.mm_policy.validate()
+        self.nvem_policy.validate()
         if self.mpl < 1:
             raise ValueError("MPL must be >= 1")
         if self.num_cpus < 1:
@@ -356,11 +406,38 @@ class SystemConfig:
 
     partitions: List[PartitionConfig] = field(default_factory=list)
     disk_units: List[DiskUnitConfig] = field(default_factory=list)
+    #: Additional devices behind the disk interface, as registry specs
+    #: (``DiskUnitConfig`` entries are spec-resolved the same way; this
+    #: list is for kinds the classic table cannot express, e.g.
+    #: ``flash_ssd`` or ``battery_dram``).
+    devices: List[DeviceSpec] = field(default_factory=list)
     nvem: NVEMConfig = field(default_factory=NVEMConfig)
     cm: CMConfig = field(default_factory=CMConfig)
     log: LogAllocation = field(default_factory=LogAllocation)
     tx_types: List[TransactionTypeConfig] = field(default_factory=list)
     seed: int = 0
+
+    def device_specs(self) -> List[DeviceSpec]:
+        """All disk-interface devices as uniform ``(kind, params)`` specs.
+
+        Classic ``DiskUnitConfig`` entries become specs of their
+        ``unit_type`` kind carrying the config object; explicit
+        :class:`DeviceSpec` entries pass through.  The storage hierarchy
+        resolves every entry through the device registry — this method
+        is the single place where the two declaration styles meet.
+        """
+        specs = [
+            DeviceSpec(kind=unit.unit_type.value, name=unit.name,
+                       params={"config": unit})
+            for unit in self.disk_units
+        ]
+        specs.extend(self.devices)
+        return specs
+
+    def nvem_spec(self) -> DeviceSpec:
+        """The NVEM device as a registry spec."""
+        return DeviceSpec(kind="nvem", name="nvem",
+                          params={"config": self.nvem})
 
     def partition(self, name: str) -> PartitionConfig:
         for part in self.partitions:
@@ -381,19 +458,28 @@ class SystemConfig:
         names = [p.name for p in self.partitions]
         if len(set(names)) != len(names):
             raise ValueError("duplicate partition names")
-        unit_names = [u.name for u in self.disk_units]
+        unit_names = [u.name for u in self.disk_units] + \
+            [d.name for d in self.devices]
         if len(set(unit_names)) != len(unit_names):
-            raise ValueError("duplicate disk unit names")
+            raise ValueError("duplicate device names")
 
         self.cm.validate()
         self.nvem.validate()
         self.log.validate()
         for unit in self.disk_units:
             unit.validate()
+        for spec in self.devices:
+            spec.validate()
+            if spec.kind == "nvem":
+                raise ValueError(
+                    f"device {spec.name}: the NVEM device is configured "
+                    "via SystemConfig.nvem, not the devices list"
+                )
 
         valid_targets = {MEMORY, NVEM} | set(unit_names)
         uses_nvem_cache = False
         uses_nvem_wb = False
+        disk_unit_names = {u.name for u in self.disk_units}
         for part in self.partitions:
             part.validate()
             if part.allocation not in valid_targets:
@@ -403,8 +489,11 @@ class SystemConfig:
                 )
             if part.nvem_caching != NVEMCachingMode.NONE:
                 uses_nvem_cache = True
-                unit = self.disk_unit(part.allocation)
-                if unit.unit_type in (
+                if part.allocation not in disk_unit_names:
+                    unit = None
+                else:
+                    unit = self.disk_unit(part.allocation)
+                if unit is not None and unit.unit_type in (
                     DiskUnitType.VOLATILE_CACHE,
                     DiskUnitType.NONVOLATILE_CACHE,
                 ) and not unit.write_buffer_only:
@@ -416,8 +505,10 @@ class SystemConfig:
                     )
             if part.nvem_write_buffer:
                 uses_nvem_wb = True
-                unit = self.disk_unit(part.allocation)
-                if unit.unit_type == DiskUnitType.NONVOLATILE_CACHE:
+                unit = self.disk_unit(part.allocation) \
+                    if part.allocation in disk_unit_names else None
+                if unit is not None and \
+                        unit.unit_type == DiskUnitType.NONVOLATILE_CACHE:
                     raise ValueError(
                         f"partition {part.name}: write buffer in both NVEM "
                         f"and non-volatile disk cache ({unit.name})"

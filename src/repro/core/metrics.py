@@ -31,6 +31,8 @@ LEVEL_NVEM_CACHE = "nvem_cache"
 LEVEL_NVEM_RESIDENT = "nvem"
 LEVEL_DISK_CACHE = "disk_cache"
 LEVEL_SSD = "ssd"
+LEVEL_FLASH = "flash"
+LEVEL_BATTERY_DRAM = "battery_dram"
 LEVEL_DISK = "disk"
 
 

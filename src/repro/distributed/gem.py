@@ -24,22 +24,27 @@ from typing import Generator, Optional
 
 from repro.sim import Environment
 from repro.sim.stats import CategoryCounter
-from repro.storage.lru import LRUCache, LRUEntry
-from repro.storage.nvem import NVEMDevice
+from repro.storage.policies import ReplacementPolicy
+from repro.storage.registry import make_policy
 
 __all__ = ["GlobalExtendedMemory"]
 
 
 class GlobalExtendedMemory:
-    """Shared NVEM page cache + write buffer for all nodes."""
+    """Shared NVEM page cache + write buffer for all nodes.
 
-    def __init__(self, env: Environment, device: NVEMDevice,
-                 capacity: int):
+    ``device`` is the shared NVEM device (anything exposing the
+    ``access(kind)`` generator); ``policy`` selects the replacement
+    structure from the policy registry.
+    """
+
+    def __init__(self, env: Environment, device, capacity: int,
+                 policy="lru"):
         if capacity < 1:
             raise ValueError("GEM needs capacity >= 1")
         self.env = env
         self.device = device
-        self.cache = LRUCache(capacity)
+        self.cache: ReplacementPolicy = make_policy(policy, capacity)
         self.stats = CategoryCounter()
 
     def __len__(self) -> int:
@@ -49,7 +54,7 @@ class GlobalExtendedMemory:
         return key in self.cache
 
     # -- state transitions (no simulated time) ---------------------------
-    def probe(self, key) -> Optional[LRUEntry]:
+    def probe(self, key) -> Optional[object]:
         """Look up a page for a node's buffer miss; copy stays in GEM."""
         entry = self.cache.get(key)
         self.stats.add("hit" if entry is not None else "miss")
@@ -66,7 +71,7 @@ class GlobalExtendedMemory:
         self.stats.add("evict")
         return True
 
-    def install(self, key, dirty: bool) -> Optional[LRUEntry]:
+    def install(self, key, dirty: bool) -> Optional[object]:
         """Insert/refresh a page; returns the entry (None if no room)."""
         entry = self.cache.get(key)
         if entry is not None:
@@ -88,7 +93,7 @@ class GlobalExtendedMemory:
                 return True
         return False
 
-    def mark_clean(self, key, entry: LRUEntry) -> None:
+    def mark_clean(self, key, entry) -> None:
         """Disk copy is current (async write finished)."""
         current = self.cache.peek(key)
         if current is entry:

@@ -47,7 +47,8 @@ ALTERNATIVES = [
 ]
 
 
-def run(fast: bool = False, duration: float = None) -> ExperimentResult:
+def run(fast: bool = False, duration: float = None,
+        parallel: bool = False) -> ExperimentResult:
     rates = FAST_RATES if fast else RATES
     duration = duration or (4.0 if fast else 8.0)
     result = ExperimentResult(
@@ -63,7 +64,8 @@ def run(fast: bool = False, duration: float = None) -> ExperimentResult:
             return config, workload
 
         result.series.append(
-            sweep(label, rates, build, warmup=3.0, duration=duration)
+            sweep(label, rates, build, warmup=3.0, duration=duration,
+                  parallel=parallel and not fast)
         )
     result.notes.append(
         "expected: disk > write-buffer variants (factor ~2) > memory "

@@ -40,7 +40,8 @@ ALTERNATIVES = [
 ]
 
 
-def run(fast: bool = False, duration: float = None) -> ExperimentResult:
+def run(fast: bool = False, duration: float = None,
+        parallel: bool = False) -> ExperimentResult:
     rates = FAST_RATES if fast else RATES
     duration = duration or (4.0 if fast else 8.0)
     result = ExperimentResult(
@@ -58,7 +59,8 @@ def run(fast: bool = False, duration: float = None) -> ExperimentResult:
             return config, workload
 
         result.series.append(
-            sweep(label, rates, build, warmup=3.0, duration=duration)
+            sweep(label, rates, build, warmup=3.0, duration=duration,
+                  parallel=parallel and not fast)
         )
     result.notes.append(
         "expected: FORCE>>NOFORCE on disk; gap shrinks with write "

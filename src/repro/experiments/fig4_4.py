@@ -48,7 +48,8 @@ def build_config(kind, size, mm_size: int):
     return debit_credit_config(scheme, buffer_size=mm_size)
 
 
-def run(fast: bool = False, duration: float = None) -> ExperimentResult:
+def run(fast: bool = False, duration: float = None,
+        parallel: bool = False) -> ExperimentResult:
     sizes = FAST_BUFFER_SIZES if fast else BUFFER_SIZES
     duration = duration or (4.0 if fast else 8.0)
     result = ExperimentResult(
@@ -65,7 +66,8 @@ def run(fast: bool = False, duration: float = None) -> ExperimentResult:
             return config, workload
 
         result.series.append(
-            sweep(label, sizes, build, warmup=3.0, duration=duration)
+            sweep(label, sizes, build, warmup=3.0, duration=duration,
+                  parallel=parallel and not fast)
         )
     result.notes.append(
         "expected: vol. cache converges to MM-only once MM >= cache; "

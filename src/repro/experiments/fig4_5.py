@@ -37,7 +37,8 @@ KINDS = [
 ]
 
 
-def run(fast: bool = False, duration: float = None) -> ExperimentResult:
+def run(fast: bool = False, duration: float = None,
+        parallel: bool = False) -> ExperimentResult:
     sizes = FAST_CACHE_SIZES if fast else CACHE_SIZES
     duration = duration or (4.0 if fast else 8.0)
     result = ExperimentResult(
@@ -57,7 +58,8 @@ def run(fast: bool = False, duration: float = None) -> ExperimentResult:
             return config, workload
 
         result.series.append(
-            sweep(label, sizes, build, warmup=3.0, duration=duration)
+            sweep(label, sizes, build, warmup=3.0, duration=duration,
+                  parallel=parallel and not fast)
         )
     result.notes.append(
         "expected: NVEM best throughout; volatile cache useless until "

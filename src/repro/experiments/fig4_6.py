@@ -46,7 +46,8 @@ CONFIGURATIONS = [
 ]
 
 
-def run(fast: bool = False, duration: float = None) -> ExperimentResult:
+def run(fast: bool = False, duration: float = None,
+        parallel: bool = False) -> ExperimentResult:
     sizes = FAST_MM_SIZES if fast else MM_SIZES
     duration = duration or (15.0 if fast else 45.0)
     trace = trace_for(fast)
@@ -64,7 +65,8 @@ def run(fast: bool = False, duration: float = None) -> ExperimentResult:
             return config, trace_workload(trace)
 
         result.series.append(
-            sweep(label, sizes, build, warmup=4.0, duration=duration)
+            sweep(label, sizes, build, warmup=4.0, duration=duration,
+                  parallel=parallel and not fast)
         )
     result.notes.append(
         "expected: 2nd-level caches flatten the MM-size curve; volatile "

@@ -39,7 +39,8 @@ KINDS = [
 ]
 
 
-def run(fast: bool = False, duration: float = None) -> ExperimentResult:
+def run(fast: bool = False, duration: float = None,
+        parallel: bool = False) -> ExperimentResult:
     sizes = FAST_CACHE_SIZES if fast else CACHE_SIZES
     duration = duration or (15.0 if fast else 45.0)
     trace = trace_for(fast)
@@ -58,7 +59,8 @@ def run(fast: bool = False, duration: float = None) -> ExperimentResult:
             return config, trace_workload(trace)
 
         result.series.append(
-            sweep(label, sizes, build, warmup=4.0, duration=duration)
+            sweep(label, sizes, build, warmup=4.0, duration=duration,
+                  parallel=parallel and not fast)
         )
     result.notes.append(
         "expected: gains appear once the cache exceeds the 1000-page MM "

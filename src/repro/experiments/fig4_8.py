@@ -105,7 +105,8 @@ def build_config(small_alloc: str, large_alloc: str, log_device: str,
     return config
 
 
-def run(fast: bool = False, duration: float = None) -> ExperimentResult:
+def run(fast: bool = False, duration: float = None,
+        parallel: bool = False) -> ExperimentResult:
     rates = FAST_RATES if fast else RATES
     duration = duration or (4.0 if fast else 8.0)
     result = ExperimentResult(
@@ -132,7 +133,7 @@ def run(fast: bool = False, duration: float = None) -> ExperimentResult:
 
             result.series.append(
                 sweep(series_label, rates, build, warmup=3.0,
-                      duration=duration)
+                      duration=duration, parallel=parallel and not fast)
             )
     result.notes.append(
         "expected: page locks thrash near 120 TPS (disk) / 150 TPS "

@@ -7,17 +7,30 @@ Every figure/table module under :mod:`repro.experiments` exposes::
 ``fast=True`` trims sweep points and run lengths for use in benchmarks
 and CI; the default settings regenerate the full curves reported in
 EXPERIMENTS.md.
+
+Sweeps evaluate their points either serially or across worker
+processes (``parallel=True``): each point is an independent simulation
+with a deterministic per-point seed, so the two paths produce identical
+:class:`Series` and the parallel path cuts figure wall-clock roughly by
+the core count.  Figure modules keep the serial path for ``fast=True``
+runs, whose few short points do not amortize worker start-up.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.metrics import Results
 from repro.core.model import TransactionSystem
 
-__all__ = ["ExperimentResult", "Series", "SeriesPoint", "sweep"]
+__all__ = ["ExperimentResult", "Series", "SeriesPoint", "point_seed",
+           "sweep"]
 
 
 @dataclass
@@ -115,29 +128,88 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
+#: Modulus of the per-point seed space (31-bit, any PRNG accepts it).
+_SEED_SPACE = 2 ** 31 - 1
+#: Golden-ratio increment spreading consecutive point seeds apart.
+_SEED_STRIDE = 0x9E3779B1
+
+
+def point_seed(seed: int, index: int) -> int:
+    """Deterministic seed for sweep point ``index`` of a base ``seed``.
+
+    Pure arithmetic (no ``hash()``), so the value is identical across
+    worker processes, interpreter restarts and platforms.
+    """
+    return (seed * 1_000_003 + (index + 1) * _SEED_STRIDE) % _SEED_SPACE
+
+
+def _evaluate_point(task: Tuple) -> Results:
+    """Run one sweep point; module-level so worker processes can call it."""
+    x, config, workload, warmup, duration, seed = task
+    system = TransactionSystem(config, workload, seed=seed)
+    return system.run(warmup=warmup, duration=duration)
+
+
+def _append_point(series: Series, x: float, results: Results) -> bool:
+    """Add one evaluated point; True when the curve ends (saturation)."""
+    if results.saturated and results.committed == 0:
+        # Beyond saturation nothing completes inside the window;
+        # there is no meaningful response time to report.
+        return True
+    series.points.append(SeriesPoint(x=x, results=results))
+    return results.saturated
+
+
 def sweep(label: str,
           xs: Sequence[float],
           build: Callable[[float], Tuple],
           warmup: float = 3.0,
           duration: float = 8.0,
-          seed: int = 1) -> Series:
+          seed: int = 1,
+          parallel: bool = False,
+          max_workers: Optional[int] = None) -> Series:
     """Run one curve: ``build(x)`` returns ``(config, workload)``.
 
     A saturated point (diverging input queue) ends the curve — points
     past saturation are not meaningful in an open system, and the paper
     likewise truncates such curves (e.g. the single-log-disk line of
     Fig. 4.1).
+
+    ``build`` runs in this process for every point (it may close over
+    arbitrary state); only the resulting ``(config, workload)`` pairs —
+    plain picklable data — are shipped to workers when ``parallel``.
+    Each point gets a :func:`point_seed` derived from ``seed``, so the
+    parallel and serial paths produce identical series: the parallel
+    path evaluates all points concurrently and truncates at the first
+    saturated one, where the serial path stops evaluating.
     """
+    tasks = [
+        (x, *build(x), warmup, duration, point_seed(seed, i))
+        for i, x in enumerate(xs)
+    ]
     series = Series(label=label)
-    for x in xs:
-        config, workload = build(x)
-        system = TransactionSystem(config, workload, seed=seed)
-        results = system.run(warmup=warmup, duration=duration)
-        if results.saturated and results.committed == 0:
-            # Beyond saturation nothing completes inside the window;
-            # there is no meaningful response time to report.
-            break
-        series.points.append(SeriesPoint(x=x, results=results))
-        if results.saturated:
+    if parallel and len(tasks) > 1:
+        workers = max_workers or min(len(tasks), os.cpu_count() or 1)
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                all_results = list(pool.map(_evaluate_point, tasks))
+        except (OSError, pickle.PicklingError, AttributeError, TypeError,
+                BrokenProcessPool) as exc:
+            # No usable worker processes (restricted sandbox, dead
+            # children) or an unpicklable workload: degrade to serial.
+            # A genuine simulation error re-raises from the serial path
+            # below, with a clean single-process traceback.
+            warnings.warn(
+                f"parallel sweep fell back to serial evaluation: {exc!r}",
+                RuntimeWarning, stacklevel=2,
+            )
+            all_results = None
+        if all_results is not None:
+            for task, results in zip(tasks, all_results):
+                if _append_point(series, task[0], results):
+                    break
+            return series
+    for task in tasks:
+        if _append_point(series, task[0], _evaluate_point(task)):
             break
     return series

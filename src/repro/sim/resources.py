@@ -71,6 +71,8 @@ class Request(Event):
 class Resource:
     """A server pool with ``capacity`` units and a FIFO wait queue."""
 
+    __slots__ = ("env", "capacity", "name", "users", "_waiters", "monitor")
+
     def __init__(self, env: Environment, capacity: int = 1,
                  name: str = ""):
         if capacity < 1:
@@ -152,6 +154,8 @@ class PriorityResource(Resource):
     Ties are FIFO (stable via a sequence number).
     """
 
+    __slots__ = ("_heap", "_seq")
+
     def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
         super().__init__(env, capacity, name)
         self._heap: list = []
@@ -179,6 +183,8 @@ class Store:
     Used for the transaction input queue of the transaction manager:
     the SOURCE ``put``s arrivals; MPL slots ``get`` them.
     """
+
+    __slots__ = ("env", "name", "_items", "_getters", "monitor")
 
     def __init__(self, env: Environment, name: str = ""):
         self.env = env

@@ -2,14 +2,37 @@
 
 Sub-modules:
 
+* :mod:`repro.storage.registry` — name-based device & policy registries.
 * :mod:`repro.storage.lru` — the LRU mechanism shared by all cache levels.
+* :mod:`repro.storage.policies` — the :class:`ReplacementPolicy`
+  abstraction plus CLOCK and 2Q implementations.
 * :mod:`repro.storage.cache` — disk-cache policies (volatile,
   non-volatile, write-buffer-only).
+* :mod:`repro.storage.device` — the :class:`StorageDevice` protocol and
+  the semiconductor device models (flash SSD, battery-backed DRAM).
 * :mod:`repro.storage.disk` — disk units (regular / cached / SSD).
 * :mod:`repro.storage.nvem` — the non-volatile extended memory device.
-* :mod:`repro.storage.hierarchy` — device wiring + allocation resolution.
+* :mod:`repro.storage.hierarchy` — registry-driven device wiring +
+  allocation resolution.
+
+Importing this package registers every built-in device kind and
+replacement policy (see :mod:`repro.storage.registry`).
 """
 
+from repro.storage.registry import (
+    device_kinds,
+    make_device,
+    make_policy,
+    policy_kinds,
+    register_device,
+    register_policy,
+)
+from repro.storage.lru import LRUCache, LRUEntry
+from repro.storage.policies import (
+    ClockPolicy,
+    ReplacementPolicy,
+    TwoQPolicy,
+)
 from repro.storage.cache import (
     CacheDecision,
     NonVolatileCachePolicy,
@@ -17,21 +40,38 @@ from repro.storage.cache import (
     WriteBufferPolicy,
     make_cache_policy,
 )
-from repro.storage.disk import DiskUnit, IOResult
-from repro.storage.hierarchy import StorageSubsystem
-from repro.storage.lru import LRUCache, LRUEntry
+from repro.storage.device import (
+    BatteryDRAMDevice,
+    FlashSSDDevice,
+    IOResult,
+    StorageDevice,
+)
+from repro.storage.disk import DiskUnit
 from repro.storage.nvem import NVEMDevice
+from repro.storage.hierarchy import StorageSubsystem
 
 __all__ = [
+    "BatteryDRAMDevice",
     "CacheDecision",
+    "ClockPolicy",
     "DiskUnit",
+    "FlashSSDDevice",
     "IOResult",
     "LRUCache",
     "LRUEntry",
     "NVEMDevice",
     "NonVolatileCachePolicy",
+    "ReplacementPolicy",
+    "StorageDevice",
     "StorageSubsystem",
+    "TwoQPolicy",
     "VolatileCachePolicy",
     "WriteBufferPolicy",
+    "device_kinds",
     "make_cache_policy",
+    "make_device",
+    "make_policy",
+    "policy_kinds",
+    "register_device",
+    "register_policy",
 ]

@@ -23,7 +23,9 @@ from __future__ import annotations
 from typing import Hashable, Optional
 
 from repro.sim.stats import CategoryCounter
-from repro.storage.lru import LRUCache, LRUEntry
+from repro.storage.lru import LRUEntry
+from repro.storage.policies import ReplacementPolicy  # registers built-ins
+from repro.storage.registry import make_policy
 
 __all__ = [
     "CacheDecision",
@@ -52,12 +54,16 @@ class CacheDecision:
 
 
 class VolatileCachePolicy:
-    """LRU read cache; write-through with no write-allocate."""
+    """Read cache; write-through with no write-allocate.
+
+    ``policy`` selects the replacement structure from the registry
+    ("lru" matches the paper's IBM 3990 behaviour).
+    """
 
     nonvolatile = False
 
-    def __init__(self, capacity: int):
-        self.lru = LRUCache(capacity)
+    def __init__(self, capacity: int, policy="lru"):
+        self.lru: ReplacementPolicy = make_policy(policy, capacity)
         self.stats = CategoryCounter()
 
     def on_read(self, key: Hashable) -> CacheDecision:
@@ -96,12 +102,12 @@ class VolatileCachePolicy:
 
 
 class NonVolatileCachePolicy:
-    """LRU cache absorbing writes; disk updated asynchronously."""
+    """Write-absorbing cache; disk updated asynchronously."""
 
     nonvolatile = True
 
-    def __init__(self, capacity: int):
-        self.lru = LRUCache(capacity)
+    def __init__(self, capacity: int, policy="lru"):
+        self.lru: ReplacementPolicy = make_policy(policy, capacity)
         self.stats = CategoryCounter()
 
     # -- reads -------------------------------------------------------------
@@ -163,7 +169,7 @@ class NonVolatileCachePolicy:
             entry.dirty = False
 
     def dirty_count(self) -> int:
-        return sum(1 for e in self.lru.items_mru_to_lru() if e.dirty)
+        return sum(1 for e in self.lru.entries() if e.dirty)
 
     def __len__(self) -> int:
         return len(self.lru)
@@ -208,12 +214,19 @@ class WriteBufferPolicy:
 
 
 def make_cache_policy(capacity: int, nonvolatile: bool,
-                      write_buffer_only: bool) -> "VolatileCachePolicy | NonVolatileCachePolicy | WriteBufferPolicy":
-    """Factory used by :class:`repro.storage.disk.DiskUnit`."""
+                      write_buffer_only: bool,
+                      policy="lru") -> "VolatileCachePolicy | NonVolatileCachePolicy | WriteBufferPolicy":
+    """Factory used by :class:`repro.storage.disk.DiskUnit`.
+
+    ``policy`` (a registry kind, ``(kind, params)`` tuple or
+    :class:`~repro.core.config.PolicySpec`) selects the replacement
+    structure of the caching variants; the write buffer holds no
+    read-cached pages and ignores it.
+    """
     if write_buffer_only:
         if not nonvolatile:
             raise ValueError("a write buffer must be non-volatile")
         return WriteBufferPolicy(capacity)
     if nonvolatile:
-        return NonVolatileCachePolicy(capacity)
-    return VolatileCachePolicy(capacity)
+        return NonVolatileCachePolicy(capacity, policy=policy)
+    return VolatileCachePolicy(capacity, policy=policy)

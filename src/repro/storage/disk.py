@@ -26,35 +26,26 @@ no host CPU).
 
 from __future__ import annotations
 
-from typing import Generator, Hashable
+from typing import Dict, Generator, Hashable
 
 from repro.core.config import DiskUnitConfig, DiskUnitType, Distribution
 from repro.sim import Environment, RandomStreams, Resource
 from repro.sim.core import Event
 from repro.sim.stats import CategoryCounter
 from repro.storage.cache import CacheDecision, make_cache_policy
+from repro.storage.device import (
+    IOResult,
+    LEVEL_CACHE,
+    LEVEL_DISK,
+    LEVEL_SSD,
+    StorageDevice,
+)
+from repro.storage.registry import register_device
 
 __all__ = ["DiskUnit", "IOResult"]
 
-#: Service levels reported back to the buffer manager for statistics.
-LEVEL_CACHE = "disk_cache"
-LEVEL_DISK = "disk"
-LEVEL_SSD = "ssd"
 
-
-class IOResult:
-    """Outcome of one I/O against a disk unit."""
-
-    __slots__ = ("level", "latency")
-
-    def __init__(self, level: str, latency: float):
-        #: Where the I/O was satisfied: "disk_cache", "disk" or "ssd".
-        self.level = level
-        #: Elapsed simulated time for the synchronous part of the I/O.
-        self.latency = latency
-
-
-class DiskUnit:
+class DiskUnit(StorageDevice):
     """One disk unit with its controllers, disks and optional cache."""
 
     def __init__(self, env: Environment, streams: RandomStreams,
@@ -80,6 +71,7 @@ class DiskUnit:
                 config.cache_size,
                 nonvolatile=config.unit_type == DiskUnitType.NONVOLATILE_CACHE,
                 write_buffer_only=config.write_buffer_only,
+                policy=config.cache_policy,
             )
         else:
             self.cache = None
@@ -225,6 +217,12 @@ class DiskUnit:
     def controller_utilization(self) -> float:
         return self.controllers.monitor.utilization(self.controllers.capacity)
 
+    def utilization_report(self) -> Dict[str, float]:
+        return {
+            "controllers": self.controller_utilization(),
+            "disks": self.mean_disk_utilization(),
+        }
+
     def reset_stats(self) -> None:
         self.stats.reset()
         self.controllers.monitor.reset()
@@ -232,3 +230,23 @@ class DiskUnit:
             disk.monitor.reset()
         if self.cache is not None:
             self.cache.stats.reset()
+
+
+def _make_disk_unit(env: Environment, streams: RandomStreams,
+                    spec) -> DiskUnit:
+    """Device-registry factory for the four classic unit kinds.
+
+    A spec either carries a ready :class:`DiskUnitConfig` under
+    ``params["config"]`` (how :meth:`SystemConfig.device_specs` wraps the
+    legacy table) or plain ``DiskUnitConfig`` field values.
+    """
+    config = spec.params.get("config")
+    if config is None:
+        params = dict(spec.params)
+        params.setdefault("unit_type", DiskUnitType(spec.kind))
+        config = DiskUnitConfig(name=spec.name, **params)
+    return DiskUnit(env, streams, config)
+
+
+for _kind in DiskUnitType:
+    register_device(_kind.value, _make_disk_unit)

@@ -1,7 +1,8 @@
 """Storage-hierarchy wiring: devices + partition/log allocation (Fig. 3.2).
 
-:class:`StorageSubsystem` instantiates the NVEM device and every disk
-unit of a :class:`~repro.core.config.SystemConfig` and resolves, per
+:class:`StorageSubsystem` resolves every device of a
+:class:`~repro.core.config.SystemConfig` through the device registry —
+it holds no knowledge of concrete device classes — and resolves, per
 partition, where its permanent pages live.  The buffer manager asks it
 three questions:
 
@@ -25,8 +26,8 @@ from repro.core.config import (
     SystemConfig,
 )
 from repro.sim import Environment, RandomStreams
-from repro.storage.disk import DiskUnit
-from repro.storage.nvem import NVEMDevice
+from repro.storage.device import StorageDevice
+from repro.storage.registry import make_device
 
 __all__ = ["StorageSubsystem"]
 
@@ -42,10 +43,10 @@ class StorageSubsystem:
                  config: SystemConfig):
         self.env = env
         self.config = config
-        self.nvem_device = NVEMDevice(env, streams, config.nvem)
-        self.units: Dict[str, DiskUnit] = {
-            unit_cfg.name: DiskUnit(env, streams, unit_cfg)
-            for unit_cfg in config.disk_units
+        self.nvem_device = make_device(config.nvem_spec(), env, streams)
+        self.units: Dict[str, StorageDevice] = {
+            spec.name: make_device(spec, env, streams)
+            for spec in config.device_specs()
         }
         #: partition name -> allocation target string
         self._alloc: Dict[str, str] = {
@@ -65,7 +66,7 @@ class StorageSubsystem:
     def is_nvem_resident(self, partition: str) -> bool:
         return self._alloc[partition] == NVEM
 
-    def unit_of(self, partition: str) -> Optional[DiskUnit]:
+    def unit_of(self, partition: str) -> Optional[StorageDevice]:
         target = self._alloc[partition]
         if target in (MEMORY, NVEM):
             return None
@@ -76,7 +77,7 @@ class StorageSubsystem:
         return self._log_target == NVEM
 
     @property
-    def log_unit(self) -> Optional[DiskUnit]:
+    def log_unit(self) -> Optional[StorageDevice]:
         if self._log_target == NVEM:
             return None
         return self.units[self._log_target]
@@ -130,11 +131,8 @@ class StorageSubsystem:
 
     def utilization_report(self) -> Dict[str, Dict[str, float]]:
         report: Dict[str, Dict[str, float]] = {
-            "nvem": {"servers": self.nvem_device.utilization},
+            "nvem": self.nvem_device.utilization_report(),
         }
         for name, unit in self.units.items():
-            report[name] = {
-                "controllers": unit.controller_utilization(),
-                "disks": unit.mean_disk_utilization(),
-            }
+            report[name] = unit.utilization_report()
         return report

@@ -15,6 +15,7 @@ from typing import Generator
 from repro.core.config import Distribution, NVEMConfig
 from repro.sim import Environment, RandomStreams, Resource
 from repro.sim.stats import CategoryCounter
+from repro.storage.registry import register_device
 
 __all__ = ["NVEMDevice"]
 
@@ -52,6 +53,18 @@ class NVEMDevice:
     def utilization(self) -> float:
         return self.servers.monitor.utilization(self.servers.capacity)
 
+    def utilization_report(self) -> dict:
+        return {"servers": self.utilization}
+
     def reset_stats(self) -> None:
         self.stats.reset()
         self.servers.monitor.reset()
+
+
+@register_device("nvem")
+def _make_nvem(env: Environment, streams: RandomStreams,
+               spec) -> NVEMDevice:
+    config = spec.params.get("config")
+    if config is None:
+        config = NVEMConfig(**spec.params)
+    return NVEMDevice(env, streams, config)

@@ -1,0 +1,118 @@
+"""Name-based registries for storage devices and replacement policies.
+
+The paper evaluates a *menu* of extended storage architectures; growing
+that menu must not require editing the wiring code.  Two registries make
+the storage layer pluggable:
+
+* the **device registry** maps a device *kind* (``"regular"``,
+  ``"ssd"``, ``"nvem"``, ``"flash_ssd"``, ...) to a factory building the
+  simulated device from a :class:`~repro.core.config.DeviceSpec`;
+* the **policy registry** maps a replacement-policy kind (``"lru"``,
+  ``"clock"``, ``"2q"``) to a factory building the eviction structure
+  used by the buffer manager and the disk-cache policies.
+
+Configuration objects (:mod:`repro.core.config`) stay pure data: they
+carry ``(kind, params)`` specs and never import concrete device or
+policy classes.  :class:`~repro.storage.hierarchy.StorageSubsystem`,
+:class:`~repro.core.bm.BufferManager` and the disk-cache policies
+resolve those specs here, so registering a new device or policy (see
+``README.md``, *Architecture & extension points*) is one decorator —
+no other module changes.
+
+Built-in kinds register themselves when :mod:`repro.storage` is
+imported (importing any ``repro.storage.*`` submodule triggers the
+package ``__init__``, so registration is always complete before use).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable
+
+__all__ = [
+    "Registry",
+    "device_kinds",
+    "make_device",
+    "make_policy",
+    "policy_kinds",
+    "register_device",
+    "register_policy",
+]
+
+
+class Registry:
+    """A named factory table with decorator-style registration."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self._factories: Dict[str, Callable] = {}
+
+    def register(self, kind: str, factory: Callable = None):
+        """Register ``factory`` under ``kind``; usable as a decorator.
+
+        Re-registering a kind replaces the previous factory (so tests
+        and user code can override built-ins).
+        """
+        if factory is None:
+            def decorator(fn: Callable) -> Callable:
+                self._factories[kind] = fn
+                return fn
+            return decorator
+        self._factories[kind] = factory
+        return factory
+
+    def create(self, kind: str, *args, **kwargs):
+        try:
+            factory = self._factories[kind]
+        except KeyError:
+            known = ", ".join(sorted(self._factories)) or "<none>"
+            raise KeyError(
+                f"unknown {self.label} kind {kind!r}; registered: {known}"
+            ) from None
+        return factory(*args, **kwargs)
+
+    def kinds(self) -> Iterable[str]:
+        return sorted(self._factories)
+
+    def __contains__(self, kind: str) -> bool:
+        return kind in self._factories
+
+
+#: Device kind -> factory(env, streams, spec) -> device instance.
+DEVICE_REGISTRY = Registry("storage device")
+#: Policy kind -> factory(capacity, **params) -> ReplacementPolicy.
+POLICY_REGISTRY = Registry("replacement policy")
+
+
+def register_device(kind: str, factory: Callable = None):
+    """Register a storage-device factory ``(env, streams, spec)``."""
+    return DEVICE_REGISTRY.register(kind, factory)
+
+
+def register_policy(kind: str, factory: Callable = None):
+    """Register a replacement-policy factory ``(capacity, **params)``."""
+    return POLICY_REGISTRY.register(kind, factory)
+
+
+def make_device(spec, env, streams):
+    """Build the device described by a ``(kind, params)`` spec."""
+    return DEVICE_REGISTRY.create(spec.kind, env, streams, spec)
+
+
+def make_policy(spec, capacity: int):
+    """Build a replacement policy from a spec, ``(kind, params)`` tuple
+    or plain kind string."""
+    if isinstance(spec, str):
+        kind, params = spec, {}
+    elif isinstance(spec, tuple):
+        kind, params = spec
+    else:  # PolicySpec or anything spec-shaped
+        kind, params = spec.kind, spec.params
+    return POLICY_REGISTRY.create(kind, capacity, **(params or {}))
+
+
+def device_kinds() -> Iterable[str]:
+    return DEVICE_REGISTRY.kinds()
+
+
+def policy_kinds() -> Iterable[str]:
+    return POLICY_REGISTRY.kinds()

@@ -1,0 +1,85 @@
+"""Tests for the parallel sweep engine (repro.experiments.runner)."""
+
+from repro.core.config import (
+    CMConfig,
+    LogAllocation,
+    NVEM,
+    NVEMConfig,
+    PartitionConfig,
+    SystemConfig,
+)
+from repro.experiments.runner import point_seed, sweep
+from repro.workload.debit_credit import DebitCreditWorkload
+
+
+def tiny_config() -> SystemConfig:
+    """An all-NVEM Debit-Credit system small enough for sub-second runs."""
+    from repro.workload.debit_credit import build_debit_credit_partitions
+
+    partitions = build_debit_credit_partitions(
+        num_branches=20, accounts_per_branch=1000,
+        allocation=NVEM, bt_allocation=NVEM,
+    )
+    config = SystemConfig(
+        partitions=partitions,
+        disk_units=[],
+        nvem=NVEMConfig(num_servers=2),
+        cm=CMConfig(mpl=20, buffer_size=64),
+        log=LogAllocation(device=NVEM),
+    )
+    config.validate()
+    return config
+
+
+def build(rate: float):
+    return tiny_config(), DebitCreditWorkload(
+        arrival_rate=rate, num_branches=20, accounts_per_branch=1000,
+    )
+
+
+class TestPointSeeds:
+    def test_deterministic_and_distinct(self):
+        seeds = [point_seed(1, i) for i in range(10)]
+        assert seeds == [point_seed(1, i) for i in range(10)]
+        assert len(set(seeds)) == 10
+
+    def test_varies_with_base_seed(self):
+        assert point_seed(1, 0) != point_seed(2, 0)
+
+
+class TestParallelSweep:
+    XS = [20, 40, 60]
+
+    def test_parallel_matches_serial_byte_identically(self):
+        serial = sweep("s", self.XS, build, warmup=0.5, duration=1.0)
+        parallel = sweep("s", self.XS, build, warmup=0.5, duration=1.0,
+                         parallel=True, max_workers=2)
+        assert [p.x for p in serial.points] == \
+            [p.x for p in parallel.points]
+        for sp, pp in zip(serial.points, parallel.points):
+            assert sp.results == pp.results
+
+    def test_unpicklable_workload_degrades_to_serial(self):
+        def build_unpicklable(rate):
+            config, workload = build(rate)
+            workload.hook = lambda: None  # closures cannot be pickled
+            return config, workload
+
+        series = sweep("s", [20, 30], build_unpicklable,
+                       warmup=0.2, duration=0.5, parallel=True,
+                       max_workers=2)
+        assert [p.x for p in series.points] == [20, 30]
+
+    def test_parallel_truncates_at_saturation_like_serial(self):
+        xs = [20, 100_000, 200_000]
+        serial = sweep("s", xs, build, warmup=0.2, duration=1.0)
+        parallel = sweep("s", xs, build, warmup=0.2, duration=1.0,
+                         parallel=True, max_workers=2)
+        assert [p.x for p in serial.points] == \
+            [p.x for p in parallel.points]
+        assert 200_000 not in [p.x for p in parallel.points]
+
+    def test_single_point_skips_worker_pool(self):
+        series = sweep("s", [20], build, warmup=0.2, duration=0.5,
+                       parallel=True)
+        assert len(series.points) == 1

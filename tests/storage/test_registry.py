@@ -1,0 +1,180 @@
+"""Tests for the device/policy registries and the new device models."""
+
+import pathlib
+
+import pytest
+
+from repro.core.config import (
+    CMConfig,
+    DeviceSpec,
+    DiskUnitConfig,
+    LogAllocation,
+    NVEMConfig,
+    PartitionConfig,
+    PolicySpec,
+    SystemConfig,
+)
+from repro.sim import Environment, RandomStreams
+from repro.storage import (
+    BatteryDRAMDevice,
+    ClockPolicy,
+    FlashSSDDevice,
+    LRUCache,
+    StorageSubsystem,
+    TwoQPolicy,
+    device_kinds,
+    make_device,
+    make_policy,
+    policy_kinds,
+    register_device,
+)
+from repro.storage.cache import VolatileCachePolicy
+
+
+def drive(env, gen):
+    return env.run(until=env.process(gen))
+
+
+class TestRegistryResolution:
+    def test_builtin_device_kinds(self):
+        kinds = set(device_kinds())
+        assert {"regular", "volatile_cache", "nonvolatile_cache", "ssd",
+                "flash_ssd", "battery_dram", "nvem"} <= kinds
+        assert len(kinds) >= 4
+
+    def test_builtin_policy_kinds(self):
+        assert {"lru", "clock", "2q"} <= set(policy_kinds())
+
+    def test_unknown_device_kind_raises(self):
+        spec = DeviceSpec(kind="tape", name="t0")
+        with pytest.raises(KeyError, match="tape"):
+            make_device(spec, Environment(), RandomStreams(1))
+
+    def test_unknown_policy_kind_raises(self):
+        with pytest.raises(KeyError, match="fifo"):
+            make_policy("fifo", 10)
+
+    def test_make_policy_accepts_spec_tuple_and_string(self):
+        assert isinstance(make_policy("lru", 4), LRUCache)
+        assert isinstance(make_policy(("clock", {}), 4), ClockPolicy)
+        spec = PolicySpec(kind="2q", params={"kin": 2})
+        policy = make_policy(spec, 8)
+        assert isinstance(policy, TwoQPolicy)
+        assert policy.kin == 2
+
+    def test_custom_device_registration(self):
+        created = {}
+
+        @register_device("test_null_device")
+        def _factory(env, streams, spec):
+            created["spec"] = spec
+            return BatteryDRAMDevice(env, streams, name=spec.name)
+
+        spec = DeviceSpec(kind="test_null_device", name="n0")
+        device = make_device(spec, Environment(), RandomStreams(1))
+        assert device.name == "n0"
+        assert created["spec"] is spec
+
+
+class TestNewDevices:
+    def test_flash_read_write_asymmetry(self):
+        env = Environment()
+        flash = FlashSSDDevice(env, RandomStreams(1), name="f0",
+                               num_controllers=1, num_channels=1)
+        read = drive(env, flash.read((0, 1)))
+        write = drive(env, flash.write((0, 1)))
+        assert read.level == "flash" and write.level == "flash"
+        assert write.latency > read.latency
+        assert write.latency - read.latency == pytest.approx(
+            flash.write_delay - flash.read_delay
+        )
+
+    def test_flash_channels_striped_by_page(self):
+        env = Environment()
+        flash = FlashSSDDevice(env, RandomStreams(1), name="f0",
+                               num_channels=4)
+        assert flash._channel_for((0, 5)) is flash.channels[1]
+        assert flash._channel_for(8) is flash.channels[0]
+
+    def test_battery_dram_symmetric_and_fast(self):
+        env = Environment()
+        dram = BatteryDRAMDevice(env, RandomStreams(1), name="b0")
+        read = drive(env, dram.read((0, 1)))
+        write = drive(env, dram.write((0, 1)))
+        assert read.level == "battery_dram"
+        assert read.latency == pytest.approx(write.latency)
+        assert read.latency < 0.001
+
+    def test_utilization_reports(self):
+        env = Environment()
+        flash = FlashSSDDevice(env, RandomStreams(1), name="f0")
+        drive(env, flash.write((0, 1)))
+        report = flash.utilization_report()
+        assert set(report) == {"controllers", "channels"}
+        flash.reset_stats()
+        assert flash.stats.total() == 0
+
+
+class TestConfigSpecs:
+    def build_config(self):
+        config = SystemConfig(
+            partitions=[
+                PartitionConfig("hot", num_objects=100,
+                                allocation="flash0"),
+                PartitionConfig("cold", num_objects=100,
+                                allocation="unit0"),
+            ],
+            disk_units=[DiskUnitConfig(name="unit0")],
+            devices=[DeviceSpec(kind="flash_ssd", name="flash0")],
+            nvem=NVEMConfig(),
+            cm=CMConfig(),
+            log=LogAllocation(device="unit0"),
+        )
+        config.validate()
+        return config
+
+    def test_device_specs_merges_both_styles(self):
+        config = self.build_config()
+        specs = {s.name: s.kind for s in config.device_specs()}
+        assert specs == {"unit0": "regular", "flash0": "flash_ssd"}
+
+    def test_hierarchy_resolves_spec_devices(self):
+        config = self.build_config()
+        env = Environment()
+        storage = StorageSubsystem(env, RandomStreams(1), config)
+        assert isinstance(storage.units["flash0"], FlashSSDDevice)
+        result = drive(env, storage.read_page(0, "hot", 3))
+        assert result.level == "flash"
+
+    def test_duplicate_names_across_styles_rejected(self):
+        config = self.build_config()
+        config.devices.append(DeviceSpec(kind="battery_dram",
+                                         name="unit0"))
+        with pytest.raises(ValueError, match="duplicate"):
+            config.validate()
+
+    def test_nvem_kind_rejected_in_devices_list(self):
+        config = self.build_config()
+        config.devices.append(DeviceSpec(kind="nvem", name="x"))
+        with pytest.raises(ValueError, match="nvem"):
+            config.validate()
+
+    def test_disk_cache_policy_spec(self):
+        cache = VolatileCachePolicy(8, policy=PolicySpec(kind="clock"))
+        assert isinstance(cache.lru, ClockPolicy)
+
+
+class TestLayering:
+    def test_no_concrete_storage_imports_outside_storage(self):
+        """Modules outside storage/ must use the registries, not the
+        concrete NVEMDevice/DiskUnit/LRUCache classes."""
+        src = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+        offenders = []
+        for path in src.rglob("*.py"):
+            if "storage" in path.parts:
+                continue
+            text = path.read_text()
+            for name in ("NVEMDevice", "DiskUnit(", "LRUCache"):
+                if name in text:
+                    offenders.append(f"{path.name}: {name}")
+        assert offenders == []

@@ -40,6 +40,23 @@ def test_trace_gen_and_run(tmp_path, capsys):
     assert "normalized response" in out
 
 
+def test_registry_listing(capsys):
+    code = main(["registry"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "flash_ssd" in out and "battery_dram" in out
+    assert "clock" in out and "2q" in out
+
+
+def test_run_with_mm_policy_and_new_scheme(capsys):
+    code = main(["run", "--scheme", "battery-dram", "--rate", "50",
+                 "--duration", "1", "--warmup", "0.5",
+                 "--mm-policy", "clock"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "battery_dram" in out
+
+
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
