@@ -1,0 +1,231 @@
+#!/usr/bin/env python
+"""Tracked kernel benchmarks: emit and regression-check ``BENCH_kernel.json``.
+
+Every paper figure is produced by replaying millions of kernel events,
+so kernel speed bounds experiment turnaround.  This harness times the
+three levels that matter and writes them to a JSON trajectory file:
+
+* ``event_chain`` — a single process yielding 20k timeouts: the pure
+  ``yield env.timeout`` hot path.
+* ``resource_contention`` — 2k customers through a three-stage FIFO
+  queueing network: request/grant/release plus timeout mix.
+* ``priority_cancel`` — a priority queue under heavy cancellation:
+  exercises the eager-purge/compaction path.
+* ``debit_credit`` — one simulated second of 200 TPS Debit-Credit:
+  the end-to-end simulator.
+
+Because absolute times differ between machines, each benchmark also
+reports a *normalized* score: its time divided by the time of a fixed
+pure-Python calibration loop measured on the same interpreter.  The
+``--check`` mode compares normalized scores against a committed
+baseline, so a uniformly slower CI runner does not trip the gate while
+a genuine kernel regression does.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/kernel_bench.py --out BENCH_kernel.json
+    PYTHONPATH=src python benchmarks/kernel_bench.py \
+        --check BENCH_kernel.json --tolerance 0.30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.sim import Environment, PriorityResource, RandomStreams, Resource
+
+#: PR 1 measurements (pre-overhaul kernel), kept for the trajectory.
+REFERENCE = {
+    "source": "PR 1 baseline (pre fast-path kernel)",
+    "event_chain_ms": 21.7,
+    "debit_credit_ms": 127.0,
+}
+
+
+# -- workloads -----------------------------------------------------------
+def bench_event_chain(n: int = 20_000) -> int:
+    env = Environment()
+
+    def proc(env):
+        for _ in range(n):
+            yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run()
+    assert env.now == float(n)
+    return n
+
+
+def bench_resource_contention(customers: int = 2_000) -> int:
+    env = Environment()
+    streams = RandomStreams(1)
+    servers = [Resource(env, capacity=2) for _ in range(3)]
+
+    def customer(env):
+        for server in servers:
+            req = server.request()
+            yield req
+            yield env.timeout(streams.exponential("svc", 1.0))
+            server.release(req)
+
+    def source(env):
+        for _ in range(customers):
+            yield env.timeout(streams.exponential("arr", 0.5))
+            env.process(customer(env))
+
+    env.process(source(env))
+    env.run()
+    return customers
+
+
+def bench_priority_cancel(customers: int = 2_000) -> int:
+    """Contended priority resource with a third of the waiters aborted."""
+    env = Environment()
+    streams = RandomStreams(2)
+    server = PriorityResource(env, capacity=2)
+
+    def customer(env, i):
+        req = server.request(priority=i % 7)
+        if i % 3 == 0:
+            # Give up quickly: exercises cancel/purge under load.
+            result = yield env.any_of([req, env.timeout(0.4)])
+            if req not in result.values():
+                server.cancel(req)
+                return
+        else:
+            yield req
+        yield env.timeout(streams.exponential("svc", 1.0))
+        server.release(req)
+
+    def source(env):
+        for i in range(customers):
+            yield env.timeout(streams.exponential("arr", 0.3))
+            env.process(customer(env, i))
+
+    env.process(source(env))
+    env.run()
+    return customers
+
+
+def bench_debit_credit() -> int:
+    from repro.core.model import TransactionSystem
+    from repro.experiments.defaults import debit_credit_config, disk_only
+    from repro.workload.debit_credit import DebitCreditWorkload
+
+    config = debit_credit_config(disk_only())
+    system = TransactionSystem(config, DebitCreditWorkload(arrival_rate=200))
+    results = system.run(warmup=0.5, duration=1.0)
+    assert results.committed > 100
+    return results.committed
+
+
+def calibration(loops: int = 2_000_000) -> int:
+    """Fixed pure-Python spin loop; the machine-speed yardstick."""
+    acc = 0
+    for i in range(loops):
+        acc += i & 7
+    return acc
+
+
+BENCHMARKS: List[Tuple[str, Callable[[], int], str]] = [
+    ("event_chain", bench_event_chain, "20k-timeout chain"),
+    ("resource_contention", bench_resource_contention,
+     "2k customers, 3-stage FIFO network"),
+    ("priority_cancel", bench_priority_cancel,
+     "2k customers, priority queue, 1/3 cancelled"),
+    ("debit_credit", bench_debit_credit,
+     "1 s of 200 TPS Debit-Credit end-to-end"),
+]
+
+
+# -- harness -------------------------------------------------------------
+def _time_ms(fn: Callable[[], int], repeats: int) -> Dict[str, float]:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append((time.perf_counter() - t0) * 1e3)
+    times.sort()
+    return {
+        "ms_min": round(times[0], 3),
+        "ms_median": round(times[len(times) // 2], 3),
+        "repeats": repeats,
+    }
+
+
+def run_suite(repeats: int = 5) -> Dict:
+    calib = _time_ms(calibration, repeats)
+    report = {
+        "schema": "repro-kernel-bench/1",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "calibration_ms": calib["ms_min"],
+        "reference": REFERENCE,
+        "benchmarks": {},
+    }
+    for name, fn, desc in BENCHMARKS:
+        fn()  # warm-up (imports, caches)
+        timing = _time_ms(fn, repeats)
+        timing["description"] = desc
+        timing["normalized"] = round(timing["ms_min"] / calib["ms_min"], 4)
+        report["benchmarks"][name] = timing
+        print(f"{name:22s} {timing['ms_min']:9.2f} ms  "
+              f"(x{timing['normalized']:.2f} calib)  {desc}",
+              file=sys.stderr)
+    return report
+
+
+def check(report: Dict, baseline_path: str, tolerance: float) -> int:
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures = []
+    for name, current in report["benchmarks"].items():
+        base = baseline.get("benchmarks", {}).get(name)
+        if base is None:
+            continue
+        allowed = base["normalized"] * (1.0 + tolerance)
+        status = "ok" if current["normalized"] <= allowed else "REGRESSION"
+        print(f"check {name:22s} normalized {current['normalized']:.3f} "
+              f"vs baseline {base['normalized']:.3f} "
+              f"(limit {allowed:.3f}): {status}", file=sys.stderr)
+        if status != "ok":
+            failures.append(name)
+    if failures:
+        print(f"kernel benchmark regression (> {tolerance:.0%}) in: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", help="write the JSON report to this path")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a committed baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed normalized slowdown (default 0.30)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing repetitions per benchmark (default 5)")
+    args = parser.parse_args(argv)
+
+    report = run_suite(repeats=args.repeats)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        print()
+    if args.check:
+        return check(report, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -159,6 +159,30 @@ class LockManager:
         tx.waiting_for = None
         return outcome
 
+    def withdraw(self, tx: Transaction) -> None:
+        """Remove ``tx``'s pending lock wait without waking it.
+
+        Used when the waiting process itself is torn down (interrupted
+        / externally aborted) rather than woken as a deadlock victim:
+        the waiter entry must leave the queue immediately, or deadlock
+        detection would chase a ghost edge and the queue slot would
+        block compatible requests behind it.
+        """
+        entry = self._waiting.pop(tx.tx_id, None)
+        if entry is None:
+            return
+        waiter, resource_id = entry
+        lock = self._locks.get(resource_id)
+        if lock is not None:
+            try:
+                lock.queue.remove(waiter)
+            except ValueError:  # pragma: no cover - consistency guard
+                pass
+            self._grant_from_queue(resource_id, lock)
+            if not lock.holders and not lock.queue:
+                del self._locks[resource_id]
+        tx.waiting_for = None
+
     def release_all(self, tx: Transaction) -> None:
         """Strict 2PL unlock: drop every lock and wake grantable waiters."""
         for resource_id in list(tx.held_locks.keys()):

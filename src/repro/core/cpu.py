@@ -50,17 +50,25 @@ class CPUPool:
     # -- execution primitives ------------------------------------------------
     def execute(self, tx: Optional[Transaction], mean_instructions: float,
                 exponential: bool = True) -> Generator:
-        """Acquire a CPU, burn the instructions, release."""
+        """Acquire a CPU, burn the instructions, release.
+
+        Interrupt-safe: tearing down the executing process at any wait
+        point withdraws or returns the CPU claim instead of leaking it.
+        """
         service = self._service_seconds(mean_instructions, exponential)
         request = self.cpus.request()
         queued_at = self.env.now
-        yield request
-        if tx is not None:
-            tx.wait_cpu += self.env.now - queued_at
-        if service > 0:
-            yield self.env.timeout(service)
-        if tx is not None:
-            tx.service_cpu += service
+        try:
+            yield request
+            if tx is not None:
+                tx.wait_cpu += self.env.now - queued_at
+            if service > 0:
+                yield self.env.timeout(service)
+            if tx is not None:
+                tx.service_cpu += service
+        except BaseException:
+            self.cpus.cancel(request)
+            raise
         self.cpus.release(request)
 
     def execute_with_sync_access(self, tx: Optional[Transaction],
@@ -76,17 +84,21 @@ class CPUPool:
         service = self._service_seconds(mean_instructions, exponential)
         request = self.cpus.request()
         queued_at = self.env.now
-        yield request
-        if tx is not None:
-            tx.wait_cpu += self.env.now - queued_at
-        if service > 0:
-            yield self.env.timeout(service)
-        if tx is not None:
-            tx.service_cpu += service
-        access_start = self.env.now
-        result = yield from access
-        if tx is not None:
-            tx.wait_nvem += self.env.now - access_start
+        try:
+            yield request
+            if tx is not None:
+                tx.wait_cpu += self.env.now - queued_at
+            if service > 0:
+                yield self.env.timeout(service)
+            if tx is not None:
+                tx.service_cpu += service
+            access_start = self.env.now
+            result = yield from access
+            if tx is not None:
+                tx.wait_nvem += self.env.now - access_start
+        except BaseException:
+            self.cpus.cancel(request)
+            raise
         self.cpus.release(request)
         return result
 

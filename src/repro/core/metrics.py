@@ -164,11 +164,15 @@ class MetricsCollector:
         totals["async_io"] += tx.wait_async_io
         totals["nvem"] += tx.wait_nvem
 
-    def record_abort(self, tx: Transaction) -> None:
+    def record_abort(self, tx: Transaction, restarted: bool = True) -> None:
+        """Count an abort; ``restarted=False`` for external aborts that
+        tear the transaction down without re-running it (the restart
+        counter tracks deadlock victims that actually re-execute)."""
         if not self.active:
             return
         self.aborted += 1
-        self.restarts += 1
+        if restarted:
+            self.restarts += 1
 
     def record_page_access(self, tag: Optional[str], level: str) -> None:
         if not self.active:

@@ -25,7 +25,7 @@ from repro.core.config import CCMode, PartitionConfig, SystemConfig
 from repro.core.cpu import CPUPool
 from repro.core.metrics import MetricsCollector
 from repro.core.transaction import ObjectRef, Transaction
-from repro.sim import Environment, Resource
+from repro.sim import Environment, Interrupt, Resource
 
 __all__ = ["TransactionManager"]
 
@@ -53,11 +53,15 @@ class TransactionManager:
         self.completed = 0
 
     # -- admission ------------------------------------------------------
-    def submit(self, tx: Transaction) -> None:
-        """Accept a new transaction from the SOURCE (open system)."""
+    def submit(self, tx: Transaction):
+        """Accept a new transaction from the SOURCE (open system).
+
+        Returns the lifecycle :class:`~repro.sim.Process` so callers
+        implementing external abort policies can ``interrupt()`` it.
+        """
         tx.arrival_time = self.env.now
         self.submitted += 1
-        self.env.process(self._lifecycle(tx))
+        return self.env.process(self._lifecycle(tx))
 
     @property
     def input_queue_length(self) -> int:
@@ -67,14 +71,38 @@ class TransactionManager:
         slot = self.mpl_slots.request()
         queued_at = self.env.now
         self.metrics.note_input_queue(self.mpl_slots.queue_length)
-        yield slot
+        try:
+            yield slot
+        except Interrupt:
+            # Interrupted while queueing for admission.  The kernel has
+            # already withdrawn the request (Request._abandoned); the
+            # explicit cancel is an idempotent belt-and-braces for
+            # callers that resume this generator by hand.  Count the
+            # shed transaction as an abort so submitted stays equal to
+            # completed + aborted + in-flight.
+            self.mpl_slots.cancel(slot)
+            self.metrics.record_abort(tx, restarted=False)
+            return
         tx.wait_input_queue += self.env.now - queued_at
         self.active += 1
         try:
             yield from self._execute(tx)
+            # Only a committed lifecycle counts as completed: the
+            # distributed layer reports ``completed`` as the node's
+            # committed count.
+            self.completed += 1
+        except Interrupt:
+            # Externally aborted mid-flight (extension beyond the
+            # paper's requester-aborts policy): back out any pending
+            # lock wait and release everything held, then fall through
+            # to the finally block to free the MPL slot.  The CPU /
+            # device / NVEM units the transaction held are returned by
+            # the interrupt-safe service generators themselves.
+            self.locks.withdraw(tx)
+            self.locks.release_all(tx)
+            self.metrics.record_abort(tx, restarted=False)
         finally:
             self.active -= 1
-            self.completed += 1
             self.mpl_slots.release(slot)
 
     # -- execution ------------------------------------------------------

@@ -20,11 +20,44 @@ Design notes
   into its generator.  TPSIM uses this for transaction aborts initiated
   by deadlock victims other than the requester (an extension; the paper's
   base policy aborts the requester itself).
+
+Hot path
+--------
+Replaying one paper figure means millions of ``yield env.timeout(...)``
+round trips, so that path is specialized end to end:
+
+* :meth:`Environment.timeout` builds the :class:`Timeout` directly
+  (no ``__init__`` chain, no :meth:`Environment.schedule` state check)
+  and pushes it on the heap inline.
+* :meth:`Environment.run` inlines the :meth:`step` body with all heap
+  and attribute lookups bound to locals.
+* :meth:`Process._resume` keeps the generator's ``send`` and its own
+  bound callback in locals and dispatches fresh timeouts without the
+  general ``isinstance``/state checks.
+
+Cancellation
+------------
+Interrupting a process abandons the event it was waiting for.  The
+kernel tells the event via :meth:`Event._abandoned` (resources override
+it to withdraw queued requests) and, when nobody else is subscribed,
+marks the event *cancelled*.  Cancelled events are dropped when they
+surface at the top of the heap without running callbacks, and when they
+outnumber live events the heap is compacted so interrupted waits do not
+accumulate.  An event collected by compaction is treated as already
+fired; a waiter that subscribes to a cancelled event before compaction
+revives it in place and is woken at the originally scheduled time.
+Contract: once an event has been abandoned by *all* of its waiters, a
+later subscriber is only guaranteed to be woken *no later than* the
+scheduled time — whether it sees the original instant or an immediate
+delivery depends on whether compaction has collected the event.  Code
+that shares one wait event across processes and interrupts some of
+them must not rely on the distinction (nothing in this repository
+does).
 """
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from typing import Any, Generator, Iterable, Optional
 
 __all__ = [
@@ -58,7 +91,11 @@ class Interrupt(Exception):
 # Event states.
 _PENDING = 0
 _TRIGGERED = 1  # scheduled on the heap, value fixed
-_PROCESSED = 2  # callbacks have run
+_CANCELLED = 2  # scheduled but abandoned: dropped unless re-subscribed
+_PROCESSED = 3  # callbacks have run
+
+#: Cancelled events in the heap before a compaction sweep is considered.
+_COMPACT_MIN = 64
 
 
 class Event:
@@ -126,14 +163,33 @@ class Event:
         """Mark a failed event as handled so the kernel will not re-raise."""
         self._defused = True
 
+    # -- cancellation ----------------------------------------------------
+    def _abandoned(self) -> None:
+        """Hook: an interrupted process stopped waiting for this event.
+
+        The base behaviour marks an already-scheduled event with no
+        remaining subscribers as cancelled so the event loop can drop it.
+        Failed events are left alone: their unhandled-failure propagation
+        must still run.  Subclasses with external bookkeeping (resource
+        requests, store getters) override this to withdraw themselves.
+        """
+        if self._state == _TRIGGERED and self._ok and not self.callbacks:
+            self._state = _CANCELLED
+            self.env._note_cancelled()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = {_PENDING: "pending", _TRIGGERED: "triggered",
-                 _PROCESSED: "processed"}[self._state]
+                 _CANCELLED: "cancelled", _PROCESSED: "processed"}[self._state]
         return f"<{type(self).__name__} {state} at t={self.env.now:g}>"
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` time units after creation."""
+    """An event that fires ``delay`` time units after creation.
+
+    The common construction path is :meth:`Environment.timeout`, which
+    bypasses this ``__init__`` chain entirely; direct construction is
+    kept for compatibility.
+    """
 
     __slots__ = ("delay",)
 
@@ -156,7 +212,7 @@ class Initialize(Event):
         super().__init__(env)
         self._ok = True
         self._value = None
-        self.callbacks.append(process._resume)
+        self.callbacks.append(process._resume_cb)
         env.schedule(self)
 
 
@@ -168,13 +224,16 @@ class Process(Event):
     for a process simply by yielding it.
     """
 
-    __slots__ = ("_generator", "_target")
+    __slots__ = ("_generator", "_target", "_resume_cb")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
             raise TypeError(f"process requires a generator, got {generator!r}")
         super().__init__(env)
         self._generator = generator
+        #: The bound resume callback, created once: appending
+        #: ``self._resume`` would allocate a fresh bound method per wait.
+        self._resume_cb = self._resume
         self._target: Optional[Event] = Initialize(env, self)
 
     @property
@@ -189,37 +248,42 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at its wait point."""
-        if not self.is_alive:
+        if self._state != _PENDING:
             raise SimulationError("cannot interrupt a terminated process")
-        if self._target is None:
-            raise SimulationError("cannot interrupt a process mid-step")
         target = self._target
-        if target.callbacks is not None:
+        if target is None:
+            raise SimulationError("cannot interrupt a process mid-step")
+        callbacks = target.callbacks
+        if callbacks is not None:
             try:
-                target.callbacks.remove(self._resume)
+                callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
+        # Let the abandoned wait clean up after itself: resource requests
+        # withdraw from their queue, scheduled waits are marked cancelled.
+        target._abandoned()
         # Deliver the interrupt via an immediate, already-failed event.
         carrier = Event(self.env)
         carrier._ok = False
         carrier._value = Interrupt(cause)
         carrier._defused = True
-        carrier.callbacks.append(self._resume)
+        carrier.callbacks.append(self._resume_cb)
         self.env.schedule(carrier)
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
         env = self.env
+        generator = self._generator
+        send = generator.send
+        resume = self._resume_cb
         self._target = None
         while True:
             try:
-                if event is None or event._ok:
-                    next_event = self._generator.send(
-                        None if event is None else event._value
-                    )
+                if event._ok:
+                    next_event = send(event._value)
                 else:
                     event._defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
@@ -231,7 +295,13 @@ class Process(Event):
                 env.schedule(self)
                 return
 
-            if not isinstance(next_event, Event):
+            # Fast path: a freshly scheduled timeout (the dominant wait).
+            if type(next_event) is Timeout:
+                if next_event._state == _TRIGGERED:
+                    next_event.callbacks.append(resume)
+                    self._target = next_event
+                    return
+            elif not isinstance(next_event, Event):
                 exc = SimulationError(
                     f"process yielded a non-event: {next_event!r}"
                 )
@@ -240,14 +310,14 @@ class Process(Event):
                 env.schedule(self)
                 return
 
-            if next_event._state == _PROCESSED:
+            state = next_event._state
+            if state == _PROCESSED or next_event.callbacks is None:
                 # Already over: feed its value straight back in.
                 event = next_event
                 continue
-            if next_event.callbacks is None:  # pragma: no cover - safety
-                event = next_event
-                continue
-            next_event.callbacks.append(self._resume)
+            if state == _CANCELLED:
+                env._revive(next_event)
+            next_event.callbacks.append(resume)
             self._target = next_event
             return
 
@@ -264,9 +334,11 @@ class _Condition(Event):
         for ev in self._events:
             if ev.env is not env:
                 raise SimulationError("events belong to different environments")
-            if ev._state == _PROCESSED:
+            if ev._state == _PROCESSED or ev.callbacks is None:
                 self._observe(ev)
             else:
+                if ev._state == _CANCELLED:
+                    env._revive(ev)
                 self._outstanding += 1
                 ev.callbacks.append(self._observe)
         if self._state == _PENDING:
@@ -333,13 +405,14 @@ class AnyOf(_Condition):
 class Environment:
     """The event loop: owns simulated time and the pending-event heap."""
 
-    __slots__ = ("_now", "_heap", "_seq", "_active")
+    __slots__ = ("_now", "_heap", "_seq", "_active", "_ncancelled")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._heap: list = []
         self._seq = 0
         self._active = True
+        self._ncancelled = 0
 
     @property
     def now(self) -> float:
@@ -351,7 +424,21 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        """Create and schedule a timeout (inlined hot path)."""
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        ev = Timeout.__new__(Timeout)
+        ev.env = self
+        ev.callbacks = []
+        ev._state = _TRIGGERED
+        ev._ok = True
+        ev._value = value
+        ev._defused = False
+        ev.delay = delay
+        seq = self._seq + 1
+        self._seq = seq
+        heappush(self._heap, (self._now + delay, seq, ev))
+        return ev
 
     def process(self, generator: Generator) -> Process:
         return Process(self, generator)
@@ -371,14 +458,51 @@ class Environment:
         self._seq += 1
         heappush(self._heap, (self._now + delay, self._seq, event))
 
+    def _note_cancelled(self) -> None:
+        """Account one newly cancelled heap entry; compact when dominant.
+
+        Compaction removes cancelled entries outright so that mass
+        interruption (e.g. aborting a wave of blocked transactions) does
+        not leave the heap dragging thousands of dead waits.  Collected
+        events are marked processed: anyone who later waits on one gets
+        its value immediately, exactly as for any other past event.
+        """
+        n = self._ncancelled + 1
+        self._ncancelled = n
+        heap = self._heap
+        if n >= _COMPACT_MIN and 2 * n >= len(heap):
+            alive = []
+            for entry in heap:
+                ev = entry[2]
+                if ev._state == _CANCELLED:
+                    ev._state = _PROCESSED
+                    ev.callbacks = None
+                else:
+                    alive.append(entry)
+            # In place: `run` loops hold a reference to this very list.
+            heap[:] = alive
+            heapify(heap)
+            self._ncancelled = 0
+
+    def _revive(self, event: Event) -> None:
+        """Re-subscribe path: a cancelled (still heap-resident) event
+        gained a new waiter, so it must be delivered after all."""
+        event._state = _TRIGGERED
+        self._ncancelled -= 1
+
     def peek(self) -> float:
         """Time of the next event, or +inf if none is scheduled."""
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one event (cancelled events count as no-ops)."""
         when, _, event = heappop(self._heap)
         self._now = when
+        if event._state == _CANCELLED:
+            self._ncancelled -= 1
+            event._state = _PROCESSED
+            event.callbacks = None
+            return
         callbacks = event.callbacks
         event.callbacks = None
         event._state = _PROCESSED
@@ -395,10 +519,29 @@ class Environment:
         * ``until`` Event: run until that event is processed and return
           its value (raising if it failed).
         * ``until`` None: run until no events remain.
+
+        All three loops inline :meth:`step` with locals bound outside
+        the loop; this is the hottest code in the package.
         """
+        heap = self._heap
+        pop = heappop
+
         if until is None:
-            while self._heap:
-                self.step()
+            while heap:
+                when, _, event = pop(heap)
+                self._now = when
+                if event._state == _CANCELLED:
+                    self._ncancelled -= 1
+                    event._state = _PROCESSED
+                    event.callbacks = None
+                    continue
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._state = _PROCESSED
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
             return None
 
         if isinstance(until, Event):
@@ -410,13 +553,28 @@ class Environment:
             finished = []
             if sentinel.callbacks is None:  # pragma: no cover - safety
                 raise SimulationError("cannot wait on this event")
+            if sentinel._state == _CANCELLED:
+                self._revive(sentinel)
             sentinel.callbacks.append(lambda ev: finished.append(ev))
             while not finished:
-                if not self._heap:
+                if not heap:
                     raise SimulationError(
                         "event loop ran dry before the awaited event fired"
                     )
-                self.step()
+                when, _, event = pop(heap)
+                self._now = when
+                if event._state == _CANCELLED:
+                    self._ncancelled -= 1
+                    event._state = _PROCESSED
+                    event.callbacks = None
+                    continue
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._state = _PROCESSED
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
             if not sentinel._ok:
                 raise sentinel._value
             return sentinel._value
@@ -426,7 +584,20 @@ class Environment:
             raise ValueError(
                 f"cannot run to {horizon!r}: time is already {self._now!r}"
             )
-        while self._heap and self._heap[0][0] <= horizon:
-            self.step()
+        while heap and heap[0][0] <= horizon:
+            when, _, event = pop(heap)
+            self._now = when
+            if event._state == _CANCELLED:
+                self._ncancelled -= 1
+                event._state = _PROCESSED
+                event.callbacks = None
+                continue
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._state = _PROCESSED
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
         self._now = horizon
         return None

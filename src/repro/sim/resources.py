@@ -7,6 +7,13 @@ provides those stations plus a :class:`Store` (producer/consumer queue,
 used for the transaction input queue) and per-resource monitoring of
 utilization and queue lengths.
 
+Cancellation discipline: a withdrawn request (explicit :meth:`Resource.cancel`
+or a process interrupt, which reaches :meth:`Request._abandoned` through
+the kernel) is purged *eagerly* — removed from the FIFO queue, or
+excluded from the priority queue's live count with periodic heap
+compaction.  Queue-length statistics therefore never count cancelled
+waiters, and the grant path stays O(log n) without lazy-deletion scans.
+
 Usage pattern (inside a process generator)::
 
     req = cpu.request()
@@ -18,8 +25,8 @@ Usage pattern (inside a process generator)::
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappop, heappush
-from typing import Any, Optional
+from heapq import heapify, heappop, heappush
+from typing import Any, Generator, Optional
 
 from repro.sim.core import Environment, Event, SimulationError
 from repro.sim.stats import TimeWeighted
@@ -67,11 +74,32 @@ class Request(Event):
         self.key: Any = None
         self.cancelled = False
 
+    def _abandoned(self) -> None:
+        """Kernel hook: the requesting process was interrupted.
+
+        Withdraw the claim so a dead process is never granted a unit
+        (queued request) and never leaks one (granted-but-undelivered
+        request, which :meth:`Resource.cancel` turns into a release).
+        """
+        self.resource.cancel(self)
+        Event._abandoned(self)
+
 
 class Resource:
-    """A server pool with ``capacity`` units and a FIFO wait queue."""
+    """A server pool with ``capacity`` units and a FIFO wait queue.
 
-    __slots__ = ("env", "capacity", "name", "users", "_waiters", "monitor")
+    Cancelled waiters are marked and skipped on grant (amortized O(1));
+    an exact live count keeps :meth:`queue_length` and the queue
+    statistics O(1), and the backlog is compacted in one sweep once
+    cancelled entries outnumber live ones, so mass interruption of a
+    long queue costs O(n) total rather than O(n^2).
+    """
+
+    __slots__ = ("env", "capacity", "name", "users", "_waiters", "_live",
+                 "monitor")
+
+    #: Backlog size below which compaction is not worth the sweep.
+    _COMPACT_MIN = 32
 
     def __init__(self, env: Environment, capacity: int = 1,
                  name: str = ""):
@@ -82,21 +110,34 @@ class Resource:
         self.name = name
         self.users: int = 0
         self._waiters: deque = deque()
+        self._live = 0
         self.monitor = ResourceMonitor(env, capacity)
 
     # -- queue discipline hooks (overridden by PriorityResource) ---------
     def _enqueue(self, request: Request) -> None:
         self._waiters.append(request)
+        self._live += 1
 
     def _dequeue(self) -> Optional[Request]:
-        while self._waiters:
-            request = self._waiters.popleft()
+        waiters = self._waiters
+        while waiters:
+            request = waiters.popleft()
             if not request.cancelled:
+                self._live -= 1
                 return request
         return None
 
+    def _purge(self, request: Request) -> None:
+        """Account a cancelled request; compact when cancelled dominate."""
+        self._live -= 1
+        waiters = self._waiters
+        if len(waiters) >= self._COMPACT_MIN and 2 * self._live <= len(waiters):
+            alive = [r for r in waiters if not r.cancelled]
+            waiters.clear()
+            waiters.extend(alive)
+
     def _queue_len(self) -> int:
-        return len(self._waiters)
+        return self._live
 
     # -- public API ------------------------------------------------------
     def request(self, priority: int = 0) -> Request:
@@ -114,11 +155,14 @@ class Resource:
 
     def cancel(self, request: Request) -> None:
         """Withdraw a not-yet-granted request (e.g. on interrupt)."""
-        if request.triggered and not request.cancelled:
+        if request.cancelled:
+            return
+        if request.triggered:
             # Already granted: treat as release.
             self.release(request)
             return
         request.cancelled = True
+        self._purge(request)
         self.monitor.queue.record(self._queue_len())
 
     def release(self, request: Request) -> None:
@@ -137,9 +181,29 @@ class Resource:
             self.users -= 1
             self.monitor.busy.record(self.users)
 
+    def serve(self, draw_delay) -> Generator:
+        """Acquire one unit, hold it for a drawn service time, release.
+
+        ``draw_delay`` is a zero-argument callable evaluated *after* the
+        grant: service-time draw order relative to the queueing wait is
+        part of the simulation's determinism contract, so it must not
+        move to call time.  The generator is interrupt-safe — if the
+        waiting process is torn down at either yield, the claim is
+        cancelled (withdrawing a queued request, releasing a held one)
+        instead of leaking a capacity unit.
+        """
+        request = self.request()
+        try:
+            yield request
+            yield self.env.timeout(draw_delay())
+        except BaseException:
+            self.cancel(request)
+            raise
+        self.release(request)
+
     @property
     def queue_length(self) -> int:
-        """Number of requests currently waiting."""
+        """Number of live (non-cancelled) requests currently waiting."""
         return self._queue_len()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -151,7 +215,9 @@ class Resource:
 class PriorityResource(Resource):
     """Resource whose waiters are served lowest-priority-value first.
 
-    Ties are FIFO (stable via a sequence number).
+    Ties are FIFO (stable via a sequence number).  Cancellation follows
+    the same mark-and-compact scheme as the base class, adapted to the
+    heap (which cannot drop an arbitrary entry in O(log n)).
     """
 
     __slots__ = ("_heap", "_seq")
@@ -165,16 +231,42 @@ class PriorityResource(Resource):
         self._seq += 1
         request.key = (request.priority, self._seq)
         heappush(self._heap, (request.key, request))
+        self._live += 1
 
     def _dequeue(self) -> Optional[Request]:
-        while self._heap:
-            _, request = heappop(self._heap)
+        heap = self._heap
+        while heap:
+            _, request = heappop(heap)
             if not request.cancelled:
+                self._live -= 1
                 return request
         return None
 
-    def _queue_len(self) -> int:
-        return sum(1 for _, r in self._heap if not r.cancelled)
+    def _purge(self, request: Request) -> None:
+        self._live -= 1
+        heap = self._heap
+        if len(heap) >= self._COMPACT_MIN and 2 * self._live <= len(heap):
+            heap[:] = [e for e in heap if not e[1].cancelled]
+            heapify(heap)
+
+
+class _StoreGet(Event):
+    """A pending ``get`` on a :class:`Store`."""
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        self.store = store
+
+    def _abandoned(self) -> None:
+        """Kernel hook: the getter was interrupted — leave the queue so a
+        later ``put`` does not hand its item to a dead process."""
+        try:
+            self.store._getters.remove(self)
+        except ValueError:  # pragma: no cover - already served
+            pass
+        Event._abandoned(self)
 
 
 class Store:
@@ -207,7 +299,7 @@ class Store:
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""
-        event = Event(self.env)
+        event = _StoreGet(self)
         if self._items:
             item = self._items.popleft()
             self.monitor.queue.record(len(self._items))

@@ -25,10 +25,20 @@ __all__ = ["Accumulator", "CategoryCounter", "Histogram", "TimeWeighted"]
 
 
 class Accumulator:
-    """Welford accumulator with optional reservoir for percentiles."""
+    """Welford accumulator with optional reservoir for percentiles.
+
+    The reservoir is a *systematic* sample with a doubling stride: it
+    keeps every ``stride``-th value (by arrival index), and whenever it
+    fills up it drops every other retained sample and doubles the
+    stride.  At any point it therefore holds an evenly spaced sample of
+    the whole stream so far — deterministic (no RNG stream is consumed,
+    preserving simulation reproducibility) and unbiased for percentile
+    estimates over stationary output, unlike the previous scheme which
+    overwrote pseudo-random slots and over-represented late samples.
+    """
 
     __slots__ = ("count", "_mean", "_m2", "min", "max",
-                 "_reservoir", "_reservoir_cap", "_seen")
+                 "_reservoir", "_reservoir_cap", "_seen", "_stride")
 
     def __init__(self, reservoir: int = 0):
         self.count = 0
@@ -39,6 +49,7 @@ class Accumulator:
         self._reservoir_cap = reservoir
         self._reservoir: Optional[List[float]] = [] if reservoir else None
         self._seen = 0
+        self._stride = 1
 
     def add(self, value: float) -> None:
         self.count += 1
@@ -49,15 +60,21 @@ class Accumulator:
             self.min = value
         if value > self.max:
             self.max = value
-        if self._reservoir is not None:
-            self._seen += 1
-            if len(self._reservoir) < self._reservoir_cap:
-                self._reservoir.append(value)
-            else:
-                # Deterministic systematic reservoir: keep every k-th value.
-                stride = self._seen // self._reservoir_cap + 1
-                if self._seen % stride == 0:
-                    self._reservoir[self._seen % self._reservoir_cap] = value
+        reservoir = self._reservoir
+        if reservoir is not None:
+            index = self._seen
+            self._seen = index + 1
+            stride = self._stride
+            if index % stride == 0:
+                if len(reservoir) >= self._reservoir_cap:
+                    # Full: halve to every other sample, double the
+                    # stride; retained entries stay evenly spaced.
+                    del reservoir[1::2]
+                    stride *= 2
+                    self._stride = stride
+                    if index % stride != 0:
+                        return
+                reservoir.append(value)
 
     def mean(self) -> float:
         return self._mean if self.count else 0.0
@@ -92,6 +109,7 @@ class Accumulator:
         if self._reservoir is not None:
             self._reservoir.clear()
             self._seen = 0
+            self._stride = 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Accumulator n={self.count} mean={self.mean():.6g}>"

@@ -102,10 +102,7 @@ class _SemiconductorDevice(StorageDevice):
         self.stats = CategoryCounter()
 
     def _controller_service(self) -> Generator:
-        request = self.controllers.request()
-        yield request
-        yield self.env.timeout(self.controller_delay)
-        self.controllers.release(request)
+        yield from self.controllers.serve(lambda: self.controller_delay)
 
     def _transmission(self) -> Generator:
         if self.trans_delay > 0:
@@ -154,11 +151,7 @@ class FlashSSDDevice(_SemiconductorDevice):
         return self.channels[int(page_no) % len(self.channels)]
 
     def _channel_service(self, key: Hashable, delay: float) -> Generator:
-        channel = self._channel_for(key)
-        request = channel.request()
-        yield request
-        yield self.env.timeout(delay)
-        channel.release(request)
+        yield from self._channel_for(key).serve(lambda: delay)
 
     def read(self, key: Hashable) -> Generator:
         start = self.env.now

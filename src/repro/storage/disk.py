@@ -112,17 +112,13 @@ class DiskUnit(StorageDevice):
 
     # -- primitive stages ------------------------------------------------------
     def _controller_service(self) -> Generator:
-        request = self.controllers.request()
-        yield request
-        yield self.env.timeout(self._controller_time())
-        self.controllers.release(request)
+        yield from self.controllers.serve(self._controller_time)
 
     def _disk_service(self, key: Hashable) -> Generator:
-        disk = self._disk_for(key)
-        request = disk.request()
-        yield request
-        yield self.env.timeout(self._disk_time())
-        disk.release(request)
+        # Note: striping may draw randomness, so the disk is selected
+        # before queueing (as before); the service time is drawn after
+        # the grant inside serve().
+        yield from self._disk_for(key).serve(self._disk_time)
 
     def _transmission(self) -> Generator:
         if self.config.trans_delay > 0:

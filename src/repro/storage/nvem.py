@@ -44,10 +44,7 @@ class NVEMDevice:
         log).  The caller decides whether the CPU is held meanwhile.
         """
         self.stats.add(kind)
-        request = self.servers.request()
-        yield request
-        yield self.env.timeout(self._service_time())
-        self.servers.release(request)
+        yield from self.servers.serve(self._service_time)
 
     @property
     def utilization(self) -> float:

@@ -157,6 +157,92 @@ class TestDeadlockRestart:
         assert tx1.restarts + tx2.restarts >= 1
 
 
+class TestInterrupt:
+    """External aborts (kernel interrupts) must back out cleanly."""
+
+    def test_interrupt_mid_execution_releases_everything(self):
+        env, tm, metrics, locks = build_tm()
+        tx = make_tx(1, [1, 2, 3])
+        proc = tm.submit(tx)
+        env.run(until=0.0005)  # mid-flight: BOT done, references underway
+        assert proc.is_alive
+        proc.interrupt(cause="external-abort")
+        env.run()
+        assert not proc.is_alive
+        assert locks.held_count() == 0
+        assert locks.waiting_count() == 0
+        assert tm.active == 0
+        # An external abort is not a completion: the distributed layer
+        # reports `completed` as the node's committed count.
+        assert tm.completed == 0
+        assert metrics.committed == 0
+        assert metrics.aborted == 1
+        # Torn down, not re-run: no phantom restart is counted.
+        assert metrics.restarts == 0
+        # No CPU / device / NVEM unit leaked mid-service.
+        assert tm.cpu.cpus.users == 0
+        # The MPL slot came back: a fresh transaction commits normally.
+        tm.submit(make_tx(2, [4]))
+        env.run()
+        assert metrics.committed == 1
+        assert tm.completed == 1
+
+    def test_repeated_interrupts_do_not_exhaust_cpus(self):
+        """Regression: a mid-service interrupt used to leak the granted
+        CPU unit (no try/finally around the burst), so `capacity` aborts
+        would silently saturate the pool forever."""
+        env, tm, metrics, _ = build_tm()
+        capacity = tm.cpu.cpus.capacity
+        for i in range(capacity + 1):
+            proc = tm.submit(make_tx(100 + i, [1, 2, 3]))
+            env.run(until=env.now + 0.0005)
+            if proc.is_alive:
+                proc.interrupt(cause="shed-load")
+            env.run()
+            assert tm.cpu.cpus.users == 0, f"CPU unit leaked on abort {i}"
+        tm.submit(make_tx(999, [5]))
+        env.run()
+        assert metrics.committed >= 1
+
+    def test_interrupt_while_waiting_for_mpl_slot(self):
+        env, tm, metrics, _ = build_tm(mpl=1)
+        first = make_tx(1, [1])
+        tm.submit(first)
+        blocked = make_tx(2, [2])
+        proc = tm.submit(blocked)
+        env.run(until=0.0)
+        # tx 2 is queued for admission; kill it while it waits.
+        assert tm.input_queue_length == 1
+        proc.interrupt(cause="shed-load")
+        env.run()
+        assert tm.input_queue_length == 0
+        assert metrics.committed == 1  # tx 1 unaffected
+        # The shed transaction counts as an abort (not a restart), so
+        # submitted == completed + aborted still holds.
+        assert metrics.aborted == 1
+        assert metrics.restarts == 0
+        assert tm.active == 0
+        # The slot was never leaked: a third transaction commits.
+        tm.submit(make_tx(3, [3]))
+        env.run()
+        assert metrics.committed == 2
+
+    def test_interrupt_while_waiting_for_lock(self):
+        env, tm, metrics, locks = build_tm()
+        # tx1 takes page 10's lock and holds it through its run; tx2
+        # blocks on the same lock, then gets externally aborted.
+        tx1 = make_tx(1, [1, 2, 3, 4, 5])
+        tx2 = Transaction(2, "t", [ObjectRef(0, 10, 1, True)])
+        tm.submit(tx1)
+        proc2 = tm.submit(tx2)
+        env.run(until=0.0005)
+        if tx2.waiting_for is not None and proc2.is_alive:
+            proc2.interrupt(cause="external-abort")
+        env.run()
+        assert locks.held_count() == 0
+        assert locks.waiting_count() == 0
+        assert metrics.committed >= 1
+        assert tm.active == 0
 class TestCounters:
     def test_submitted_and_completed(self):
         env, tm, _, _ = build_tm()

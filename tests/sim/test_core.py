@@ -389,3 +389,278 @@ def test_event_value_before_trigger_raises():
     env = Environment()
     with pytest.raises(SimulationError):
         _ = env.event().value
+
+
+# -- Environment.run edge cases ------------------------------------------
+
+
+def test_simultaneous_events_exactly_at_float_horizon():
+    env = Environment()
+    log = []
+
+    def proc(env, tag):
+        yield env.timeout(2.5)
+        log.append(tag)
+
+    for tag in ("a", "b", "c"):
+        env.process(proc(env, tag))
+    env.run(until=2.5)
+    assert log == ["a", "b", "c"]
+    assert env.now == 2.5
+
+
+def test_zero_delay_chain_spawned_at_horizon_still_runs():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        yield env.timeout(2.5)
+        yield env.timeout(0.0)  # lands exactly on the horizon
+        log.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=2.5)
+    assert log == [2.5]
+
+
+def test_run_until_event_that_fails_raises():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        raise KeyError("kaboom")
+
+    with pytest.raises(KeyError, match="kaboom"):
+        env.run(until=env.process(proc(env)))
+
+
+def test_run_until_failed_and_processed_event_raises():
+    env = Environment()
+    gate = env.event()
+    gate.fail(RuntimeError("late"))
+    gate.defuse()
+    env.run()  # processes the failed (defused) event
+    with pytest.raises(RuntimeError, match="late"):
+        env.run(until=gate)
+
+
+def test_fifo_of_same_time_events_across_fast_path():
+    """Timeouts (fast path) and plain events (generic path) landing at
+    the same instant must still dispatch in creation order."""
+    env = Environment()
+    order = []
+
+    def waiter(env, ev, tag):
+        yield ev
+        order.append(tag)
+
+    def sleeper(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    e1 = env.event()
+    env.process(waiter(env, e1, "event-1"))
+    env.process(sleeper(env, "timeout-1"))
+    e2 = env.event()
+    env.process(waiter(env, e2, "event-2"))
+    env.process(sleeper(env, "timeout-2"))
+
+    def trigger(env):
+        yield env.timeout(1.0)
+        # succeed() schedules at the current instant, after the
+        # already-scheduled timeouts.
+        e1.succeed()
+        e2.succeed()
+
+    env.process(trigger(env))
+    env.run()
+    assert order == ["timeout-1", "timeout-2", "event-1", "event-2"]
+
+
+# -- cancellation-aware scheduling ---------------------------------------
+
+
+def test_interrupted_timeout_is_dropped_from_dispatch():
+    env = Environment()
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            pass
+
+    def attacker(env, target):
+        yield env.timeout(1.0)
+        target.interrupt()
+
+    target = env.process(victim(env))
+    env.process(attacker(env, target))
+    env.run()
+    # The abandoned timeout surfaced at t=100 as a no-op; no crash, no
+    # resurrection of the victim.
+    assert not target.is_alive
+
+
+def test_mass_interrupt_compacts_heap():
+    env = Environment()
+    victims = []
+
+    def victim(env):
+        try:
+            yield env.timeout(1_000_000.0)
+        except Interrupt:
+            pass
+
+    def attacker(env):
+        yield env.timeout(1.0)
+        for v in victims:
+            v.interrupt()
+
+    victims = [env.process(victim(env)) for _ in range(500)]
+    env.process(attacker(env))
+    env.run(until=2.0)
+    # All 500 far-future waits were cancelled; compaction must have
+    # removed nearly all of them instead of dragging them to t=1e6.
+    assert len(env._heap) < 250
+    # Whatever survived compaction is dropped as a no-op at dispatch
+    # (the clock still advances past it, as for any empty event).
+    env.run()
+    assert all(not v.is_alive for v in victims)
+
+
+def test_cancelled_event_revived_by_new_waiter():
+    """B subscribing to a timeout abandoned by interrupted A still
+    wakes at the timeout's scheduled instant."""
+    env = Environment()
+    shared = env.timeout(10.0)
+    log = []
+
+    def a(env):
+        try:
+            yield shared
+        except Interrupt:
+            log.append(("a-interrupted", env.now))
+
+    def b(env):
+        yield env.timeout(1.0)
+        yield shared
+        log.append(("b-woke", env.now))
+
+    def attacker(env, target):
+        yield env.timeout(0.5)
+        target.interrupt()
+
+    pa = env.process(a(env))
+    env.process(b(env))
+    env.process(attacker(env, pa))
+    env.run()
+    assert log == [("a-interrupted", 0.5), ("b-woke", 10.0)]
+
+
+def test_compacted_event_behaves_as_already_fired():
+    """An abandoned wait collected by heap compaction delivers its value
+    immediately to any later waiter (same contract as any past event)."""
+    env = Environment()
+    abandoned = []
+
+    def victim(env, t):
+        try:
+            yield t
+        except Interrupt:
+            pass
+
+    def attacker(env, targets):
+        yield env.timeout(1.0)
+        for v in targets:
+            v.interrupt()
+
+    timeouts = [env.timeout(1_000_000.0, value=i) for i in range(200)]
+    targets = [env.process(victim(env, t)) for t in timeouts]
+    env.process(attacker(env, targets))
+    env.run(until=2.0)
+
+    got = []
+
+    def late_waiter(env):
+        value = yield timeouts[0]
+        got.append((env.now, value))
+
+    env.process(late_waiter(env))
+    env.run(until=3.0)
+    assert got == [(2.0, 0)]
+    assert not abandoned  # silence unused-var linters
+
+
+def test_failed_event_with_no_waiters_still_raises_after_interrupt():
+    """Cancellation must never swallow unhandled failure propagation:
+    only successful events are dropped."""
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(2.0)
+        raise RuntimeError("child failed")
+
+    def parent(env, target):
+        try:
+            yield target
+        except Interrupt:
+            pass
+
+    def attacker(env, target):
+        yield env.timeout(1.0)
+        target.interrupt()
+
+    c = env.process(child(env))
+    p = env.process(parent(env, c))
+    env.process(attacker(env, p))
+    with pytest.raises(RuntimeError, match="child failed"):
+        env.run()
+
+
+def test_abandoning_scheduled_failure_does_not_cancel_it():
+    """Interrupting the only waiter of an already-scheduled *failed*
+    event must not mark it cancelled: its unhandled-failure raise from
+    the event loop still has to happen."""
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(2.0)
+        raise RuntimeError("child failed")
+
+    def parent(env, target):
+        try:
+            yield target
+        except Interrupt:
+            pass
+
+    def attacker(env, target):
+        # Fires at the same instant the child fails, but *after* the
+        # child's completion event is scheduled and *before* it is
+        # processed — the abandoned event is triggered-but-unprocessed.
+        yield env.timeout(2.0)
+        target.interrupt()
+
+    c = env.process(child(env))
+    p = env.process(parent(env, c))
+    env.process(attacker(env, p))
+    with pytest.raises(RuntimeError, match="child failed"):
+        env.run()
+
+
+def test_interrupt_uses_single_bound_callback():
+    """The cached resume callback must be the object sitting in the
+    target's callback list, or interrupt() could not detach it."""
+    env = Environment()
+
+    def victim(env):
+        yield env.timeout(50.0)
+
+    p = env.process(victim(env))
+    env.run(until=1.0)
+    target = p.target
+    assert target is not None
+    assert p._resume_cb in target.callbacks
+    p.interrupt()
+    assert p._resume_cb not in target.callbacks
+    with pytest.raises(Interrupt):
+        env.run()

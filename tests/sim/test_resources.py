@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Environment, PriorityResource, Resource, Store
+from repro.sim import Environment, Interrupt, PriorityResource, Resource, Store
 from repro.sim.core import SimulationError
 
 
@@ -278,6 +278,211 @@ def test_store_len_reports_backlog():
     store.put("a")
     store.put("b")
     assert len(store) == 2
+
+
+@pytest.mark.parametrize("cls", [Resource, PriorityResource])
+def test_queue_length_excludes_cancelled_waiters(cls):
+    """Regression: base Resource counted cancelled waiters in
+    ``_queue_len`` while PriorityResource filtered them, so queue-length
+    statistics disagreed between the two classes after ``cancel()``.
+    Both must now report only live waiters."""
+    env = Environment()
+    res = cls(env, capacity=1)
+    holder = res.request()
+    assert holder.triggered
+    waiting = [res.request() for _ in range(4)]
+    assert res.queue_length == 4
+    res.cancel(waiting[1])
+    res.cancel(waiting[2])
+    assert res.queue_length == 2
+
+
+@pytest.mark.parametrize("cls", [Resource, PriorityResource])
+def test_queue_stats_identical_under_cancellation(cls):
+    """The monitored queue level after cancellations must equal the live
+    queue length — not the raw backlog including cancelled entries."""
+    env = Environment()
+    res = cls(env, capacity=1)
+
+    def holder(env):
+        req = res.request()
+        yield req
+        yield env.timeout(4.0)
+        res.release(req)
+
+    def quitter(env):
+        req = res.request()
+        yield env.timeout(1.0)
+        res.cancel(req)
+        # After the cancel the only recorded queue level is the one
+        # live waiter below.
+        assert res.monitor.queue.level == 1
+
+    def patient(env):
+        req = res.request()
+        yield req
+        res.release(req)
+
+    env.process(holder(env))
+    env.process(quitter(env))
+    env.process(patient(env))
+    env.run()
+    assert res.queue_length == 0
+
+
+def test_fifo_and_priority_queue_stats_agree_under_cancellation():
+    """Drive both disciplines through the identical cancel scenario and
+    compare the recorded time-weighted queue means."""
+
+    def drive(cls):
+        env = Environment()
+        res = cls(env, capacity=1)
+
+        def holder(env):
+            req = res.request()
+            yield req
+            yield env.timeout(8.0)
+            res.release(req)
+
+        def quitter(env):
+            req = res.request()
+            yield env.timeout(2.0)
+            res.cancel(req)
+
+        def patient(env):
+            req = res.request()
+            yield req
+            res.release(req)
+
+        env.process(holder(env))
+        env.process(quitter(env))
+        env.process(patient(env))
+        env.run(until=8.0)
+        return res.monitor.mean_queue_length()
+
+    fifo = drive(Resource)
+    prio = drive(PriorityResource)
+    assert fifo == pytest.approx(prio)
+    # 2 waiters for 2s, then 1 waiter for 6s -> mean 10/8.
+    assert fifo == pytest.approx(10.0 / 8.0)
+
+
+def test_interrupt_withdraws_queued_request():
+    """Kernel-level regression: interrupting a process blocked on
+    ``request()`` must withdraw the request — it may never be granted
+    to the dead process, and no capacity unit may leak."""
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        req = res.request()
+        yield req
+        yield env.timeout(5.0)
+        res.release(req)
+
+    def victim(env):
+        req = res.request()
+        try:
+            yield req
+        except Interrupt:
+            order.append(("interrupted", env.now))
+            return
+        order.append("victim-granted")  # pragma: no cover - the bug
+        res.release(req)
+
+    def patient(env):
+        req = res.request()
+        yield req
+        order.append(("patient-granted", env.now))
+        res.release(req)
+
+    def attacker(env, target):
+        yield env.timeout(1.0)
+        target.interrupt()
+
+    env.process(holder(env))
+    v = env.process(victim(env))
+    env.process(patient(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert order == [("interrupted", 1.0), ("patient-granted", 5.0)]
+    assert res.users == 0
+    assert res.queue_length == 0
+
+
+def test_interrupt_of_granted_but_undelivered_request_releases_unit():
+    """If the grant event is scheduled but not yet delivered when the
+    requester is interrupted, the unit must return to the pool."""
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def victim(env):
+        req = res.request()  # granted immediately; delivery is pending
+        assert req.triggered and not req.processed
+        try:
+            yield req
+        except Interrupt:
+            log.append("interrupted")
+
+    def attacker(env, target):
+        # Runs in the same timestep, after the victim requested (its
+        # start event was created first) but before the grant event is
+        # processed: the abandoned wait is triggered-but-undelivered.
+        assert res.users == 1
+        target.interrupt()
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert log == ["interrupted"]
+    assert res.users == 0
+
+    def late(env):
+        req = res.request()
+        yield req
+        log.append("late-granted")
+        res.release(req)
+
+    env.process(late(env))
+    env.run()
+    assert log == ["interrupted", "late-granted"]
+
+
+def test_interrupted_store_getter_does_not_swallow_items():
+    """A blocked getter that is interrupted must leave the getter queue:
+    the next put() hands its item to a live consumer instead."""
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def doomed(env):
+        try:
+            item = yield store.get()
+        except Interrupt:
+            got.append("interrupted")
+            return
+        got.append(("doomed", item))  # pragma: no cover - the bug
+
+    def survivor(env):
+        yield env.timeout(2.0)
+        item = yield store.get()
+        got.append(("survivor", item))
+
+    def producer(env, target):
+        yield env.timeout(1.0)
+        target.interrupt()
+        yield env.timeout(2.0)
+        store.put("payload")
+
+    d = env.process(doomed(env))
+    env.process(survivor(env))
+    env.process(producer(env, d))
+    env.run()
+    assert got == ["interrupted", ("survivor", "payload")]
 
 
 def test_mm1_queue_matches_theory():

@@ -58,6 +58,57 @@ class TestAccumulator:
         acc.add(20.0)
         assert acc.percentile(99) == pytest.approx(15.0)
 
+    def test_reservoir_percentiles_unbiased_on_long_ramp(self):
+        """Regression: the old 'systematic reservoir' recomputed its
+        stride each sample and overwrote slot ``seen % cap``, keeping a
+        late-heavy biased sample.  Feeding a monotone ramp (worst case
+        for order bias) must now estimate percentiles of the *whole*
+        stream within a few percent."""
+        n, cap = 100_000, 500
+        acc = Accumulator(reservoir=cap)
+        for i in range(n):
+            acc.add(float(i))
+        for q in (10, 25, 50, 75, 90):
+            true_value = (q / 100.0) * (n - 1)
+            assert acc.percentile(q) == pytest.approx(
+                true_value, rel=0.03
+            ), f"p{q} biased"
+
+    def test_reservoir_covers_whole_stream_evenly(self):
+        """The retained sample must span early *and* late observations
+        with an even stride, not just the head plus sporadic tail."""
+        n, cap = 20_000, 128
+        acc = Accumulator(reservoir=cap)
+        for i in range(n):
+            acc.add(float(i))
+        sample = sorted(acc._reservoir)
+        assert len(sample) <= cap
+        assert sample[0] == 0.0
+        assert sample[-1] >= n * 0.85
+        gaps = [b - a for a, b in zip(sample, sample[1:])]
+        assert max(gaps) == min(gaps)  # perfectly even systematic stride
+
+    def test_reservoir_is_deterministic(self):
+        """Two accumulators fed the same stream keep identical samples
+        (no RNG is consumed — simulation reproducibility)."""
+        a, b = Accumulator(reservoir=64), Accumulator(reservoir=64)
+        values = [((i * 2654435761) % 1000) / 7.0 for i in range(5000)]
+        for v in values:
+            a.add(v)
+            b.add(v)
+        assert a._reservoir == b._reservoir
+        assert a.percentile(95) == b.percentile(95)
+
+    def test_reservoir_reset_restarts_stride(self):
+        acc = Accumulator(reservoir=16)
+        for i in range(1000):
+            acc.add(float(i))
+        acc.reset()
+        for i in range(8):
+            acc.add(float(i))
+        # After a reset the accumulator samples densely again.
+        assert acc._reservoir == [float(i) for i in range(8)]
+
     def test_reset(self):
         acc = Accumulator(reservoir=10)
         acc.add(42.0)
