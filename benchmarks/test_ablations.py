@@ -1,13 +1,15 @@
 """Benchmark E11 — ablations: group commit, async replacement,
 deferred NVEM propagation, NVEM migration modes."""
 
-from repro.experiments import ablations
+from repro.experiments.ablations import migration_summary
+from repro.experiments.api import ExperimentRunner, get_experiment
 
 
 def test_group_commit(once):
-    result = once(ablations.run_group_commit, fast=True)
+    spec = get_experiment("ablation_group_commit")
+    result = once(ExperimentRunner().run_one, spec, "fast")
     print()
-    print(result.to_table())
+    print(spec.render(result))
     plain = result.series_by_label("log disk, no GC")
     grouped = result.series_by_label("log disk, GC=8")
     # Group commit carries rates the single log disk cannot (paper §4.2:
@@ -16,9 +18,10 @@ def test_group_commit(once):
 
 
 def test_async_replacement(once):
-    result = once(ablations.run_async_replacement, fast=True)
+    spec = get_experiment("ablation_async_replacement")
+    result = once(ExperimentRunner().run_one, spec, "fast")
     print()
-    print(result.to_table())
+    print(spec.render(result))
     sync = result.series_by_label("sync write-back")
     async_ = result.series_by_label("async write-back")
     # §4.3: asynchronous write-back removes ~one disk write (16.4 ms).
@@ -27,18 +30,20 @@ def test_async_replacement(once):
 
 
 def test_deferred_propagation(once):
-    result = once(ablations.run_deferred_propagation, fast=True)
+    spec = get_experiment("ablation_deferred_propagation")
+    result = once(ExperimentRunner().run_one, spec, "fast")
     print()
-    print(result.to_table())
+    print(spec.render(result))
     for series in result.series:
         assert series.points  # both variants run to completion
 
 
 def test_migration_modes(once):
-    modes = once(ablations.run_migration_modes, fast=True)
+    spec = get_experiment("ablation_migration_modes")
+    result = once(ExperimentRunner().run_one, spec, "fast")
     print()
-    for mode, (hit, rt) in modes.items():
-        print(f"  {mode:12s} nvem_hit={hit:5.1f}%  rt={rt:7.1f} ms")
+    print(spec.render(result))
+    modes = migration_summary(result)
     # §4.6: migrating all pages gives the best NVEM hit ratios.  With
     # only 1.6% writes, "all" and "unmodified" populations nearly
     # coincide — allow measurement noise between those two.

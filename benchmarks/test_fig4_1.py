@@ -1,12 +1,13 @@
 """Benchmark E1 — regenerate Figure 4.1 (log file allocation)."""
 
-from repro.experiments import fig4_1
+from repro.experiments.api import ExperimentRunner, get_experiment
 
 
 def test_fig4_1_log_allocation(once):
-    result = once(fig4_1.run, fast=True)
+    spec = get_experiment("fig4_1")
+    result = once(ExperimentRunner().run_one, spec, "fast")
     print()
-    print(result.to_table())
+    print(spec.render(result))
     # Shape assertions (paper): the single log disk saturates early,
     # NVEM/SSD logs carry the highest rate with flat response times.
     nvem = result.series_by_label("log in NVEM")

@@ -1,12 +1,13 @@
 """Benchmark E2 — regenerate Figure 4.2 (database allocation)."""
 
-from repro.experiments import fig4_2
+from repro.experiments.api import ExperimentRunner, get_experiment
 
 
 def test_fig4_2_database_allocation(once):
-    result = once(fig4_2.run, fast=True)
+    spec = get_experiment("fig4_2")
+    result = once(ExperimentRunner().run_one, spec, "fast")
     print()
-    print(result.to_table())
+    print(spec.render(result))
     # Paper ordering at every sampled rate:
     # disk > write-buffer variants > SSD > NVEM-resident.
     for i, _rate in enumerate(result.series[0].xs()):

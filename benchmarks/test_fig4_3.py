@@ -1,12 +1,13 @@
 """Benchmark E3 — regenerate Figure 4.3 (FORCE vs NOFORCE)."""
 
-from repro.experiments import fig4_3
+from repro.experiments.api import ExperimentRunner, get_experiment
 
 
 def test_fig4_3_force_vs_noforce(once):
-    result = once(fig4_3.run, fast=True)
+    spec = get_experiment("fig4_3")
+    result = once(ExperimentRunner().run_one, spec, "fast")
     print()
-    print(result.to_table())
+    print(spec.render(result))
     rt = {s.label: s.points[0].response_ms for s in result.series}
     # FORCE pays heavily on disk, less behind a write buffer, and is
     # nearly free on NVEM; FORCE+WB beats disk-based NOFORCE (paper).

@@ -1,12 +1,13 @@
 """Benchmark E4 — regenerate Figure 4.4 (caching vs MM buffer size)."""
 
-from repro.experiments import fig4_4
+from repro.experiments.api import ExperimentRunner, get_experiment
 
 
 def test_fig4_4_caching_vs_mm_size(once):
-    result = once(fig4_4.run, fast=True)
+    spec = get_experiment("fig4_4")
+    result = once(ExperimentRunner().run_one, spec, "fast")
     print()
-    print(result.to_table())
+    print(spec.render(result))
     # At MM=2000 the volatile disk cache adds nothing over MM-only;
     # non-volatile variants stay far ahead (paper).
     mm_only = result.series_by_label("MM caching only")

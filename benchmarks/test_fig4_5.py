@@ -1,14 +1,13 @@
 """Benchmark E6 — regenerate Figure 4.5 (2nd-level buffer size)."""
 
-from repro.experiments import fig4_5
+from repro.experiments.api import ExperimentRunner, get_experiment
 
 
 def test_fig4_5_second_level_size(once):
-    result = once(fig4_5.run, fast=True)
+    spec = get_experiment("fig4_5")
+    result = once(ExperimentRunner().run_one, spec, "fast")
     print()
-    print(result.to_table())
-    print()
-    print(fig4_5.hit_table(result))
+    print(spec.render(result))  # both panels: response + hit ratios
     # NVEM beats both disk caches at every size; the volatile cache is
     # useless below the MM buffer size (500).
     for i in range(len(result.series[0].points)):

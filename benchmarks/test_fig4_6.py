@@ -1,13 +1,14 @@
 """Benchmark E7 — regenerate Figure 4.6 (trace workload, MM size)."""
 
-from repro.experiments import fig4_6
+from repro.experiments.api import ExperimentRunner, get_experiment
 from repro.experiments.trace_setup import MEAN_TX_SIZE
 
 
 def test_fig4_6_trace_mm_size(once):
-    result = once(fig4_6.run, fast=True)
+    spec = get_experiment("fig4_6")
+    result = once(ExperimentRunner().run_one, spec, "fast")
     print()
-    print(fig4_6.normalized_table(result))
+    print(spec.render(result))
 
     def norm(series, i):
         return series.points[i].results.normalized_response_time(

@@ -1,13 +1,14 @@
 """Benchmark E8 — regenerate Figure 4.7 (trace workload, 2nd-level size)."""
 
-from repro.experiments import fig4_7
+from repro.experiments.api import ExperimentRunner, get_experiment
 from repro.experiments.trace_setup import MEAN_TX_SIZE
 
 
 def test_fig4_7_trace_second_level_size(once):
-    result = once(fig4_7.run, fast=True)
+    spec = get_experiment("fig4_7")
+    result = once(ExperimentRunner().run_one, spec, "fast")
     print()
-    print(fig4_7.normalized_table(result))
+    print(spec.render(result))
 
     def norm(series, i):
         return series.points[i].results.normalized_response_time(

@@ -1,12 +1,13 @@
 """Benchmark E9 — regenerate Figure 4.8 (lock contention)."""
 
-from repro.experiments import fig4_8
+from repro.experiments.api import ExperimentRunner, get_experiment
 
 
 def test_fig4_8_lock_contention(once):
-    result = once(fig4_8.run, fast=True)
+    spec = get_experiment("fig4_8")
+    result = once(ExperimentRunner().run_one, spec, "fast")
     print()
-    print(result.to_table())
+    print(spec.render(result))
     disk_page = result.series_by_label("disk-based - page locks")
     disk_obj = result.series_by_label("disk-based - object locks")
     nvem_page = result.series_by_label("NVEM-resident - page locks")

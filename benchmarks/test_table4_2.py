@@ -1,16 +1,17 @@
 """Benchmark E5 — regenerate Table 4.2 (hit ratios, NOFORCE and FORCE)."""
 
-from repro.experiments import table4_2
+from repro.experiments.api import ExperimentRunner, get_experiment
+from repro.experiments.table4_2 import hit_tables
 
 
 def test_table4_2_hit_ratios(once):
-    tables = once(table4_2.run, fast=True)
+    spec = get_experiment("table4_2")
+    result = once(ExperimentRunner().run_one, spec, "fast")
     print()
-    print(tables["a"].to_table())
-    print()
-    print(tables["b"].to_table())
+    print(spec.render(result))
     # Paper: NVEM cache achieves the best 2nd-level hit ratios under
     # NOFORCE; FORCE lowers them; volatile ~ nonvolatile under FORCE.
+    tables = hit_tables(result)
     a, b = tables["a"], tables["b"]
     small_mm = a.buffer_sizes[0]
     assert a.cells["NVEM cache 1000"][small_mm][1] >= \

@@ -4,7 +4,10 @@ Examples::
 
     python -m repro run --scheme nvem --rate 300 --duration 10
     python -m repro run --scheme disk --force --buffer-size 500
-    python -m repro experiment fig4_1 --fast
+    python -m repro experiment list
+    python -m repro experiment run fig4_1 --profile fast
+    python -m repro experiment run --all --profile fast --parallel \\
+        --json --csv --out artifacts/
     python -m repro trace-gen --out workload.trace --transactions 2000
     python -m repro trace-run --trace workload.trace --kind nvem --mm 500
 """
@@ -12,11 +15,13 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.core.config import PolicySpec, UpdateStrategy
 from repro.core.model import TransactionSystem
+from repro.experiments import api
 from repro.experiments.defaults import (
     battery_dram_resident,
     debit_credit_config,
@@ -48,9 +53,6 @@ SCHEMES = {
 #: (imported before main() runs) are accepted by --mm-policy too.
 POLICIES = tuple(policy_kinds())
 
-EXPERIMENTS = ("fig4_1", "fig4_2", "fig4_3", "fig4_4", "fig4_5",
-               "fig4_6", "fig4_7", "fig4_8", "table4_2")
-
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -78,14 +80,38 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(default: lru, as in the paper)")
     run.add_argument("--seed", type=int, default=1)
 
-    exp = sub.add_parser("experiment",
-                         help="regenerate a figure/table of the paper")
-    exp.add_argument("id", choices=EXPERIMENTS)
-    exp.add_argument("--fast", action="store_true",
-                     help="reduced sweep (benchmark settings)")
-    exp.add_argument("--parallel", action="store_true",
-                     help="evaluate sweep points across worker processes "
-                          "(deterministic; ignored with --fast)")
+    exp = sub.add_parser(
+        "experiment",
+        help="list or regenerate the paper's figures/tables",
+    )
+    exp_sub = exp.add_subparsers(dest="exp_command", required=True)
+
+    exp_sub.add_parser("list", help="list registered experiments")
+
+    exp_run = exp_sub.add_parser(
+        "run", help="run one or more registered experiments")
+    exp_run.add_argument("ids", nargs="*", metavar="ID",
+                         help="experiment ids (see 'experiment list')")
+    exp_run.add_argument("--all", action="store_true",
+                         help="run every registered experiment")
+    exp_run.add_argument("--profile", choices=("fast", "full"),
+                         default="full",
+                         help="sweep resolution (default: full)")
+    exp_run.add_argument("--parallel", action="store_true",
+                         help="schedule all points of all curves of all "
+                              "selected experiments across one worker "
+                              "pool (deterministic: identical output "
+                              "to a serial run)")
+    exp_run.add_argument("--workers", type=int, default=None,
+                         metavar="N",
+                         help="worker process count (implies --parallel; "
+                              "default: CPU count)")
+    exp_run.add_argument("--json", action="store_true",
+                         help="write <out>/<id>.json per experiment")
+    exp_run.add_argument("--csv", action="store_true",
+                         help="write <out>/<id>.csv per experiment")
+    exp_run.add_argument("--out", metavar="DIR", default=None,
+                         help="output directory for --json/--csv")
 
     sub.add_parser("registry",
                    help="list registered device kinds and replacement "
@@ -135,24 +161,78 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _cmd_experiment(args) -> int:
-    import importlib
-    import inspect
-
-    module = importlib.import_module(f"repro.experiments.{args.id}")
-    kwargs = {"fast": args.fast}
-    if "parallel" in inspect.signature(module.run).parameters:
-        kwargs["parallel"] = args.parallel
-    result = module.run(**kwargs)
-    if args.id == "table4_2":
-        print(result["a"].to_table())
-        print()
-        print(result["b"].to_table())
-    elif args.id in ("fig4_6", "fig4_7"):
-        print(module.normalized_table(result))
-    else:
-        print(result.to_table())
+def _cmd_experiment_list(args) -> int:
+    ids = api.experiment_ids()
+    width = max(len(exp_id) for exp_id in ids)
+    for exp_id in ids:
+        spec = api.get_experiment(exp_id)
+        print(f"{exp_id:<{width}}  {spec.title}")
     return 0
+
+
+def _cmd_experiment_run(args) -> int:
+    known = api.experiment_ids()
+    if args.all:
+        if args.ids:
+            print("error: give experiment ids or --all, not both",
+                  file=sys.stderr)
+            return 2
+        ids = known
+    else:
+        if not args.ids:
+            print("error: no experiment ids given "
+                  "(try 'repro experiment list' or --all)",
+                  file=sys.stderr)
+            return 2
+        unknown = [i for i in args.ids if i not in known]
+        if unknown:
+            print(f"error: unknown experiment(s): {', '.join(unknown)}\n"
+                  f"registered: {', '.join(known)}", file=sys.stderr)
+            return 2
+        ids = list(dict.fromkeys(args.ids))  # dedup, order preserved
+    if (args.json or args.csv) and not args.out:
+        print("error: --json/--csv need --out DIR", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+
+    parallel = args.parallel or args.workers is not None
+    runner = api.ExperimentRunner(parallel=parallel,
+                                  max_workers=args.workers)
+    results = runner.run(ids, profile=args.profile)
+
+    exported = []
+    if args.out and (args.json or args.csv):
+        os.makedirs(args.out, exist_ok=True)
+    for exp_id, result in results.items():
+        spec = api.get_experiment(exp_id)
+        print(spec.render(result))
+        print()
+        if args.json:
+            from repro.experiments.export import write_json
+
+            path = os.path.join(args.out, f"{exp_id}.json")
+            write_json(result, path)
+            exported.append(path)
+        if args.csv:
+            from repro.experiments.export import write_csv
+
+            path = os.path.join(args.out, f"{exp_id}.csv")
+            write_csv(result, path)
+            exported.append(path)
+    for path in exported:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    handlers = {
+        "list": _cmd_experiment_list,
+        "run": _cmd_experiment_run,
+    }
+    return handlers[args.exp_command](args)
 
 
 def _cmd_trace_gen(args) -> int:
@@ -199,7 +279,35 @@ def _cmd_registry(args) -> int:
     return 0
 
 
+def _upgrade_legacy_experiment_argv(argv: List[str]) -> List[str]:
+    """Rewrite the pre-registry syntax ``experiment <id> [--fast]``
+    (flags and id in any order) to ``experiment run <id> [--profile
+    fast]`` with a deprecation note."""
+    if len(argv) < 2 or argv[0] != "experiment":
+        return argv
+    # The old parser accepted intermixed order (e.g. ``--fast fig4_1``):
+    # the first non-flag token is the experiment id.
+    positionals = [a for a in argv[1:] if not a.startswith("-")]
+    if not positionals or positionals[0] in ("list", "run"):
+        return argv
+    head = positionals[0]
+    rest = []
+    for arg in argv[1:]:
+        if arg == head:
+            continue
+        if arg == "--fast":
+            rest.extend(["--profile", "fast"])
+        else:
+            rest.append(arg)
+    upgraded = ["experiment", "run", head, *rest]
+    print("note: 'repro experiment <id> [--fast]' is deprecated; use "
+          f"'repro {' '.join(upgraded)}'", file=sys.stderr)
+    return upgraded
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    argv = _upgrade_legacy_experiment_argv(argv)
     args = _build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,

@@ -4,9 +4,9 @@ Four ablations, each toggling one mechanism the paper names:
 
 * **Group commit** (§3.2 footnote 3, §4.2): batching log writes of
   multiple transactions into one I/O.  The paper argues non-volatile
-  semiconductor memory removes the need for it — we measure both the
-  single-log-disk configuration (where group commit lifts the ~200 TPS
-  throughput wall) and the NVEM log (where it changes almost nothing).
+  semiconductor memory removes the need for it — we measure the
+  single-log-disk configuration, where group commit lifts the ~200 TPS
+  throughput wall.
 * **Asynchronous page replacement** (§4.3): writing replacement victims
   to disk without blocking the faulting transaction.  The paper notes a
   smarter buffer manager would cut the disk configuration's response
@@ -18,21 +18,34 @@ Four ablations, each toggling one mechanism the paper names:
   memory into the NVEM cache — modified only, unmodified only, or all.
   The paper found "the best NVEM hit ratios result if all pages
   migrate" for the read-dominated trace workload.
+
+Each ablation is a registered experiment (``ablation_group_commit``,
+``ablation_async_replacement``, ``ablation_deferred_propagation``,
+``ablation_migration_modes``); the historical ``run_*`` helpers remain
+as deprecated wrappers.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.config import NVEMCachingMode, UpdateStrategy
-from repro.core.model import TransactionSystem
+from repro.experiments.api import (
+    CurveSpec,
+    ExperimentRunner,
+    ExperimentSpec,
+    SweepProfile,
+    experiment,
+    get_experiment,
+    legacy_run,
+)
 from repro.experiments.defaults import (
     debit_credit_config,
     disk_only,
     second_level_cache_scheme,
 )
 from repro.experiments.fig4_1 import log_on_single_disk
-from repro.experiments.runner import ExperimentResult, Series, SeriesPoint
+from repro.experiments.runner import ExperimentResult
 from repro.experiments.trace_setup import (
     MEAN_TX_SIZE,
     trace_config,
@@ -42,6 +55,7 @@ from repro.experiments.trace_setup import (
 from repro.workload.debit_credit import DebitCreditWorkload
 
 __all__ = [
+    "migration_summary",
     "run_async_replacement",
     "run_deferred_propagation",
     "run_group_commit",
@@ -49,142 +63,227 @@ __all__ = [
 ]
 
 
-def _measure(config, workload, warmup: float = 3.0,
-             duration: float = 8.0):
-    system = TransactionSystem(config, workload)
-    return system.run(warmup=warmup, duration=duration)
+# ---------------------------------------------------------------------------
+# Group commit
 
 
-def run_group_commit(fast: bool = False) -> ExperimentResult:
-    """Group commit on a single log disk vs. an NVEM log."""
-    duration = 4.0 if fast else 8.0
-    rates = [100, 200, 300] if fast else [100, 200, 300, 400, 500]
-    result = ExperimentResult(
-        experiment_id="Ablation-GC",
+def _gc_curves() -> List[CurveSpec]:
+    def curve(label, gc_size):
+        def build(rate: float) -> Tuple:
+            config = debit_credit_config(log_on_single_disk())
+            config.cm.group_commit_size = gc_size
+            config.cm.group_commit_timeout = 0.002
+            return config, DebitCreditWorkload(arrival_rate=rate)
+
+        return CurveSpec(label=label, build=build)
+
+    return [curve("log disk, no GC", 1), curve("log disk, GC=8", 8)]
+
+
+@experiment("ablation_group_commit")
+def gc_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        id="ablation_group_commit",
         title="Group commit (size 8) vs single log writes",
         x_label="arrival rate (TPS)",
         y_label="mean response time (ms); * = saturated",
+        curves=_gc_curves(),
+        profiles={
+            "full": SweepProfile(xs=(100, 200, 300, 400, 500),
+                                 warmup=3.0, duration=8.0),
+            "fast": SweepProfile(xs=(100, 200, 300), warmup=3.0,
+                                 duration=4.0),
+        },
+        notes=(
+            "expected: group commit raises the single-log-disk "
+            "saturation point well beyond 200 TPS",
+        ),
     )
-    variants = [
-        ("log disk, no GC", log_on_single_disk, 1),
-        ("log disk, GC=8", log_on_single_disk, 8),
-    ]
-    for label, scheme_fn, gc_size in variants:
-        series = Series(label=label)
-        for rate in rates:
-            config = debit_credit_config(scheme_fn())
-            config.cm.group_commit_size = gc_size
-            config.cm.group_commit_timeout = 0.002
-            results = _measure(config,
-                               DebitCreditWorkload(arrival_rate=rate),
-                               duration=duration)
-            series.points.append(SeriesPoint(x=rate, results=results))
-            if results.saturated:
-                break
-        result.series.append(series)
-    result.notes.append(
-        "expected: group commit raises the single-log-disk saturation "
-        "point well beyond 200 TPS"
-    )
-    return result
 
 
-def run_async_replacement(fast: bool = False) -> ExperimentResult:
-    """Asynchronous replacement write-back on the disk configuration."""
-    duration = 4.0 if fast else 8.0
-    rates = [100, 500] if fast else [100, 300, 500, 700]
-    result = ExperimentResult(
-        experiment_id="Ablation-AR",
+# ---------------------------------------------------------------------------
+# Asynchronous page replacement
+
+
+def _ar_curves() -> List[CurveSpec]:
+    def curve(label, flag):
+        def build(rate: float) -> Tuple:
+            config = debit_credit_config(disk_only())
+            config.cm.async_replacement = flag
+            return config, DebitCreditWorkload(arrival_rate=rate)
+
+        return CurveSpec(label=label, build=build)
+
+    return [curve("sync write-back", False), curve("async write-back", True)]
+
+
+@experiment("ablation_async_replacement")
+def ar_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        id="ablation_async_replacement",
         title="Asynchronous page replacement (disk configuration)",
         x_label="arrival rate (TPS)",
         y_label="mean response time (ms)",
+        curves=_ar_curves(),
+        profiles={
+            "full": SweepProfile(xs=(100, 300, 500, 700), warmup=3.0,
+                                 duration=8.0),
+            "fast": SweepProfile(xs=(100, 500), warmup=3.0, duration=4.0),
+        },
+        notes=(
+            "expected: async write-back removes ~one 16.4 ms disk write "
+            "from response time, most of the write-buffer benefit",
+        ),
     )
-    for label, flag in (("sync write-back", False),
-                        ("async write-back", True)):
-        series = Series(label=label)
-        for rate in rates:
-            config = debit_credit_config(disk_only())
-            config.cm.async_replacement = flag
-            results = _measure(config,
-                               DebitCreditWorkload(arrival_rate=rate),
-                               duration=duration)
-            series.points.append(SeriesPoint(x=rate, results=results))
-            if results.saturated:
-                break
-        result.series.append(series)
-    result.notes.append(
-        "expected: async write-back removes ~one 16.4 ms disk write "
-        "from response time, most of the write-buffer benefit"
-    )
-    return result
 
 
-def run_deferred_propagation(fast: bool = False) -> ExperimentResult:
-    """Immediate vs deferred NVEM-to-disk propagation (FORCE)."""
-    duration = 4.0 if fast else 8.0
-    rates = [100, 300] if fast else [100, 300, 500]
-    result = ExperimentResult(
-        experiment_id="Ablation-DP",
-        title="Deferred NVEM->disk propagation (FORCE, NVEM cache 1000)",
-        x_label="arrival rate (TPS)",
-        y_label="mean response time (ms)",
-    )
-    for label, flag in (("immediate propagation", False),
-                        ("deferred propagation", True)):
-        series = Series(label=label)
-        for rate in rates:
+# ---------------------------------------------------------------------------
+# Deferred NVEM propagation
+
+
+def _dp_curves() -> List[CurveSpec]:
+    def curve(label, flag):
+        def build(rate: float) -> Tuple:
             config = debit_credit_config(
                 second_level_cache_scheme("nvem", 1000),
                 update_strategy=UpdateStrategy.FORCE,
             )
             config.cm.deferred_nvem_propagation = flag
-            results = _measure(config,
-                               DebitCreditWorkload(arrival_rate=rate),
-                               duration=duration)
-            series.points.append(SeriesPoint(x=rate, results=results))
-            if results.saturated:
-                break
-        result.series.append(series)
-    result.notes.append(
-        "expected: deferral saves repeated disk writes for re-modified "
-        "pages but adds NVEM reads at replacement (§3.2's trade-off)"
+            return config, DebitCreditWorkload(arrival_rate=rate)
+
+        return CurveSpec(label=label, build=build)
+
+    return [curve("immediate propagation", False),
+            curve("deferred propagation", True)]
+
+
+@experiment("ablation_deferred_propagation")
+def dp_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        id="ablation_deferred_propagation",
+        title="Deferred NVEM->disk propagation (FORCE, NVEM cache 1000)",
+        x_label="arrival rate (TPS)",
+        y_label="mean response time (ms)",
+        curves=_dp_curves(),
+        profiles={
+            "full": SweepProfile(xs=(100, 300, 500), warmup=3.0,
+                                 duration=8.0),
+            "fast": SweepProfile(xs=(100, 300), warmup=3.0, duration=4.0),
+        },
+        notes=(
+            "expected: deferral saves repeated disk writes for "
+            "re-modified pages but adds NVEM reads at replacement "
+            "(§3.2's trade-off)",
+        ),
     )
-    return result
 
 
-def run_migration_modes(fast: bool = False) -> Dict[str, Tuple[float, float]]:
-    """NVEM migration modes on the trace workload.
+# ---------------------------------------------------------------------------
+# NVEM migration modes (trace workload)
 
-    Returns {mode: (nvem hit ratio %, normalized response ms)}.
-    """
-    duration = 15.0 if fast else 40.0
-    trace = trace_for(fast)
+#: The second-level NVEM cache size all migration modes run against.
+MIGRATION_CACHE_SIZE = 2000
+MIGRATION_MODES = (NVEMCachingMode.MODIFIED, NVEMCachingMode.UNMODIFIED,
+                   NVEMCachingMode.ALL)
+
+
+def _mm_curves(profile: str) -> List[CurveSpec]:
+    trace = trace_for(profile == "fast")
+
+    def curve(mode):
+        def build(size: float) -> Tuple:
+            config = trace_config(trace, "nvem", mm_size=1000,
+                                  second_level=int(size))
+            for part in config.partitions:
+                part.nvem_caching = mode
+            return config, trace_workload(trace)
+
+        return CurveSpec(label=mode.value, build=build)
+
+    return [curve(mode) for mode in MIGRATION_MODES]
+
+
+def migration_summary(result: ExperimentResult
+                      ) -> Dict[str, Tuple[float, float]]:
+    """{mode: (NVEM hit ratio %, normalized response ms)}."""
     out: Dict[str, Tuple[float, float]] = {}
-    for mode in (NVEMCachingMode.MODIFIED, NVEMCachingMode.UNMODIFIED,
-                 NVEMCachingMode.ALL):
-        config = trace_config(trace, "nvem", mm_size=1000,
-                              second_level=2000)
-        for part in config.partitions:
-            part.nvem_caching = mode
-        results = _measure(config, trace_workload(trace), warmup=4.0,
-                           duration=duration)
-        out[mode.value] = (
-            results.hit_ratio("nvem_cache") * 100,
-            results.normalized_response_time(MEAN_TX_SIZE) * 1000,
+    for series in result.series:
+        r = series.points[0].results
+        out[series.label] = (
+            r.hit_ratio("nvem_cache") * 100,
+            r.normalized_response_time(MEAN_TX_SIZE) * 1000,
         )
     return out
 
 
+def _mm_render(result: ExperimentResult) -> str:
+    lines = ["NVEM migration modes (trace workload):"]
+    for mode, (hit, rt) in migration_summary(result).items():
+        lines.append(f"  {mode:12s} nvem_hit={hit:5.1f}%  rt={rt:7.1f} ms")
+    return "\n".join(lines)
+
+
+@experiment("ablation_migration_modes")
+def mm_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        id="ablation_migration_modes",
+        title="NVEM migration modes (trace workload, MM=1000)",
+        x_label="NVEM cache (pages)",
+        y_label="NVEM hit ratio / normalized response time",
+        curves=_mm_curves,
+        profiles={
+            "full": SweepProfile(xs=(MIGRATION_CACHE_SIZE,), warmup=4.0,
+                                 duration=40.0),
+            "fast": SweepProfile(xs=(MIGRATION_CACHE_SIZE,), warmup=4.0,
+                                 duration=15.0),
+        },
+        notes=(
+            "expected: migrating all pages gives the best NVEM hit "
+            "ratios (§4.6)",
+        ),
+        metric=lambda r: r.hit_ratio("nvem_cache") * 100,
+        metric_fmt="{:8.1f}",
+        renderer=_mm_render,
+        truncate_on_saturation=False,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deprecated wrappers
+
+
+def run_group_commit(fast: bool = False) -> ExperimentResult:
+    """Deprecated: use the ``ablation_group_commit`` experiment."""
+    return legacy_run("ablation_group_commit", fast)
+
+
+def run_async_replacement(fast: bool = False) -> ExperimentResult:
+    """Deprecated: use the ``ablation_async_replacement`` experiment."""
+    return legacy_run("ablation_async_replacement", fast)
+
+
+def run_deferred_propagation(fast: bool = False) -> ExperimentResult:
+    """Deprecated: use the ``ablation_deferred_propagation`` experiment."""
+    return legacy_run("ablation_deferred_propagation", fast)
+
+
+def run_migration_modes(fast: bool = False
+                        ) -> Dict[str, Tuple[float, float]]:
+    """Deprecated: use the ``ablation_migration_modes`` experiment.
+
+    Returns {mode: (nvem hit ratio %, normalized response ms)}.
+    """
+    return migration_summary(legacy_run("ablation_migration_modes", fast))
+
+
 def main() -> None:  # pragma: no cover - convenience entry point
-    print(run_group_commit().to_table())
-    print()
-    print(run_async_replacement().to_table())
-    print()
-    print(run_deferred_propagation().to_table())
-    print()
-    print("NVEM migration modes (trace):")
-    for mode, (hit, rt) in run_migration_modes().items():
-        print(f"  {mode:12s} nvem_hit={hit:5.1f}%  rt={rt:7.1f} ms")
+    runner = ExperimentRunner()
+    for exp_id in ("ablation_group_commit", "ablation_async_replacement",
+                   "ablation_deferred_propagation",
+                   "ablation_migration_modes"):
+        spec = get_experiment(exp_id)
+        print(spec.render(runner.run_one(spec)))
+        print()
 
 
 if __name__ == "__main__":  # pragma: no cover

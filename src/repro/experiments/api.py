@@ -1,0 +1,390 @@
+"""Declarative experiment API: specs, a registry and a figure-wide runner.
+
+The paper's contribution is a *family* of comparable experiments run
+under one simulator (Figs. 4.1–4.8, Table 4.2, the ablations).  This
+module makes that family first-class:
+
+* :class:`ExperimentSpec` — a declarative description of one figure or
+  table: identity, axes, the list of :class:`CurveSpec` factories that
+  produce ``(config, workload)`` pairs, ``fast``/``full``
+  :class:`SweepProfile`\\ s, expected-shape notes and output formatting.
+* :func:`experiment` — a decorator registering a spec factory under a
+  stable id (``@experiment("fig4_1")``).  The CLI, ``report_all``,
+  exports and the benchmarks all resolve experiments through this
+  registry; nothing imports figure modules by name.
+* :class:`ExperimentRunner` — evaluates one or many experiments.  In
+  parallel mode it schedules *all points of all curves of all selected
+  experiments* through a single work queue, so ``--all --parallel``
+  saturates every core across figure boundaries instead of
+  parallelizing one series at a time.
+
+Determinism: every point gets the same :func:`~repro.experiments.runner.point_seed`
+as the historical serial :func:`~repro.experiments.runner.sweep` path,
+and saturation truncation is applied post-hoc per curve, so serial and
+parallel runs produce byte-identical :class:`ExperimentResult`\\ s.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+import warnings
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.metrics import Results
+from repro.experiments.runner import (
+    ExperimentResult,
+    Series,
+    SeriesPoint,
+    _append_point,
+    _evaluate_point,
+    evaluate_points_parallel,
+    point_seed,
+)
+
+__all__ = [
+    "CurveSpec",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "SweepProfile",
+    "all_experiments",
+    "experiment",
+    "experiment_ids",
+    "get_experiment",
+    "legacy_run",
+    "load_builtin_specs",
+    "register",
+    "unregister",
+]
+
+#: Profile names every spec must provide.
+PROFILES = ("fast", "full")
+
+
+@dataclass(frozen=True)
+class SweepProfile:
+    """One resolution of a sweep: the x values and run lengths."""
+
+    xs: Tuple[float, ...]
+    warmup: float = 3.0
+    duration: float = 8.0
+
+
+@dataclass(frozen=True)
+class CurveSpec:
+    """One labelled curve: ``build(x) -> (config, workload)``.
+
+    ``build`` is a plain data-producing callable — it runs in the
+    driving process for every point; only the resulting
+    ``(config, workload)`` pair (picklable data) is shipped to worker
+    processes.
+    """
+
+    label: str
+    build: Callable[[float], Tuple]
+
+
+#: Curves may depend on the profile (e.g. the trace experiments use a
+#: shorter synthetic trace under ``fast``), so a spec can hold either a
+#: static list or a factory taking the profile name.
+CurveSource = Union[Sequence[CurveSpec], Callable[[str], Sequence[CurveSpec]]]
+
+
+@dataclass
+class ExperimentSpec:
+    """Declarative description of one figure/table experiment."""
+
+    id: str
+    title: str
+    x_label: str
+    y_label: str
+    curves: CurveSource
+    profiles: Mapping[str, SweepProfile]
+    notes: Tuple[str, ...] = ()
+    #: Table-cell metric (default: mean response time in ms).
+    metric: Optional[Callable[[Results], float]] = None
+    metric_fmt: str = "{:8.2f}"
+    #: Full custom renderer; overrides ``metric``/``metric_fmt``.
+    renderer: Optional[Callable[[ExperimentResult], str]] = None
+    #: End each curve at its first saturated point (the paper stops
+    #: plotting there).  Hit-ratio tables keep every cell instead.
+    truncate_on_saturation: bool = True
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        missing = [name for name in PROFILES if name not in self.profiles]
+        if missing:
+            raise ValueError(
+                f"experiment {self.id!r} lacks sweep profile(s): {missing}"
+            )
+
+    def profile(self, name: str) -> SweepProfile:
+        try:
+            return self.profiles[name]
+        except KeyError:
+            raise KeyError(
+                f"experiment {self.id!r} has no profile {name!r} "
+                f"(available: {sorted(self.profiles)})"
+            ) from None
+
+    def curves_for(self, profile_name: str) -> List[CurveSpec]:
+        source = self.curves
+        if callable(source):
+            source = source(profile_name)
+        return list(source)
+
+    def render(self, result: ExperimentResult) -> str:
+        """Format a result the way this experiment is reported."""
+        if self.renderer is not None:
+            return self.renderer(result)
+        return result.to_table(metric=self.metric, fmt=self.metric_fmt)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+
+
+#: Registration order is preserved; ids are unique.
+_FACTORIES: Dict[str, Callable[[], ExperimentSpec]] = {}
+_SPECS: Dict[str, ExperimentSpec] = {}
+#: "unloaded" -> "loading" (re-entrancy guard) -> "loaded"; a failed
+#: import resets to "unloaded" so the next call retries instead of
+#: serving a half-populated registry.
+_BUILTINS_STATE = "unloaded"
+
+
+def register(exp_id: str, factory: Callable[[], ExperimentSpec]) -> None:
+    """Register ``factory`` (returning an :class:`ExperimentSpec`) as
+    ``exp_id``.  Usually used through the :func:`experiment` decorator."""
+    if exp_id in _FACTORIES:
+        raise ValueError(f"experiment id {exp_id!r} is already registered")
+    _FACTORIES[exp_id] = factory
+
+
+def unregister(exp_id: str) -> None:
+    """Remove a registered experiment (tests and interactive use)."""
+    _FACTORIES.pop(exp_id, None)
+    _SPECS.pop(exp_id, None)
+
+
+def experiment(exp_id: str):
+    """Decorator: register the decorated zero-argument spec factory.
+
+    ::
+
+        @experiment("fig4_1")
+        def spec() -> ExperimentSpec:
+            return ExperimentSpec(id="fig4_1", ...)
+    """
+
+    def decorate(factory: Callable[[], ExperimentSpec]):
+        register(exp_id, factory)
+        return factory
+
+    return decorate
+
+
+def load_builtin_specs() -> None:
+    """Import every module of :mod:`repro.experiments` once, so their
+    ``@experiment`` registrations run.
+
+    Discovery goes through :mod:`pkgutil`, so no experiment module is
+    ever named outside this package — adding a figure module is enough
+    to make it appear in the CLI, ``report_all`` and the exports.
+    """
+    global _BUILTINS_STATE
+    if _BUILTINS_STATE != "unloaded":
+        return
+    _BUILTINS_STATE = "loading"
+    import repro.experiments as package
+
+    try:
+        for info in pkgutil.iter_modules(package.__path__):
+            if info.name.startswith("_"):
+                continue
+            importlib.import_module(f"{package.__name__}.{info.name}")
+    except BaseException:
+        _BUILTINS_STATE = "unloaded"
+        raise
+    _BUILTINS_STATE = "loaded"
+
+
+def get_experiment(exp_id: str) -> ExperimentSpec:
+    """Resolve an id to its (cached) :class:`ExperimentSpec`."""
+    load_builtin_specs()
+    spec = _SPECS.get(exp_id)
+    if spec is not None:
+        return spec
+    factory = _FACTORIES.get(exp_id)
+    if factory is None:
+        raise KeyError(
+            f"unknown experiment {exp_id!r} "
+            f"(registered: {', '.join(experiment_ids())})"
+        )
+    spec = factory()
+    if spec.id != exp_id:
+        raise ValueError(
+            f"spec factory registered as {exp_id!r} produced a spec "
+            f"with id {spec.id!r}"
+        )
+    _SPECS[exp_id] = spec
+    return spec
+
+
+def experiment_ids() -> List[str]:
+    """All registered ids, in registration order."""
+    load_builtin_specs()
+    return list(_FACTORIES)
+
+
+def legacy_run(exp_id: str, fast: bool = False,
+               duration: Optional[float] = None,
+               parallel: bool = False) -> ExperimentResult:
+    """Engine behind the deprecated module-level ``run()`` wrappers.
+
+    Emits the DeprecationWarning at the wrapper's call site
+    (``stacklevel=3``) and forwards to the registry + runner.
+    """
+    warnings.warn(
+        f"module-level run() is deprecated; use repro.experiments.api"
+        f".get_experiment({exp_id!r}) with ExperimentRunner",
+        DeprecationWarning, stacklevel=3,
+    )
+    return ExperimentRunner(parallel=parallel).run_one(
+        get_experiment(exp_id), "fast" if fast else "full",
+        duration=duration,
+    )
+
+
+def all_experiments() -> List[ExperimentSpec]:
+    return [get_experiment(exp_id) for exp_id in experiment_ids()]
+
+
+# ---------------------------------------------------------------------------
+# Runner
+
+
+@dataclass
+class _Plan:
+    """One experiment materialized for a profile."""
+
+    spec: ExperimentSpec
+    result: ExperimentResult
+    #: curve index -> list of evaluation tasks, in x order.
+    tasks: List[List[Tuple]] = field(default_factory=list)
+
+
+class ExperimentRunner:
+    """Evaluate registered experiments serially or figure-wide parallel.
+
+    Parallel mode flattens the points of every selected curve of every
+    selected experiment into one task list evaluated by a single
+    process pool — long figures and short figures share the same queue,
+    so cores never idle while one slow series finishes.  Saturation
+    truncation happens post-hoc per curve, making the output
+    byte-identical to the serial path (which stops evaluating a curve
+    at its first saturated point).
+    """
+
+    def __init__(self, parallel: bool = False,
+                 max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.parallel = parallel
+        self.max_workers = max_workers
+
+    # -- public API --------------------------------------------------------
+    def run_one(self, spec: Union[str, ExperimentSpec],
+                profile: str = "full",
+                duration: Optional[float] = None) -> ExperimentResult:
+        spec = self._resolve(spec)
+        return self.run([spec], profile=profile, duration=duration)[spec.id]
+
+    def run(self, specs: Iterable[Union[str, ExperimentSpec]],
+            profile: str = "full",
+            duration: Optional[float] = None
+            ) -> Dict[str, ExperimentResult]:
+        """Run experiments; returns ``{id: ExperimentResult}`` in input
+        order.  ``duration`` overrides the profile's per-point duration
+        (legacy ``run(duration=...)`` compatibility)."""
+        plans = [self._plan(self._resolve(s), profile, duration)
+                 for s in specs]
+        tasks = [task for plan in plans
+                 for curve_tasks in plan.tasks
+                 for task in curve_tasks]
+        evaluated: Optional[List[Results]] = None
+        if self.parallel and len(tasks) > 1:
+            evaluated = evaluate_points_parallel(tasks, self.max_workers,
+                                                 stacklevel=4)
+        if evaluated is not None:
+            precomputed = dict(zip(map(id, tasks), evaluated))
+            evaluate = lambda task: precomputed[id(task)]  # noqa: E731
+        else:
+            evaluate = _evaluate_point
+        for plan in plans:
+            self._collect(plan, evaluate)
+        return {plan.spec.id: plan.result for plan in plans}
+
+    # -- internals ---------------------------------------------------------
+    @staticmethod
+    def _resolve(spec: Union[str, ExperimentSpec]) -> ExperimentSpec:
+        if isinstance(spec, ExperimentSpec):
+            return spec
+        return get_experiment(spec)
+
+    @staticmethod
+    def _plan(spec: ExperimentSpec, profile_name: str,
+              duration: Optional[float]) -> _Plan:
+        prof = spec.profile(profile_name)
+        run_duration = duration if duration is not None else prof.duration
+        result = ExperimentResult(
+            experiment_id=spec.id,
+            title=spec.title,
+            x_label=spec.x_label,
+            y_label=spec.y_label,
+            notes=list(spec.notes),
+        )
+        plan = _Plan(spec=spec, result=result)
+        for curve in spec.curves_for(profile_name):
+            result.series.append(Series(label=curve.label))
+            plan.tasks.append([
+                (x, *curve.build(x), prof.warmup, run_duration,
+                 point_seed(spec.seed, i))
+                for i, x in enumerate(prof.xs)
+            ])
+        return plan
+
+    def _collect(self, plan: _Plan,
+                 evaluate: Callable[[Tuple], Results]) -> None:
+        """Fill ``plan.result`` from per-task results.
+
+        In the serial path ``evaluate`` runs the simulation lazily and
+        a truncating curve stops at its first saturated point, exactly
+        like ``sweep()`` always did; in the parallel path every point
+        was already evaluated and results beyond the truncation point
+        are simply discarded (post-hoc truncation), so both paths
+        produce identical series.
+        """
+        truncate = plan.spec.truncate_on_saturation
+        for series, curve_tasks in zip(plan.result.series, plan.tasks):
+            for task in curve_tasks:
+                results = evaluate(task)
+                if truncate:
+                    if _append_point(series, task[0], results):
+                        break
+                else:
+                    series.points.append(SeriesPoint(x=task[0],
+                                                     results=results))

@@ -1,12 +1,15 @@
-"""Export experiment results to CSV and JSON.
+"""Export experiment results to CSV and JSON (and read them back).
 
 Downstream analysis (spreadsheets, notebooks, gnuplot) wants flat data,
 not ASCII tables:
 
-* :func:`results_to_dict` — one run's :class:`Results` as plain dicts.
+* :func:`results_to_dict` / :func:`results_from_dict` — one run's
+  :class:`Results` as plain dicts, and back.
 * :func:`experiment_to_rows` / :func:`write_csv` — long-format rows
   (experiment, series, x, metrics...) for a whole sweep.
-* :func:`write_json` — the full experiment, metadata included.
+* :func:`write_json` / :func:`read_json` — the full experiment,
+  metadata included; ``read_json`` round-trips a written file back
+  into an equal :class:`ExperimentResult`.
 """
 
 from __future__ import annotations
@@ -16,10 +19,14 @@ import json
 from typing import Dict, List
 
 from repro.core.metrics import Results
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.runner import ExperimentResult, Series, SeriesPoint
 
 __all__ = [
+    "experiment_from_dict",
+    "experiment_to_dict",
     "experiment_to_rows",
+    "read_json",
+    "results_from_dict",
     "results_to_dict",
     "write_csv",
     "write_json",
@@ -41,6 +48,7 @@ def results_to_dict(results: Results) -> Dict:
         "composition": dict(results.composition),
         "hit_ratios": dict(results.hit_ratios),
         "mm_hit_by_tag": dict(results.mm_hit_by_tag),
+        "second_level_hit_by_tag": dict(results.second_level_hit_by_tag),
         "io_per_tx": dict(results.io_per_tx),
         "lock_stats": dict(results.lock_stats),
         "cpu_utilization": results.cpu_utilization,
@@ -51,6 +59,11 @@ def results_to_dict(results: Results) -> Dict:
         "saturated": results.saturated,
         "input_queue_peak": results.input_queue_peak,
     }
+
+
+def results_from_dict(payload: Dict) -> Results:
+    """Inverse of :func:`results_to_dict`."""
+    return Results(**payload)
 
 
 #: Flat columns exported per sweep point.
@@ -95,9 +108,9 @@ def write_csv(result: ExperimentResult, path: str) -> None:
             writer.writerow(row)
 
 
-def write_json(result: ExperimentResult, path: str) -> None:
-    """Write the full experiment (metadata + per-point Results)."""
-    payload = {
+def experiment_to_dict(result: ExperimentResult) -> Dict:
+    """The full experiment (metadata + per-point Results) as dicts."""
+    return {
         "experiment_id": result.experiment_id,
         "title": result.title,
         "x_label": result.x_label,
@@ -108,6 +121,7 @@ def write_json(result: ExperimentResult, path: str) -> None:
                 "label": series.label,
                 "points": [
                     {"x": point.x,
+                     "saturated": point.saturated,
                      "results": results_to_dict(point.results)}
                     for point in series.points
                 ],
@@ -115,5 +129,37 @@ def write_json(result: ExperimentResult, path: str) -> None:
             for series in result.series
         ],
     }
+
+
+def experiment_from_dict(payload: Dict) -> ExperimentResult:
+    """Inverse of :func:`experiment_to_dict`."""
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        x_label=payload["x_label"],
+        y_label=payload["y_label"],
+        notes=list(payload.get("notes", [])),
+        series=[
+            Series(
+                label=series["label"],
+                points=[
+                    SeriesPoint(x=point["x"],
+                                results=results_from_dict(point["results"]))
+                    for point in series["points"]
+                ],
+            )
+            for series in payload.get("series", [])
+        ],
+    )
+
+
+def write_json(result: ExperimentResult, path: str) -> None:
+    """Write the full experiment (metadata + per-point Results)."""
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
+        json.dump(experiment_to_dict(result), fh, indent=2)
+
+
+def read_json(path: str) -> ExperimentResult:
+    """Load an experiment written by :func:`write_json`."""
+    with open(path, encoding="utf-8") as fh:
+        return experiment_from_dict(json.load(fh))

@@ -18,8 +18,17 @@ near CPU saturation.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Optional, Tuple
 
+from repro.experiments.api import (
+    CurveSpec,
+    ExperimentRunner,
+    ExperimentSpec,
+    SweepProfile,
+    experiment,
+    get_experiment,
+    legacy_run,
+)
 from repro.experiments.defaults import (
     debit_credit_config,
     disk_only,
@@ -29,10 +38,10 @@ from repro.experiments.defaults import (
     nvem_write_buffer,
     ssd_resident,
 )
-from repro.experiments.runner import ExperimentResult, sweep
+from repro.experiments.runner import ExperimentResult
 from repro.workload.debit_credit import DebitCreditWorkload
 
-__all__ = ["ALTERNATIVES", "run"]
+__all__ = ["ALTERNATIVES", "run", "spec"]
 
 RATES = [10, 100, 200, 300, 400, 500, 600, 700]
 FAST_RATES = [100, 500]
@@ -47,35 +56,46 @@ ALTERNATIVES = [
 ]
 
 
-def run(fast: bool = False, duration: float = None,
-        parallel: bool = False) -> ExperimentResult:
-    rates = FAST_RATES if fast else RATES
-    duration = duration or (4.0 if fast else 8.0)
-    result = ExperimentResult(
-        experiment_id="Fig4.2",
-        title="Impact of database allocation (Debit-Credit, NOFORCE)",
-        x_label="arrival rate (TPS)",
-        y_label="mean response time (ms); * = saturated",
-    )
-    for label, scheme_fn in ALTERNATIVES:
-        def build(rate: float, scheme_fn=scheme_fn) -> Tuple:
+def _curves() -> List[CurveSpec]:
+    def curve(label, scheme_fn):
+        def build(rate: float) -> Tuple:
             config = debit_credit_config(scheme_fn())
             workload = DebitCreditWorkload(arrival_rate=rate)
             return config, workload
 
-        result.series.append(
-            sweep(label, rates, build, warmup=3.0, duration=duration,
-                  parallel=parallel and not fast)
-        )
-    result.notes.append(
-        "expected: disk > write-buffer variants (factor ~2) > memory "
-        "> SSD > NVEM; memory = NVEM + one 6.4 ms log I/O"
+        return CurveSpec(label=label, build=build)
+
+    return [curve(label, scheme_fn) for label, scheme_fn in ALTERNATIVES]
+
+
+@experiment("fig4_2")
+def spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        id="fig4_2",
+        title="Impact of database allocation (Debit-Credit, NOFORCE)",
+        x_label="arrival rate (TPS)",
+        y_label="mean response time (ms); * = saturated",
+        curves=_curves(),
+        profiles={
+            "full": SweepProfile(xs=tuple(RATES), warmup=3.0, duration=8.0),
+            "fast": SweepProfile(xs=tuple(FAST_RATES), warmup=3.0,
+                                 duration=4.0),
+        },
+        notes=(
+            "expected: disk > write-buffer variants (factor ~2) > memory "
+            "> SSD > NVEM; memory = NVEM + one 6.4 ms log I/O",
+        ),
     )
-    return result
+
+
+def run(fast: bool = False, duration: Optional[float] = None,
+        parallel: bool = False) -> ExperimentResult:
+    """Deprecated: resolve ``fig4_2`` through the registry instead."""
+    return legacy_run("fig4_2", fast, duration, parallel)
 
 
 def main() -> None:  # pragma: no cover - convenience entry point
-    print(run().to_table())
+    print(ExperimentRunner().run_one(get_experiment("fig4_2")).to_table())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -11,19 +11,28 @@ the two strategies are nearly indistinguishable.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.config import UpdateStrategy
+from repro.experiments.api import (
+    CurveSpec,
+    ExperimentRunner,
+    ExperimentSpec,
+    SweepProfile,
+    experiment,
+    get_experiment,
+    legacy_run,
+)
 from repro.experiments.defaults import (
     debit_credit_config,
     disk_only,
     disk_with_nv_cache_write_buffer,
     nvem_resident,
 )
-from repro.experiments.runner import ExperimentResult, sweep
+from repro.experiments.runner import ExperimentResult
 from repro.workload.debit_credit import DebitCreditWorkload
 
-__all__ = ["ALTERNATIVES", "run"]
+__all__ = ["ALTERNATIVES", "run", "spec"]
 
 RATES = [100, 200, 300, 400, 500, 600, 700]
 FAST_RATES = [100, 500]
@@ -40,37 +49,48 @@ ALTERNATIVES = [
 ]
 
 
-def run(fast: bool = False, duration: float = None,
-        parallel: bool = False) -> ExperimentResult:
-    rates = FAST_RATES if fast else RATES
-    duration = duration or (4.0 if fast else 8.0)
-    result = ExperimentResult(
-        experiment_id="Fig4.3",
-        title="FORCE vs NOFORCE (Debit-Credit)",
-        x_label="arrival rate (TPS)",
-        y_label="mean response time (ms); * = saturated",
-    )
-    for label, scheme_fn, strategy in ALTERNATIVES:
-        def build(rate: float, scheme_fn=scheme_fn,
-                  strategy=strategy) -> Tuple:
+def _curves() -> List[CurveSpec]:
+    def curve(label, scheme_fn, strategy):
+        def build(rate: float) -> Tuple:
             config = debit_credit_config(scheme_fn(),
                                          update_strategy=strategy)
             workload = DebitCreditWorkload(arrival_rate=rate)
             return config, workload
 
-        result.series.append(
-            sweep(label, rates, build, warmup=3.0, duration=duration,
-                  parallel=parallel and not fast)
-        )
-    result.notes.append(
-        "expected: FORCE>>NOFORCE on disk; gap shrinks with write "
-        "buffers; FORCE+WB beats disk-based NOFORCE; ~equal on NVEM"
+        return CurveSpec(label=label, build=build)
+
+    return [curve(label, scheme_fn, strategy)
+            for label, scheme_fn, strategy in ALTERNATIVES]
+
+
+@experiment("fig4_3")
+def spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        id="fig4_3",
+        title="FORCE vs NOFORCE (Debit-Credit)",
+        x_label="arrival rate (TPS)",
+        y_label="mean response time (ms); * = saturated",
+        curves=_curves(),
+        profiles={
+            "full": SweepProfile(xs=tuple(RATES), warmup=3.0, duration=8.0),
+            "fast": SweepProfile(xs=tuple(FAST_RATES), warmup=3.0,
+                                 duration=4.0),
+        },
+        notes=(
+            "expected: FORCE>>NOFORCE on disk; gap shrinks with write "
+            "buffers; FORCE+WB beats disk-based NOFORCE; ~equal on NVEM",
+        ),
     )
-    return result
+
+
+def run(fast: bool = False, duration: Optional[float] = None,
+        parallel: bool = False) -> ExperimentResult:
+    """Deprecated: resolve ``fig4_3`` through the registry instead."""
+    return legacy_run("fig4_3", fast, duration, parallel)
 
 
 def main() -> None:  # pragma: no cover - convenience entry point
-    print(run().to_table())
+    print(ExperimentRunner().run_one(get_experiment("fig4_3")).to_table())
 
 
 if __name__ == "__main__":  # pragma: no cover

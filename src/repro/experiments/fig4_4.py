@@ -15,17 +15,26 @@ NVEM cache beats a 1000-page non-volatile disk cache.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Optional, Tuple
 
+from repro.experiments.api import (
+    CurveSpec,
+    ExperimentRunner,
+    ExperimentSpec,
+    SweepProfile,
+    experiment,
+    get_experiment,
+    legacy_run,
+)
 from repro.experiments.defaults import (
     debit_credit_config,
     disk_only,
     second_level_cache_scheme,
 )
-from repro.experiments.runner import ExperimentResult, sweep
+from repro.experiments.runner import ExperimentResult
 from repro.workload.debit_credit import DebitCreditWorkload
 
-__all__ = ["CONFIGURATIONS", "run"]
+__all__ = ["CONFIGURATIONS", "build_config", "run", "spec"]
 
 BUFFER_SIZES = [200, 500, 1000, 2000, 5000]
 FAST_BUFFER_SIZES = [500, 2000]
@@ -48,36 +57,50 @@ def build_config(kind, size, mm_size: int):
     return debit_credit_config(scheme, buffer_size=mm_size)
 
 
-def run(fast: bool = False, duration: float = None,
-        parallel: bool = False) -> ExperimentResult:
-    sizes = FAST_BUFFER_SIZES if fast else BUFFER_SIZES
-    duration = duration or (4.0 if fast else 8.0)
-    result = ExperimentResult(
-        experiment_id="Fig4.4",
-        title="Impact of caching for different MM buffer sizes "
-              "(NOFORCE, 500 TPS)",
-        x_label="MM buffer (pages)",
-        y_label="mean response time (ms); * = saturated",
-    )
-    for label, kind, size in CONFIGURATIONS:
-        def build(mm: float, kind=kind, size=size) -> Tuple:
+def _curves() -> List[CurveSpec]:
+    def curve(label, kind, size):
+        def build(mm: float) -> Tuple:
             config = build_config(kind, size, int(mm))
             workload = DebitCreditWorkload(arrival_rate=ARRIVAL_RATE)
             return config, workload
 
-        result.series.append(
-            sweep(label, sizes, build, warmup=3.0, duration=duration,
-                  parallel=parallel and not fast)
-        )
-    result.notes.append(
-        "expected: vol. cache converges to MM-only once MM >= cache; "
-        "nv memory variants dominate; NVEM 500 beats nv disk cache 1000"
+        return CurveSpec(label=label, build=build)
+
+    return [curve(label, kind, size)
+            for label, kind, size in CONFIGURATIONS]
+
+
+@experiment("fig4_4")
+def spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        id="fig4_4",
+        title="Impact of caching for different MM buffer sizes "
+              "(NOFORCE, 500 TPS)",
+        x_label="MM buffer (pages)",
+        y_label="mean response time (ms); * = saturated",
+        curves=_curves(),
+        profiles={
+            "full": SweepProfile(xs=tuple(BUFFER_SIZES), warmup=3.0,
+                                 duration=8.0),
+            "fast": SweepProfile(xs=tuple(FAST_BUFFER_SIZES), warmup=3.0,
+                                 duration=4.0),
+        },
+        notes=(
+            "expected: vol. cache converges to MM-only once MM >= cache; "
+            "nv memory variants dominate; NVEM 500 beats nv disk cache "
+            "1000",
+        ),
     )
-    return result
+
+
+def run(fast: bool = False, duration: Optional[float] = None,
+        parallel: bool = False) -> ExperimentResult:
+    """Deprecated: resolve ``fig4_4`` through the registry instead."""
+    return legacy_run("fig4_4", fast, duration, parallel)
 
 
 def main() -> None:  # pragma: no cover - convenience entry point
-    print(run().to_table())
+    print(ExperimentRunner().run_one(get_experiment("fig4_4")).to_table())
 
 
 if __name__ == "__main__":  # pragma: no cover

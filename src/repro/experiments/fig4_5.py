@@ -14,16 +14,25 @@ response advantage coming mostly from write absorption.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Optional, Tuple
 
+from repro.experiments.api import (
+    CurveSpec,
+    ExperimentRunner,
+    ExperimentSpec,
+    SweepProfile,
+    experiment,
+    get_experiment,
+    legacy_run,
+)
 from repro.experiments.defaults import (
     debit_credit_config,
     second_level_cache_scheme,
 )
-from repro.experiments.runner import ExperimentResult, sweep
+from repro.experiments.runner import ExperimentResult
 from repro.workload.debit_credit import DebitCreditWorkload
 
-__all__ = ["KINDS", "run"]
+__all__ = ["KINDS", "hit_table", "run", "spec"]
 
 CACHE_SIZES = [200, 500, 1000, 2000, 5000]
 FAST_CACHE_SIZES = [500, 2000]
@@ -37,19 +46,9 @@ KINDS = [
 ]
 
 
-def run(fast: bool = False, duration: float = None,
-        parallel: bool = False) -> ExperimentResult:
-    sizes = FAST_CACHE_SIZES if fast else CACHE_SIZES
-    duration = duration or (4.0 if fast else 8.0)
-    result = ExperimentResult(
-        experiment_id="Fig4.5",
-        title="Impact of 2nd-level buffer size "
-              f"(NOFORCE, 500 TPS, MM={MM_BUFFER})",
-        x_label="2nd-level cache (pages)",
-        y_label="mean response time (ms); hit ratios via hit_table()",
-    )
-    for label, kind in KINDS:
-        def build(size: float, kind=kind) -> Tuple:
+def _curves() -> List[CurveSpec]:
+    def curve(label, kind):
+        def build(size: float) -> Tuple:
             config = debit_credit_config(
                 second_level_cache_scheme(kind, int(size)),
                 buffer_size=MM_BUFFER,
@@ -57,15 +56,9 @@ def run(fast: bool = False, duration: float = None,
             workload = DebitCreditWorkload(arrival_rate=ARRIVAL_RATE)
             return config, workload
 
-        result.series.append(
-            sweep(label, sizes, build, warmup=3.0, duration=duration,
-                  parallel=parallel and not fast)
-        )
-    result.notes.append(
-        "expected: NVEM best throughout; volatile cache useless until "
-        "its size exceeds the 500-page MM buffer"
-    )
-    return result
+        return CurveSpec(label=label, build=build)
+
+    return [curve(label, kind) for label, kind in KINDS]
 
 
 def hit_table(result: ExperimentResult) -> str:
@@ -77,11 +70,43 @@ def hit_table(result: ExperimentResult) -> str:
     )
 
 
+def _render(result: ExperimentResult) -> str:
+    """Both panels: response times and second-level hit ratios."""
+    return result.to_table() + "\n\n" + hit_table(result)
+
+
+@experiment("fig4_5")
+def spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        id="fig4_5",
+        title="Impact of 2nd-level buffer size "
+              f"(NOFORCE, 500 TPS, MM={MM_BUFFER})",
+        x_label="2nd-level cache (pages)",
+        y_label="mean response time (ms); panel (b) = added hit ratio",
+        curves=_curves(),
+        profiles={
+            "full": SweepProfile(xs=tuple(CACHE_SIZES), warmup=3.0,
+                                 duration=8.0),
+            "fast": SweepProfile(xs=tuple(FAST_CACHE_SIZES), warmup=3.0,
+                                 duration=4.0),
+        },
+        notes=(
+            "expected: NVEM best throughout; volatile cache useless "
+            "until its size exceeds the 500-page MM buffer",
+        ),
+        renderer=_render,
+    )
+
+
+def run(fast: bool = False, duration: Optional[float] = None,
+        parallel: bool = False) -> ExperimentResult:
+    """Deprecated: resolve ``fig4_5`` through the registry instead."""
+    return legacy_run("fig4_5", fast, duration, parallel)
+
+
 def main() -> None:  # pragma: no cover - convenience entry point
-    result = run()
-    print(result.to_table())
-    print()
-    print(hit_table(result))
+    result = ExperimentRunner().run_one(get_experiment("fig4_5"))
+    print(_render(result))
 
 
 if __name__ == "__main__":  # pragma: no cover

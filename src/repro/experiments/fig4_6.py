@@ -19,9 +19,18 @@ pages replaced from main memory, not just modified ones).
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Optional, Tuple
 
-from repro.experiments.runner import ExperimentResult, sweep
+from repro.experiments.api import (
+    CurveSpec,
+    ExperimentRunner,
+    ExperimentSpec,
+    SweepProfile,
+    experiment,
+    get_experiment,
+    legacy_run,
+)
+from repro.experiments.runner import ExperimentResult
 from repro.experiments.trace_setup import (
     ARRIVAL_RATE,
     MEAN_TX_SIZE,
@@ -30,7 +39,7 @@ from repro.experiments.trace_setup import (
     trace_workload,
 )
 
-__all__ = ["CONFIGURATIONS", "run"]
+__all__ = ["CONFIGURATIONS", "normalized_table", "run", "spec"]
 
 MM_SIZES = [100, 250, 500, 1000, 2000]
 FAST_MM_SIZES = [250, 1000]
@@ -46,33 +55,18 @@ CONFIGURATIONS = [
 ]
 
 
-def run(fast: bool = False, duration: float = None,
-        parallel: bool = False) -> ExperimentResult:
-    sizes = FAST_MM_SIZES if fast else MM_SIZES
-    duration = duration or (15.0 if fast else 45.0)
-    trace = trace_for(fast)
-    result = ExperimentResult(
-        experiment_id="Fig4.6",
-        title="Impact of MM buffer size for the real-life workload "
-              f"({ARRIVAL_RATE:g} TPS, 2nd-level={SECOND_LEVEL})",
-        x_label="MM buffer (pages)",
-        y_label=f"normalized response time (ms, {MEAN_TX_SIZE:g}-access tx)",
-    )
-    for label, kind in CONFIGURATIONS:
-        def build(mm: float, kind=kind) -> Tuple:
+def _curves(profile: str) -> List[CurveSpec]:
+    trace = trace_for(profile == "fast")
+
+    def curve(label, kind):
+        def build(mm: float) -> Tuple:
             config = trace_config(trace, kind, int(mm),
                                   second_level=SECOND_LEVEL)
             return config, trace_workload(trace)
 
-        result.series.append(
-            sweep(label, sizes, build, warmup=4.0, duration=duration,
-                  parallel=parallel and not fast)
-        )
-    result.notes.append(
-        "expected: 2nd-level caches flatten the MM-size curve; volatile "
-        "~= non-volatile hit ratios (read-dominated); NVEM cache best"
-    )
-    return result
+        return CurveSpec(label=label, build=build)
+
+    return [curve(label, kind) for label, kind in CONFIGURATIONS]
 
 
 def normalized_table(result: ExperimentResult) -> str:
@@ -82,8 +76,41 @@ def normalized_table(result: ExperimentResult) -> str:
     )
 
 
+@experiment("fig4_6")
+def spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        id="fig4_6",
+        title="Impact of MM buffer size for the real-life workload "
+              f"({ARRIVAL_RATE:g} TPS, 2nd-level={SECOND_LEVEL})",
+        x_label="MM buffer (pages)",
+        y_label=f"normalized response time (ms, {MEAN_TX_SIZE:g}-access "
+                "tx)",
+        curves=_curves,
+        profiles={
+            "full": SweepProfile(xs=tuple(MM_SIZES), warmup=4.0,
+                                 duration=45.0),
+            "fast": SweepProfile(xs=tuple(FAST_MM_SIZES), warmup=4.0,
+                                 duration=15.0),
+        },
+        notes=(
+            "expected: 2nd-level caches flatten the MM-size curve; "
+            "volatile ~= non-volatile hit ratios (read-dominated); NVEM "
+            "cache best",
+        ),
+        metric=lambda r: r.normalized_response_time(MEAN_TX_SIZE) * 1000,
+        metric_fmt="{:8.1f}",
+    )
+
+
+def run(fast: bool = False, duration: Optional[float] = None,
+        parallel: bool = False) -> ExperimentResult:
+    """Deprecated: resolve ``fig4_6`` through the registry instead."""
+    return legacy_run("fig4_6", fast, duration, parallel)
+
+
 def main() -> None:  # pragma: no cover - convenience entry point
-    print(normalized_table(run()))
+    print(normalized_table(ExperimentRunner().run_one(
+        get_experiment("fig4_6"))))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,9 +15,18 @@ size.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Optional, Tuple
 
-from repro.experiments.runner import ExperimentResult, sweep
+from repro.experiments.api import (
+    CurveSpec,
+    ExperimentRunner,
+    ExperimentSpec,
+    SweepProfile,
+    experiment,
+    get_experiment,
+    legacy_run,
+)
+from repro.experiments.runner import ExperimentResult
 from repro.experiments.trace_setup import (
     ARRIVAL_RATE,
     MEAN_TX_SIZE,
@@ -26,7 +35,7 @@ from repro.experiments.trace_setup import (
     trace_workload,
 )
 
-__all__ = ["KINDS", "run"]
+__all__ = ["KINDS", "normalized_table", "run", "spec"]
 
 CACHE_SIZES = [0, 1000, 2000, 3000, 5000]
 FAST_CACHE_SIZES = [0, 2000]
@@ -39,34 +48,19 @@ KINDS = [
 ]
 
 
-def run(fast: bool = False, duration: float = None,
-        parallel: bool = False) -> ExperimentResult:
-    sizes = FAST_CACHE_SIZES if fast else CACHE_SIZES
-    duration = duration or (15.0 if fast else 45.0)
-    trace = trace_for(fast)
-    result = ExperimentResult(
-        experiment_id="Fig4.7",
-        title="Impact of 2nd-level buffer size for the real-life "
-              f"workload (MM={MM_BUFFER}, {ARRIVAL_RATE:g} TPS)",
-        x_label="2nd-level cache (pages)",
-        y_label=f"normalized response time (ms, {MEAN_TX_SIZE:g}-access tx)",
-    )
-    for label, kind in KINDS:
-        def build(size: float, kind=kind) -> Tuple:
+def _curves(profile: str) -> List[CurveSpec]:
+    trace = trace_for(profile == "fast")
+
+    def curve(label, kind):
+        def build(size: float) -> Tuple:
             actual_kind = "none" if size == 0 else kind
             config = trace_config(trace, actual_kind, MM_BUFFER,
                                   second_level=max(int(size), 1))
             return config, trace_workload(trace)
 
-        result.series.append(
-            sweep(label, sizes, build, warmup=4.0, duration=duration,
-                  parallel=parallel and not fast)
-        )
-    result.notes.append(
-        "expected: gains appear once the cache exceeds the 1000-page MM "
-        "buffer; NVEM most effective; volatile ~= non-volatile"
-    )
-    return result
+        return CurveSpec(label=label, build=build)
+
+    return [curve(label, kind) for label, kind in KINDS]
 
 
 def normalized_table(result: ExperimentResult) -> str:
@@ -76,8 +70,41 @@ def normalized_table(result: ExperimentResult) -> str:
     )
 
 
+@experiment("fig4_7")
+def spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        id="fig4_7",
+        title="Impact of 2nd-level buffer size for the real-life "
+              f"workload (MM={MM_BUFFER}, {ARRIVAL_RATE:g} TPS)",
+        x_label="2nd-level cache (pages)",
+        y_label=f"normalized response time (ms, {MEAN_TX_SIZE:g}-access "
+                "tx)",
+        curves=_curves,
+        profiles={
+            "full": SweepProfile(xs=tuple(CACHE_SIZES), warmup=4.0,
+                                 duration=45.0),
+            "fast": SweepProfile(xs=tuple(FAST_CACHE_SIZES), warmup=4.0,
+                                 duration=15.0),
+        },
+        notes=(
+            "expected: gains appear once the cache exceeds the "
+            "1000-page MM buffer; NVEM most effective; volatile ~= "
+            "non-volatile",
+        ),
+        metric=lambda r: r.normalized_response_time(MEAN_TX_SIZE) * 1000,
+        metric_fmt="{:8.1f}",
+    )
+
+
+def run(fast: bool = False, duration: Optional[float] = None,
+        parallel: bool = False) -> ExperimentResult:
+    """Deprecated: resolve ``fig4_7`` through the registry instead."""
+    return legacy_run("fig4_7", fast, duration, parallel)
+
+
 def main() -> None:  # pragma: no cover - convenience entry point
-    print(normalized_table(run()))
+    print(normalized_table(ExperimentRunner().run_one(
+        get_experiment("fig4_7"))))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -20,7 +20,7 @@ and hence lock holding times — nearly vanish.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.config import (
     CCMode,
@@ -30,16 +30,25 @@ from repro.core.config import (
     SystemConfig,
     TransactionTypeConfig,
 )
+from repro.experiments.api import (
+    CurveSpec,
+    ExperimentRunner,
+    ExperimentSpec,
+    SweepProfile,
+    experiment,
+    get_experiment,
+    legacy_run,
+)
 from repro.experiments.defaults import (
     db_disk_unit,
     default_cm,
     default_nvem,
     log_disk_unit,
 )
-from repro.experiments.runner import ExperimentResult, sweep
+from repro.experiments.runner import ExperimentResult
 from repro.workload.synthetic import SyntheticWorkload
 
-__all__ = ["ALLOCATIONS", "build_config", "run"]
+__all__ = ["ALLOCATIONS", "build_config", "run", "spec"]
 
 RATES = [10, 50, 100, 150, 200, 300, 500, 700]
 FAST_RATES = [50, 150]
@@ -105,20 +114,10 @@ def build_config(small_alloc: str, large_alloc: str, log_device: str,
     return config
 
 
-def run(fast: bool = False, duration: float = None,
-        parallel: bool = False) -> ExperimentResult:
-    rates = FAST_RATES if fast else RATES
-    duration = duration or (4.0 if fast else 8.0)
-    result = ExperimentResult(
-        experiment_id="Fig4.8",
-        title="Page- vs object-locking for different allocation "
-              "strategies (§4.7 workload)",
-        x_label="arrival rate (TPS)",
-        y_label="mean response time (ms); * = saturated (lock thrash)",
-    )
+def _curves() -> List[CurveSpec]:
+    curves = []
     for label, small_alloc, large_alloc, log_device in ALLOCATIONS:
         for cc_mode in (CCMode.PAGE, CCMode.OBJECT):
-            series_label = f"{label} - {cc_mode.value} locks"
             if label == "NVEM-resident" and cc_mode is CCMode.OBJECT:
                 # The paper plots NVEM-resident only with page locks
                 # (object locks are trivially fine there too).
@@ -131,20 +130,42 @@ def run(fast: bool = False, duration: float = None,
                                       log_device, cc_mode, rate)
                 return config, SyntheticWorkload(config)
 
-            result.series.append(
-                sweep(series_label, rates, build, warmup=3.0,
-                      duration=duration, parallel=parallel and not fast)
-            )
-    result.notes.append(
-        "expected: page locks thrash near 120 TPS (disk) / 150 TPS "
-        "(mixed); object locks remove the bottleneck; NVEM-resident "
-        "never thrashes"
+            curves.append(CurveSpec(
+                label=f"{label} - {cc_mode.value} locks", build=build,
+            ))
+    return curves
+
+
+@experiment("fig4_8")
+def spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        id="fig4_8",
+        title="Page- vs object-locking for different allocation "
+              "strategies (§4.7 workload)",
+        x_label="arrival rate (TPS)",
+        y_label="mean response time (ms); * = saturated (lock thrash)",
+        curves=_curves(),
+        profiles={
+            "full": SweepProfile(xs=tuple(RATES), warmup=3.0, duration=8.0),
+            "fast": SweepProfile(xs=tuple(FAST_RATES), warmup=3.0,
+                                 duration=4.0),
+        },
+        notes=(
+            "expected: page locks thrash near 120 TPS (disk) / 150 TPS "
+            "(mixed); object locks remove the bottleneck; NVEM-resident "
+            "never thrashes",
+        ),
     )
-    return result
+
+
+def run(fast: bool = False, duration: Optional[float] = None,
+        parallel: bool = False) -> ExperimentResult:
+    """Deprecated: resolve ``fig4_8`` through the registry instead."""
+    return legacy_run("fig4_8", fast, duration, parallel)
 
 
 def main() -> None:  # pragma: no cover - convenience entry point
-    print(run().to_table())
+    print(ExperimentRunner().run_one(get_experiment("fig4_8")).to_table())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,38 +1,45 @@
-"""Run every experiment at full resolution and emit EXPERIMENTS.md tables.
+"""Run every registered experiment at full resolution and emit
+EXPERIMENTS.md tables.
 
 Usage::
 
-    python -m repro.experiments.report_all [output-file]
+    python -m repro.experiments.report_all [--parallel] [output-file]
 
-Runs E1–E11 (all figures, Table 4.2, ablations, cost model) with the
-full sweep settings and writes the measured tables to the output file
-(default: stdout).  Expect a total runtime of some tens of minutes on a
-laptop — each point is an independent discrete-event simulation.
+Resolves every experiment through the registry
+(:mod:`repro.experiments.api`) — figures, Table 4.2 and the ablations —
+runs the full sweep profile and writes each spec's rendered table to
+the output file (default: stdout), followed by the analytic cost-model
+section.  Expect a total runtime of some tens of minutes on a laptop —
+each point is an independent discrete-event simulation.  ``--parallel``
+schedules all points of all experiments across one worker pool and
+produces identical output.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
 from repro.analysis.cost import five_minute_rule
-from repro.experiments import (
-    ablations,
-    fig4_1,
-    fig4_2,
-    fig4_3,
-    fig4_4,
-    fig4_5,
-    fig4_6,
-    fig4_7,
-    fig4_8,
-    table4_2,
-)
+from repro.experiments.api import ExperimentRunner, all_experiments
 
 
 def main(argv=None) -> None:
-    argv = argv if argv is not None else sys.argv[1:]
-    out = open(argv[0], "w", encoding="utf-8") if argv else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="report_all",
+        description="regenerate every registered experiment (full sweeps)",
+    )
+    parser.add_argument("output", nargs="?", default=None,
+                        help="output file (default: stdout)")
+    parser.add_argument("--parallel", action="store_true",
+                        help="evaluate all experiments through one "
+                             "figure-wide worker pool")
+    parser.add_argument("--profile", choices=("fast", "full"),
+                        default="full")
+    args = parser.parse_args(argv)
+    out = open(args.output, "w", encoding="utf-8") if args.output \
+        else sys.stdout
 
     def emit(text=""):
         print(text, file=out, flush=True)
@@ -44,56 +51,24 @@ def main(argv=None) -> None:
         emit("=" * 72)
 
     start = time.time()
+    runner = ExperimentRunner(parallel=args.parallel)
+    specs = all_experiments()
 
-    for module, label in (
-        (fig4_1, "E1 / Figure 4.1"),
-        (fig4_2, "E2 / Figure 4.2"),
-        (fig4_3, "E3 / Figure 4.3"),
-        (fig4_4, "E4 / Figure 4.4"),
-    ):
-        section(label)
-        emit(module.run().to_table())
-        emit(f"[elapsed {time.time() - start:.0f}s]")
+    if args.parallel:
+        # One queue across every figure: all points of all curves of
+        # all experiments share the worker pool.
+        results = runner.run(specs, profile=args.profile)
+        for spec in specs:
+            section(f"{spec.id}: {spec.title}")
+            emit(spec.render(results[spec.id]))
+            emit(f"[elapsed {time.time() - start:.0f}s]")
+    else:
+        for spec in specs:
+            section(f"{spec.id}: {spec.title}")
+            emit(spec.render(runner.run_one(spec, profile=args.profile)))
+            emit(f"[elapsed {time.time() - start:.0f}s]")
 
-    section("E5 / Table 4.2")
-    tables = table4_2.run()
-    emit(tables["a"].to_table())
-    emit()
-    emit(tables["b"].to_table())
-    emit(f"[elapsed {time.time() - start:.0f}s]")
-
-    section("E6 / Figure 4.5")
-    result = fig4_5.run()
-    emit(result.to_table())
-    emit()
-    emit(fig4_5.hit_table(result))
-    emit(f"[elapsed {time.time() - start:.0f}s]")
-
-    section("E7 / Figure 4.6")
-    emit(fig4_6.normalized_table(fig4_6.run()))
-    emit(f"[elapsed {time.time() - start:.0f}s]")
-
-    section("E8 / Figure 4.7")
-    emit(fig4_7.normalized_table(fig4_7.run()))
-    emit(f"[elapsed {time.time() - start:.0f}s]")
-
-    section("E9 / Figure 4.8")
-    emit(fig4_8.run().to_table())
-    emit(f"[elapsed {time.time() - start:.0f}s]")
-
-    section("E11 / Ablations")
-    emit(ablations.run_group_commit().to_table())
-    emit()
-    emit(ablations.run_async_replacement().to_table())
-    emit()
-    emit(ablations.run_deferred_propagation().to_table())
-    emit()
-    emit("NVEM migration modes (trace workload):")
-    for mode, (hit, rt) in ablations.run_migration_modes().items():
-        emit(f"  {mode:12s} nvem_hit={hit:5.1f}%  rt={rt:7.1f} ms")
-    emit(f"[elapsed {time.time() - start:.0f}s]")
-
-    section("E10 / cost model")
+    section("cost model")
     emit("Gray-Putzolu break-even (1987 parameters): "
          f"{five_minute_rule(page_size_kb=1.0, disk_price=15_000.0, memory_price_per_mb=5_000.0):.0f} s")
     emit(f"[total elapsed {time.time() - start:.0f}s]")

@@ -29,8 +29,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.metrics import Results
 from repro.core.model import TransactionSystem
 
-__all__ = ["ExperimentResult", "Series", "SeriesPoint", "point_seed",
-           "sweep"]
+__all__ = ["ExperimentResult", "Series", "SeriesPoint",
+           "evaluate_points_parallel", "point_seed", "sweep"]
 
 
 @dataclass
@@ -150,6 +150,31 @@ def _evaluate_point(task: Tuple) -> Results:
     return system.run(warmup=warmup, duration=duration)
 
 
+def evaluate_points_parallel(tasks: Sequence[Tuple],
+                             max_workers: Optional[int] = None,
+                             stacklevel: int = 3
+                             ) -> Optional[List[Results]]:
+    """Evaluate point tasks across worker processes, in task order.
+
+    Returns ``None`` when no worker pool could be used (restricted
+    sandbox, dead children, unpicklable workload) so the caller can
+    degrade to serial evaluation: a genuine simulation error then
+    re-raises from the serial path with a clean single-process
+    traceback.
+    """
+    workers = max_workers or min(len(tasks), os.cpu_count() or 1)
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_evaluate_point, tasks))
+    except (OSError, pickle.PicklingError, AttributeError, TypeError,
+            BrokenProcessPool) as exc:
+        warnings.warn(
+            f"parallel sweep fell back to serial evaluation: {exc!r}",
+            RuntimeWarning, stacklevel=stacklevel,
+        )
+        return None
+
+
 def _append_point(series: Series, x: float, results: Results) -> bool:
     """Add one evaluated point; True when the curve ends (saturation)."""
     if results.saturated and results.committed == 0:
@@ -189,21 +214,8 @@ def sweep(label: str,
     ]
     series = Series(label=label)
     if parallel and len(tasks) > 1:
-        workers = max_workers or min(len(tasks), os.cpu_count() or 1)
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                all_results = list(pool.map(_evaluate_point, tasks))
-        except (OSError, pickle.PicklingError, AttributeError, TypeError,
-                BrokenProcessPool) as exc:
-            # No usable worker processes (restricted sandbox, dead
-            # children) or an unpicklable workload: degrade to serial.
-            # A genuine simulation error re-raises from the serial path
-            # below, with a clean single-process traceback.
-            warnings.warn(
-                f"parallel sweep fell back to serial evaluation: {exc!r}",
-                RuntimeWarning, stacklevel=2,
-            )
-            all_results = None
+        all_results = evaluate_points_parallel(tasks, max_workers,
+                                               stacklevel=3)
         if all_results is not None:
             for task, results in zip(tasks, all_results):
                 if _append_point(series, task[0], results):

@@ -29,33 +29,41 @@ NVEM cache 1000           13.1    7.2   3.4    0.6
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import UpdateStrategy
-from repro.core.model import TransactionSystem
+from repro.experiments.api import (
+    CurveSpec,
+    ExperimentRunner,
+    ExperimentSpec,
+    SweepProfile,
+    experiment,
+    get_experiment,
+    legacy_run,
+)
 from repro.experiments.defaults import (
     debit_credit_config,
     second_level_cache_scheme,
 )
+from repro.experiments.runner import ExperimentResult
 from repro.workload.debit_credit import DebitCreditWorkload
 
-__all__ = ["HitRatioTable", "run"]
+__all__ = ["HitRatioTable", "hit_tables", "run", "spec"]
 
 BUFFER_SIZES = [200, 500, 1000, 2000]
 FAST_BUFFER_SIZES = [200, 1000]
 ARRIVAL_RATE = 500.0
 
-ROWS_NOFORCE = [
-    ("vol. disk cache 1000", "volatile", 1000),
-    ("nv disk cache 1000", "nonvolatile", 1000),
-    ("NVEM cache 1000", "nvem", 1000),
-    ("NVEM cache 500", "nvem", 500),
-]
-
-ROWS_FORCE = [
-    ("vol. disk cache 1000", "volatile", 1000),
-    ("nv disk cache 1000", "nonvolatile", 1000),
-    ("NVEM cache 1000", "nvem", 1000),
+#: (part, strategy, row label, cache kind, cache size); series labels
+#: are "<STRATEGY>: <row label>".
+ROWS = [
+    ("a", UpdateStrategy.NOFORCE, "vol. disk cache 1000", "volatile", 1000),
+    ("a", UpdateStrategy.NOFORCE, "nv disk cache 1000", "nonvolatile", 1000),
+    ("a", UpdateStrategy.NOFORCE, "NVEM cache 1000", "nvem", 1000),
+    ("a", UpdateStrategy.NOFORCE, "NVEM cache 500", "nvem", 500),
+    ("b", UpdateStrategy.FORCE, "vol. disk cache 1000", "volatile", 1000),
+    ("b", UpdateStrategy.FORCE, "nv disk cache 1000", "nonvolatile", 1000),
+    ("b", UpdateStrategy.FORCE, "NVEM cache 1000", "nvem", 1000),
 ]
 
 
@@ -95,50 +103,101 @@ class HitRatioTable:
         return "\n".join(lines)
 
 
-def _measure(kind: str, size: int, mm_size: int,
-             strategy: UpdateStrategy,
-             duration: float) -> Tuple[float, float]:
-    config = debit_credit_config(
-        second_level_cache_scheme(kind, size),
-        update_strategy=strategy,
-        buffer_size=mm_size,
-    )
-    system = TransactionSystem(config,
-                               DebitCreditWorkload(arrival_rate=ARRIVAL_RATE))
-    results = system.run(warmup=3.0, duration=duration)
-    mm_hit = results.hit_ratio("main_memory") * 100
-    second = (results.hit_ratio("nvem_cache")
-              + results.hit_ratio("disk_cache")) * 100
-    return mm_hit, second
+def _curves() -> List[CurveSpec]:
+    def curve(strategy, label, kind, size):
+        def build(mm: float) -> Tuple:
+            config = debit_credit_config(
+                second_level_cache_scheme(kind, size),
+                update_strategy=strategy,
+                buffer_size=int(mm),
+            )
+            workload = DebitCreditWorkload(arrival_rate=ARRIVAL_RATE)
+            return config, workload
+
+        return CurveSpec(
+            label=f"{strategy.value.upper()}: {label}", build=build,
+        )
+
+    return [curve(strategy, label, kind, size)
+            for _, strategy, label, kind, size in ROWS]
 
 
-def run(fast: bool = False, duration: float = None
-        ) -> Dict[str, HitRatioTable]:
-    """Measure both halves of Table 4.2; returns {"a": ..., "b": ...}."""
-    sizes = FAST_BUFFER_SIZES if fast else BUFFER_SIZES
-    duration = duration or (4.0 if fast else 8.0)
+def hit_tables(result: ExperimentResult) -> Dict[str, HitRatioTable]:
+    """Rebuild both halves of Table 4.2 from the uniform result."""
     tables: Dict[str, HitRatioTable] = {}
-    for part, strategy, rows in (
-        ("a", UpdateStrategy.NOFORCE, ROWS_NOFORCE),
-        ("b", UpdateStrategy.FORCE, ROWS_FORCE),
-    ):
+    for part, strategy in (("a", UpdateStrategy.NOFORCE),
+                           ("b", UpdateStrategy.FORCE)):
+        prefix = f"{strategy.value.upper()}: "
         table = HitRatioTable(strategy=strategy.value.upper(),
-                              buffer_sizes=list(sizes))
-        for label, kind, size in rows:
+                              buffer_sizes=[])
+        sizes: List[int] = []
+        for series in result.series:
+            if not series.label.startswith(prefix):
+                continue
             row: Dict[int, Tuple[float, float]] = {}
-            for mm_size in sizes:
-                row[mm_size] = _measure(kind, size, mm_size, strategy,
-                                        duration)
-            table.cells[label] = row
+            for point in series.points:
+                mm = int(point.x)
+                if mm not in sizes:
+                    sizes.append(mm)
+                r = point.results
+                row[mm] = (
+                    r.hit_ratio("main_memory") * 100,
+                    (r.hit_ratio("nvem_cache")
+                     + r.hit_ratio("disk_cache")) * 100,
+                )
+            table.cells[series.label[len(prefix):]] = row
+        table.buffer_sizes = sorted(sizes)
         tables[part] = table
     return tables
 
 
+def _render(result: ExperimentResult) -> str:
+    tables = hit_tables(result)
+    return tables["a"].to_table() + "\n\n" + tables["b"].to_table()
+
+
+@experiment("table4_2")
+def spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        id="table4_2",
+        title="MM and 2nd-level cache hit ratios "
+              f"(Debit-Credit, {ARRIVAL_RATE:g} TPS)",
+        x_label="MM buffer (pages)",
+        y_label="2nd-level hit ratio (%)",
+        curves=_curves(),
+        profiles={
+            "full": SweepProfile(xs=tuple(BUFFER_SIZES), warmup=3.0,
+                                 duration=8.0),
+            "fast": SweepProfile(xs=tuple(FAST_BUFFER_SIZES), warmup=3.0,
+                                 duration=4.0),
+        },
+        notes=(
+            "expected: NVEM cache best 2nd-level hit ratios under "
+            "NOFORCE; FORCE lowers them; volatile ~ nonvolatile under "
+            "FORCE",
+        ),
+        metric=lambda r: (r.hit_ratio("nvem_cache")
+                          + r.hit_ratio("disk_cache")) * 100,
+        metric_fmt="{:8.1f}",
+        renderer=_render,
+        # Hit-ratio tables report every cell; curves are not truncated.
+        truncate_on_saturation=False,
+    )
+
+
+def run(fast: bool = False, duration: Optional[float] = None,
+        parallel: bool = False) -> Dict[str, HitRatioTable]:
+    """Deprecated: resolve ``table4_2`` through the registry instead.
+
+    Returns ``{"a": HitRatioTable, "b": HitRatioTable}`` like the
+    historical interface.
+    """
+    return hit_tables(legacy_run("table4_2", fast, duration, parallel))
+
+
 def main() -> None:  # pragma: no cover - convenience entry point
-    tables = run()
-    print(tables["a"].to_table())
-    print()
-    print(tables["b"].to_table())
+    result = ExperimentRunner().run_one(get_experiment("table4_2"))
+    print(_render(result))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,7 +26,7 @@ package ``__init__``, so registration is always complete before use).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable
+from typing import Callable, Dict, Iterable, Optional
 
 __all__ = [
     "Registry",
@@ -46,7 +46,7 @@ class Registry:
         self.label = label
         self._factories: Dict[str, Callable] = {}
 
-    def register(self, kind: str, factory: Callable = None):
+    def register(self, kind: str, factory: Optional[Callable] = None):
         """Register ``factory`` under ``kind``; usable as a decorator.
 
         Re-registering a kind replaces the previous factory (so tests
@@ -83,12 +83,12 @@ DEVICE_REGISTRY = Registry("storage device")
 POLICY_REGISTRY = Registry("replacement policy")
 
 
-def register_device(kind: str, factory: Callable = None):
+def register_device(kind: str, factory: Optional[Callable] = None):
     """Register a storage-device factory ``(env, streams, spec)``."""
     return DEVICE_REGISTRY.register(kind, factory)
 
 
-def register_policy(kind: str, factory: Callable = None):
+def register_policy(kind: str, factory: Optional[Callable] = None):
     """Register a replacement-policy factory ``(capacity, **params)``."""
     return POLICY_REGISTRY.register(kind, factory)
 

@@ -23,7 +23,7 @@ cache-hostile behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.sim.rng import RandomStreams
 from repro.workload.trace import Trace, TraceFile, TraceTransaction
@@ -101,7 +101,7 @@ def _subpartition_bounds(num_pages: int,
     return bounds
 
 
-def generate_trace(profile: RealWorkloadProfile = None,
+def generate_trace(profile: Optional[RealWorkloadProfile] = None,
                    seed: int = 42) -> Trace:
     """Build a synthetic trace matching the §4.6 marginals."""
     if profile is None:

@@ -1,0 +1,74 @@
+"""Shared fixtures for the experiment-layer tests.
+
+``tiny_spec`` builds a registered two-curve experiment over the small
+all-NVEM Debit-Credit system (sub-second per point), so API/CLI tests
+exercise the real registry + runner machinery without figure-scale
+simulation cost.
+"""
+
+import pytest
+
+from repro.core.config import (
+    CMConfig,
+    LogAllocation,
+    NVEM,
+    NVEMConfig,
+    SystemConfig,
+)
+from repro.experiments import api
+from repro.workload.debit_credit import (
+    DebitCreditWorkload,
+    build_debit_credit_partitions,
+)
+
+
+def tiny_config() -> SystemConfig:
+    """An all-NVEM Debit-Credit system small enough for sub-second runs."""
+    partitions = build_debit_credit_partitions(
+        num_branches=20, accounts_per_branch=1000,
+        allocation=NVEM, bt_allocation=NVEM,
+    )
+    config = SystemConfig(
+        partitions=partitions,
+        disk_units=[],
+        nvem=NVEMConfig(num_servers=2),
+        cm=CMConfig(mpl=20, buffer_size=64),
+        log=LogAllocation(device=NVEM),
+    )
+    config.validate()
+    return config
+
+
+def tiny_build(rate: float):
+    return tiny_config(), DebitCreditWorkload(
+        arrival_rate=rate, num_branches=20, accounts_per_branch=1000,
+    )
+
+
+def make_tiny_spec(exp_id: str = "_tiny",
+                   xs=(20.0, 40.0)) -> api.ExperimentSpec:
+    return api.ExperimentSpec(
+        id=exp_id,
+        title="tiny registry test experiment",
+        x_label="arrival rate (TPS)",
+        y_label="mean response time (ms)",
+        curves=[
+            api.CurveSpec(label="alpha", build=tiny_build),
+            api.CurveSpec(label="beta", build=tiny_build),
+        ],
+        profiles={
+            "full": api.SweepProfile(xs=tuple(xs), warmup=0.5,
+                                     duration=1.0),
+            "fast": api.SweepProfile(xs=tuple(xs[:1]), warmup=0.2,
+                                     duration=0.5),
+        },
+    )
+
+
+@pytest.fixture
+def tiny_spec():
+    """A registered tiny experiment; unregistered again on teardown."""
+    spec = make_tiny_spec()
+    api.register(spec.id, lambda: spec)
+    yield spec
+    api.unregister(spec.id)

@@ -79,11 +79,12 @@ class TestCharting:
         assert _nice_ticks(5.0, 5.0) == [5.0]
 
     def test_chart_on_real_experiment(self):
-        """End-to-end: chart a real (tiny) fig4_2 run."""
-        from repro.experiments import fig4_2
-        result = fig4_2.run(fast=True, duration=2.0)
+        """End-to-end: chart a real (tiny) fig4_2 run via the registry."""
+        from repro.experiments.api import ExperimentRunner
+        result = ExperimentRunner().run_one("fig4_2", "fast",
+                                            duration=2.0)
         chart = render_chart(result)
-        assert "Fig4.2" in chart
+        assert "fig4_2" in chart
 
 
 class TestExport:

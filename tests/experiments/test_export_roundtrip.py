@@ -1,0 +1,123 @@
+"""Export round-trip tests: JSON/CSV for ExperimentResult, and a
+registry-wide check that every registered experiment exports cleanly.
+
+The registry-wide test monkeypatches the runner's point evaluation with
+canned :class:`Results`, so every spec's ``build(x)`` factories run
+(config construction + validation) without simulation cost.
+"""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments import api
+from repro.experiments.export import (
+    CSV_FIELDS,
+    experiment_from_dict,
+    experiment_to_dict,
+    read_json,
+    results_from_dict,
+    results_to_dict,
+    write_csv,
+    write_json,
+)
+from repro.experiments.runner import ExperimentResult, Series, SeriesPoint
+from tests.experiments.test_harness import fake_results
+
+
+def sample_experiment() -> ExperimentResult:
+    result = ExperimentResult("FigX", "sample", "rate", "ms",
+                              notes=["a note"])
+    s1 = Series("alpha")
+    s1.points = [SeriesPoint(100, fake_results(0.010)),
+                 SeriesPoint(300, fake_results(0.020))]
+    s2 = Series("beta")
+    s2.points = [SeriesPoint(100, fake_results(0.050)),
+                 SeriesPoint(300, fake_results(0.055, saturated=True))]
+    result.series = [s1, s2]
+    return result
+
+
+def typed_results():
+    r = fake_results(0.02)
+    r.response_by_type = {"debit": 0.02, "query": 0.05}
+    return r
+
+
+class TestResultsRoundTrip:
+    def test_results_round_trip_equal(self):
+        original = typed_results()
+        restored = results_from_dict(
+            json.loads(json.dumps(results_to_dict(original)))
+        )
+        assert restored == original
+
+    def test_response_by_type_preserved(self):
+        payload = results_to_dict(typed_results())
+        assert payload["response_by_type"] == {"debit": 0.02,
+                                               "query": 0.05}
+
+    def test_second_level_hit_by_tag_exported(self):
+        payload = results_to_dict(fake_results())
+        assert "second_level_hit_by_tag" in payload
+
+
+class TestExperimentRoundTrip:
+    def test_dict_round_trip_equal(self):
+        original = sample_experiment()
+        restored = experiment_from_dict(experiment_to_dict(original))
+        assert restored == original
+
+    def test_json_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        original = sample_experiment()
+        write_json(original, path)
+        restored = read_json(path)
+        assert restored == original
+        # Saturation markers survive the trip.
+        assert restored.series[1].points[1].saturated is True
+
+    def test_json_saturated_point_markers(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        write_json(sample_experiment(), path)
+        with open(path) as fh:
+            payload = json.load(fh)
+        beta = payload["series"][1]["points"]
+        assert [p["saturated"] for p in beta] == [False, True]
+
+    def test_csv_round_trip_fields(self, tmp_path):
+        path = str(tmp_path / "out.csv")
+        write_csv(sample_experiment(), path)
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 4
+        assert list(rows[0]) == CSV_FIELDS
+        assert float(rows[0]["response_time_ms"]) == pytest.approx(10.0)
+        assert rows[-1]["saturated"] == "True"
+
+
+class TestRegistryWideExport:
+    @pytest.fixture
+    def stub_evaluation(self, monkeypatch):
+        """Replace simulation with canned results (build() still runs)."""
+        monkeypatch.setattr(api, "_evaluate_point",
+                            lambda task: fake_results(0.02))
+
+    def test_every_registered_experiment_exports_cleanly(
+            self, tmp_path, stub_evaluation):
+        runner = api.ExperimentRunner()
+        for exp_id in api.experiment_ids():
+            spec = api.get_experiment(exp_id)
+            result = runner.run_one(spec, "fast")
+            assert result.series, exp_id
+            json_path = str(tmp_path / f"{exp_id}.json")
+            csv_path = str(tmp_path / f"{exp_id}.csv")
+            write_json(result, json_path)
+            write_csv(result, csv_path)
+            assert read_json(json_path) == result
+            with open(csv_path, newline="") as fh:
+                rows = list(csv.DictReader(fh))
+            assert rows and rows[0]["experiment"] == exp_id
+            # The spec's own formatting also renders without error.
+            assert spec.render(result)

@@ -1,8 +1,21 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+import os
+
 import pytest
 
 from repro.cli import main
+from repro.experiments import api
+from tests.experiments.conftest import make_tiny_spec
+
+
+@pytest.fixture
+def tiny_registered():
+    spec = make_tiny_spec("_cli_tiny")
+    api.register(spec.id, lambda: spec)
+    yield spec
+    api.unregister(spec.id)
 
 
 def test_run_command(capsys):
@@ -60,3 +73,100 @@ def test_run_with_mm_policy_and_new_scheme(capsys):
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+class TestExperimentList:
+    def test_lists_registered_ids_and_titles(self, capsys):
+        code = main(["experiment", "list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for exp_id in ("fig4_1", "fig4_8", "table4_2",
+                       "ablation_group_commit"):
+            assert exp_id in out
+        assert "log file allocation" in out
+
+    def test_includes_user_registered_specs(self, tiny_registered,
+                                            capsys):
+        main(["experiment", "list"])
+        assert "_cli_tiny" in capsys.readouterr().out
+
+
+class TestExperimentRun:
+    def test_run_one(self, tiny_registered, capsys):
+        code = main(["experiment", "run", "_cli_tiny",
+                     "--profile", "fast"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tiny registry test experiment" in out
+
+    def test_parallel_honored_with_fast_profile(self, tiny_registered,
+                                                capsys):
+        """--parallel + --profile fast runs (no silent ignore)."""
+        code = main(["experiment", "run", "_cli_tiny",
+                     "--profile", "fast", "--parallel", "--workers", "2"])
+        assert code == 0
+        assert "tiny registry test experiment" in capsys.readouterr().out
+
+    def test_exports_json_and_csv(self, tiny_registered, tmp_path,
+                                  capsys):
+        out_dir = str(tmp_path / "artifacts")
+        code = main(["experiment", "run", "_cli_tiny",
+                     "--profile", "fast", "--json", "--csv",
+                     "--out", out_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        json_path = os.path.join(out_dir, "_cli_tiny.json")
+        csv_path = os.path.join(out_dir, "_cli_tiny.csv")
+        assert os.path.exists(json_path) and os.path.exists(csv_path)
+        assert f"wrote {json_path}" in out
+        with open(json_path) as fh:
+            assert json.load(fh)["experiment_id"] == "_cli_tiny"
+
+    def test_export_without_out_dir_rejected(self, tiny_registered,
+                                             capsys):
+        code = main(["experiment", "run", "_cli_tiny", "--json"])
+        assert code == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_unknown_id_rejected_with_listing(self, capsys):
+        code = main(["experiment", "run", "fig9_9"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "fig9_9" in err and "fig4_1" in err
+
+    def test_ids_and_all_conflict(self, capsys):
+        code = main(["experiment", "run", "fig4_1", "--all"])
+        assert code == 2
+
+    def test_no_ids_rejected(self, capsys):
+        code = main(["experiment", "run"])
+        assert code == 2
+
+    def test_legacy_syntax_upgraded(self, tiny_registered, capsys):
+        """'experiment <id> --fast' still works, with a stderr note."""
+        code = main(["experiment", "_cli_tiny", "--fast"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "tiny registry test experiment" in captured.out
+        assert "deprecated" in captured.err
+
+    def test_legacy_syntax_flag_first(self, tiny_registered, capsys):
+        """The old parser accepted '--fast <id>' order too."""
+        code = main(["experiment", "--fast", "_cli_tiny"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "tiny registry test experiment" in captured.out
+        assert "deprecated" in captured.err
+
+    def test_invalid_workers_rejected(self, tiny_registered, capsys):
+        code = main(["experiment", "run", "_cli_tiny",
+                     "--profile", "fast", "--workers", "0"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_duplicate_ids_run_once(self, tiny_registered, capsys):
+        code = main(["experiment", "run", "_cli_tiny", "_cli_tiny",
+                     "--profile", "fast"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("tiny registry test experiment") == 1

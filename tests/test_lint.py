@@ -1,0 +1,63 @@
+"""Source-level lint checks the CI image can run without extra tools.
+
+The experiment modules long carried ``duration: float = None`` — a PEP
+484 violation (an implicit-Optional default behind a non-Optional
+annotation) that flake8/mypy would flag.  Neither tool is a dependency
+of this repo, so this AST-based check enforces the rule in the tier-1
+suite: any parameter whose default is ``None`` must have an
+``Optional[...]``-style (or omitted) annotation.
+"""
+
+import ast
+import pathlib
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Annotations that legitimately accept None.
+_OPTIONAL_MARKERS = ("Optional", "Union", "Any", "None", "object")
+
+
+def _annotation_allows_none(node: ast.expr) -> bool:
+    text = ast.unparse(node)
+    return "None" in text or any(marker in text
+                                 for marker in _OPTIONAL_MARKERS) \
+        or "|" in text
+
+
+def _implicit_optional_params(tree: ast.AST):
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = node.args
+        positional = args.posonlyargs + args.args
+        defaults = args.defaults
+        # Defaults align with the tail of the positional parameters.
+        for arg, default in zip(positional[len(positional)
+                                           - len(defaults):], defaults):
+            yield node, arg, default
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None:
+                yield node, arg, default
+
+
+def test_no_implicit_optional_annotations():
+    violations = []
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for func, arg, default in _implicit_optional_params(tree):
+            if not (isinstance(default, ast.Constant)
+                    and default.value is None):
+                continue
+            if arg.annotation is None:
+                continue
+            if _annotation_allows_none(arg.annotation):
+                continue
+            violations.append(
+                f"{path.relative_to(SRC.parent.parent)}:{arg.lineno} "
+                f"{func.name}({arg.arg}: "
+                f"{ast.unparse(arg.annotation)} = None)"
+            )
+    assert not violations, (
+        "PEP 484 implicit-Optional defaults (annotate as "
+        "Optional[...]):\n" + "\n".join(violations)
+    )
