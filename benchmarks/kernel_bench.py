@@ -13,6 +13,12 @@ three levels that matter and writes them to a JSON trajectory file:
   exercises the eager-purge/compaction path.
 * ``debit_credit`` — one simulated second of 200 TPS Debit-Credit:
   the end-to-end simulator.
+* ``page_reference`` — one CM hammering the per-reference pipeline
+  (CPU burst + buffer-manager fix) on a main-memory-hit working set:
+  the path every figure replays millions of times.
+* ``fig4_1_fast_sweep`` — the registry-driven fig4_1 fast sweep end to
+  end (12 simulated points through the experiment runner): what an
+  experiment author actually waits for.
 
 Because absolute times differ between machines, each benchmark also
 reports a *normalized* score: its time divided by the time of a fixed
@@ -35,15 +41,29 @@ import json
 import platform
 import sys
 import time
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.sim import Environment, PriorityResource, RandomStreams, Resource
 
-#: PR 1 measurements (pre-overhaul kernel), kept for the trajectory.
+#: Committed measurements of earlier PRs, kept for the trajectory.
+#: PR 1 = pre-overhaul kernel; PR 3 = post kernel overhaul, before the
+#: PR 4 reference-pipeline fast path (uncontended grants, fused CPU
+#: bursts, buffer-hit/metrics/prewarm fast paths).
 REFERENCE = {
-    "source": "PR 1 baseline (pre fast-path kernel)",
-    "event_chain_ms": 21.7,
-    "debit_credit_ms": 127.0,
+    "source": "PR 1 (pre fast-path kernel) / PR 3 (pre reference-pipeline "
+              "fast path) on the committed baseline machine",
+    "pr1": {
+        "event_chain_ms": 21.7,
+        "debit_credit_ms": 127.0,
+    },
+    "pr3": {
+        "event_chain_ms": 15.2,
+        "debit_credit_ms": 119.7,
+        "debit_credit_ms_median": 124.99,
+        # Measured by running this harness against the PR-3 checkout.
+        "page_reference_ms": 130.7,
+        "fig4_1_fast_sweep_ms": 3783.0,
+    },
 }
 
 
@@ -124,6 +144,63 @@ def bench_debit_credit() -> int:
     return results.committed
 
 
+def bench_page_reference(n: int = 20_000) -> int:
+    """One CM driving the per-reference pipeline on a hot working set.
+
+    64 warm-up misses fill the frames, then every reference is a main
+    memory hit: per-object CPU burst + buffer fix + hit accounting —
+    the exact loop the transaction managers run per object reference.
+    Uses the counters-only metrics mode like the other micro-benchmarks.
+    """
+    from repro.core.bm import BufferManager
+    from repro.core.cpu import CPUPool
+    from repro.core.metrics import MetricsCollector
+    from repro.core.transaction import ObjectRef, Transaction
+    from repro.experiments.defaults import debit_credit_config, disk_only
+    from repro.storage.hierarchy import StorageSubsystem
+
+    config = debit_credit_config(disk_only())
+    env = Environment()
+    streams = RandomStreams(7)
+    metrics = (MetricsCollector.lite(env)
+               if hasattr(MetricsCollector, "lite")
+               else MetricsCollector(env, reservoir=0))
+    storage = StorageSubsystem(env, streams, config)
+    cpu = CPUPool(env, streams, config.cm)
+    bm = BufferManager(env, streams, config, cpu, storage, metrics)
+    instr_or = config.cm.instr_or
+    refs = [ObjectRef(1, i, i % 64, False, tag="BRANCH") for i in range(n)]
+    tx = Transaction(1, "bench", refs[:1])
+    # Runnable against pre-fast-path checkouts (reference measurements).
+    fix_fast = getattr(bm, "fix_page_fast", None)
+
+    def driver(env):
+        if fix_fast is None:  # pragma: no cover - old-checkout fallback
+            for ref in refs:
+                yield from cpu.execute(tx, instr_or)
+                yield from bm.fix_page(tx, ref)
+            return
+        for ref in refs:
+            yield from cpu.execute(tx, instr_or)
+            if fix_fast(tx, ref) is None:
+                yield from bm.fix_page_miss(tx, ref)
+
+    env.run(until=env.process(driver(env)))
+    assert metrics.page_access.total() == n
+    return n
+
+
+def bench_fig4_1_fast_sweep() -> int:
+    """The registry-driven fig4_1 fast sweep, serial, end to end."""
+    from repro.experiments.api import ExperimentRunner, get_experiment
+
+    result = ExperimentRunner().run_one(get_experiment("fig4_1"),
+                                        profile="fast")
+    points = sum(len(series.points) for series in result.series)
+    assert points >= 8
+    return points
+
+
 def calibration(loops: int = 2_000_000) -> int:
     """Fixed pure-Python spin loop; the machine-speed yardstick."""
     acc = 0
@@ -132,14 +209,21 @@ def calibration(loops: int = 2_000_000) -> int:
     return acc
 
 
-BENCHMARKS: List[Tuple[str, Callable[[], int], str]] = [
-    ("event_chain", bench_event_chain, "20k-timeout chain"),
+#: (name, workload, description, max_repeats).  ``max_repeats`` caps the
+#: timing repetitions for benchmarks whose single run is seconds long
+#: (the end-to-end sweep), so the suite stays CI-friendly.
+BENCHMARKS: List[Tuple[str, Callable[[], int], str, Optional[int]]] = [
+    ("event_chain", bench_event_chain, "20k-timeout chain", None),
     ("resource_contention", bench_resource_contention,
-     "2k customers, 3-stage FIFO network"),
+     "2k customers, 3-stage FIFO network", None),
     ("priority_cancel", bench_priority_cancel,
-     "2k customers, priority queue, 1/3 cancelled"),
+     "2k customers, priority queue, 1/3 cancelled", None),
     ("debit_credit", bench_debit_credit,
-     "1 s of 200 TPS Debit-Credit end-to-end"),
+     "1 s of 200 TPS Debit-Credit end-to-end", None),
+    ("page_reference", bench_page_reference,
+     "20k-reference MM-hit pipeline (1 CM)", None),
+    ("fig4_1_fast_sweep", bench_fig4_1_fast_sweep,
+     "fig4_1 fast profile through the experiment registry", 2),
 ]
 
 
@@ -168,9 +252,10 @@ def run_suite(repeats: int = 5) -> Dict:
         "reference": REFERENCE,
         "benchmarks": {},
     }
-    for name, fn, desc in BENCHMARKS:
+    for name, fn, desc, max_repeats in BENCHMARKS:
         fn()  # warm-up (imports, caches)
-        timing = _time_ms(fn, repeats)
+        n = repeats if max_repeats is None else min(repeats, max_repeats)
+        timing = _time_ms(fn, n)
         timing["description"] = desc
         timing["normalized"] = round(timing["ms_min"] / calib["ms_min"], 4)
         report["benchmarks"][name] = timing
@@ -178,6 +263,46 @@ def run_suite(repeats: int = 5) -> Dict:
               f"(x{timing['normalized']:.2f} calib)  {desc}",
               file=sys.stderr)
     return report
+
+
+def write_summary(report: Dict, baseline_path: str, tolerance: float,
+                  path: str) -> None:
+    """Append a markdown before/after table (for $GITHUB_STEP_SUMMARY).
+
+    Compares the current run against the committed baseline by both raw
+    and machine-normalized time, flagging anything past the regression
+    tolerance — the same comparison ``--check`` gates on, rendered where
+    a reviewer actually sees it.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh).get("benchmarks", {})
+    lines = [
+        "### Kernel benchmarks vs committed `%s`" % baseline_path,
+        "",
+        "| benchmark | baseline ms | current ms | baseline ×calib "
+        "| current ×calib | Δ normalized | status |",
+        "|---|---:|---:|---:|---:|---:|---|",
+    ]
+    for name, current in report["benchmarks"].items():
+        base = baseline.get(name)
+        if base is None:
+            lines.append(f"| {name} | — | {current['ms_min']:.2f} | — "
+                         f"| {current['normalized']:.3f} | — | new |")
+            continue
+        delta = (current["normalized"] / base["normalized"] - 1.0) * 100.0
+        status = ("REGRESSION" if current["normalized"] >
+                  base["normalized"] * (1.0 + tolerance) else "ok")
+        lines.append(
+            f"| {name} | {base['ms_min']:.2f} | {current['ms_min']:.2f} "
+            f"| {base['normalized']:.3f} | {current['normalized']:.3f} "
+            f"| {delta:+.1f}% | {status} |"
+        )
+    lines.append("")
+    lines.append(f"calibration: {report['calibration_ms']:.2f} ms "
+                 f"(python {report['python']}, {report['machine']}); "
+                 f"tolerance {tolerance:.0%} on normalized scores")
+    with open(path, "a") as fh:
+        fh.write("\n".join(lines) + "\n")
 
 
 def check(report: Dict, baseline_path: str, tolerance: float) -> int:
@@ -211,7 +336,12 @@ def main(argv=None) -> int:
                         help="allowed normalized slowdown (default 0.30)")
     parser.add_argument("--repeats", type=int, default=5,
                         help="timing repetitions per benchmark (default 5)")
+    parser.add_argument("--summary", metavar="PATH",
+                        help="append a markdown before/after table vs the "
+                             "--check baseline (e.g. $GITHUB_STEP_SUMMARY)")
     args = parser.parse_args(argv)
+    if args.summary and not args.check:
+        parser.error("--summary requires --check BASELINE")
 
     report = run_suite(repeats=args.repeats)
     if args.out:
@@ -222,6 +352,8 @@ def main(argv=None) -> int:
     else:
         json.dump(report, sys.stdout, indent=2, sort_keys=True)
         print()
+    if args.summary:
+        write_summary(report, args.check, args.tolerance, args.summary)
     if args.check:
         return check(report, args.check, args.tolerance)
     return 0

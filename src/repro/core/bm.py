@@ -105,6 +105,15 @@ class BufferManager:
         self.metrics = metrics
         self._streams = streams
         self.partitions: List[PartitionConfig] = list(config.partitions)
+        # Per-partition lookups for the per-reference fast path: the
+        # allocation map is fixed after construction, so residency and
+        # the default statistics tag reduce to list indexing.
+        self._part_tags: List[str] = [p.name for p in self.partitions]
+        self._part_mem_resident: List[bool] = [
+            storage.is_memory_resident(p.name) for p in self.partitions
+        ]
+        self._noforce: bool = \
+            self.cm.update_strategy is UpdateStrategy.NOFORCE
 
         self.mm: ReplacementPolicy = make_policy(
             self.cm.mm_policy, self.cm.buffer_size
@@ -125,6 +134,37 @@ class BufferManager:
     # ------------------------------------------------------------------
     # Page access (fix)
     # ------------------------------------------------------------------
+    def fix_page_fast(self, tx: Transaction, ref) -> Optional[str]:
+        """Synchronous hit path for :meth:`fix_page`.
+
+        A memory-resident reference or a main-memory buffer hit involves
+        no simulated time, no I/O and no RNG draw, so it needs no
+        generator at all: callers on the per-reference hot path (the
+        transaction managers) try this plain call first and only fall
+        back to the :meth:`fix_page_miss` generator when it returns
+        ``None``.  Semantics are identical to the first iteration of the
+        miss loop: recency touch, dirty marking, hit accounting.
+        """
+        idx = ref.partition_index
+        if self._part_mem_resident[idx]:
+            # 100% hit; NOFORCE propagation assumed (§3.2) — nothing to
+            # track for commit beyond logging.
+            self.metrics.record_page_access(
+                ref.tag or self._part_tags[idx], LEVEL_MEMORY_RESIDENT
+            )
+            return LEVEL_MEMORY_RESIDENT
+        key = (idx, ref.page_no)
+        entry = self.mm.get(key)
+        if entry is None:
+            return None
+        if ref.is_write:
+            entry.dirty = True
+            tx.modified_pages.add(key)
+        self.metrics.record_page_access(
+            ref.tag or self._part_tags[idx], LEVEL_MAIN_MEMORY
+        )
+        return LEVEL_MAIN_MEMORY
+
     def fix_page(self, tx: Transaction, ref) -> Generator:
         """Bring the referenced page into main memory; returns the level
         of the storage hierarchy that satisfied the access.
@@ -137,15 +177,23 @@ class BufferManager:
         hit-ratio accounting of Table 4.2 exact and avoids artificial
         convoy wake-ups that the paper's model does not exhibit.
         """
+        level = self.fix_page_fast(tx, ref)
+        if level is not None:
+            return level
+        result = yield from self.fix_page_miss(tx, ref)
+        return result
+
+    def fix_page_miss(self, tx: Transaction, ref) -> Generator:
+        """Miss continuation of :meth:`fix_page`.
+
+        Only valid immediately after :meth:`fix_page_fast` returned
+        ``None`` (the reference is not memory-resident and missed main
+        memory); the loop still re-checks the buffer after every wait
+        because a concurrent transaction may fetch the page meanwhile.
+        """
         part = self.partitions[ref.partition_index]
         tag = ref.tag or part.name
         key = ref.page_key
-
-        if self.storage.is_memory_resident(part.name):
-            # 100% hit; NOFORCE propagation assumed (§3.2) — nothing to
-            # track for commit beyond logging.
-            self.metrics.record_page_access(tag, LEVEL_MEMORY_RESIDENT)
-            return LEVEL_MEMORY_RESIDENT
 
         source = None
         carried_dirty = False
@@ -581,18 +629,18 @@ class BufferManager:
         of displaced dirty pages.  Measurement then starts from realistic
         buffer contents.
         """
-        part = self.partitions[partition_index]
-        if self.storage.is_memory_resident(part.name):
+        if self._part_mem_resident[partition_index]:
             return
         # Under FORCE, resident pages are clean at steady state (forced
         # at every commit); only NOFORCE leaves modifications in place.
-        is_write = is_write and \
-            self.cm.update_strategy is UpdateStrategy.NOFORCE
+        is_write = is_write and self._noforce
         key = (partition_index, page_no)
         entry = self.mm.get(key)
         if entry is not None:
-            entry.dirty = entry.dirty or is_write
+            if is_write and not entry.dirty:
+                entry.dirty = True
             return
+        part = self.partitions[partition_index]
         nvem_resident = self.storage.is_nvem_resident(part.name)
         if not nvem_resident:
             if self.nvem_cache is not None and \

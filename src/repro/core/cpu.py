@@ -25,7 +25,16 @@ __all__ = ["CPUPool"]
 
 
 class CPUPool:
-    """The computing module's processors."""
+    """The computing module's processors.
+
+    The execution primitives fuse "acquire + instruction timeout" into a
+    single scheduled wake-up when the CPU grant is immediate (the
+    resource layer's uncontended fast path): the burst then costs one
+    heap event — the service timeout — and a zero-instruction burst on
+    an idle CPU costs none at all.  Accounting stays exact either way:
+    an immediately granted request reports ``wait_cpu == 0.0`` exactly,
+    and ``service_cpu`` is charged only once the burst completed.
+    """
 
     def __init__(self, env: Environment, streams: RandomStreams,
                  config: CMConfig):
@@ -56,7 +65,21 @@ class CPUPool:
         point withdraws or returns the CPU claim instead of leaking it.
         """
         service = self._service_seconds(mean_instructions, exponential)
-        request = self.cpus.request()
+        cpus = self.cpus
+        request = cpus.request()
+        if request.callbacks is None:
+            # Immediate grant: the whole burst is one timeout (or none
+            # for a zero-service draw); wait_cpu stays exactly 0.0.
+            try:
+                if service > 0:
+                    yield self.env.timeout(service)
+            except BaseException:
+                cpus.cancel(request)
+                raise
+            if tx is not None:
+                tx.service_cpu += service
+            cpus.release(request)
+            return
         queued_at = self.env.now
         try:
             yield request
@@ -67,9 +90,9 @@ class CPUPool:
             if tx is not None:
                 tx.service_cpu += service
         except BaseException:
-            self.cpus.cancel(request)
+            cpus.cancel(request)
             raise
-        self.cpus.release(request)
+        cpus.release(request)
 
     def execute_with_sync_access(self, tx: Optional[Transaction],
                                  mean_instructions: float,
@@ -82,7 +105,25 @@ class CPUPool:
         transfer, so device queueing directly consumes CPU capacity.
         """
         service = self._service_seconds(mean_instructions, exponential)
-        request = self.cpus.request()
+        cpus = self.cpus
+        request = cpus.request()
+        if request.callbacks is None:
+            # Immediate grant: skip the grant wait, keep the CPU held
+            # through the device access exactly as in the general path.
+            try:
+                if service > 0:
+                    yield self.env.timeout(service)
+                if tx is not None:
+                    tx.service_cpu += service
+                access_start = self.env.now
+                result = yield from access
+                if tx is not None:
+                    tx.wait_nvem += self.env.now - access_start
+            except BaseException:
+                cpus.cancel(request)
+                raise
+            cpus.release(request)
+            return result
         queued_at = self.env.now
         try:
             yield request
@@ -97,9 +138,9 @@ class CPUPool:
             if tx is not None:
                 tx.wait_nvem += self.env.now - access_start
         except BaseException:
-            self.cpus.cancel(request)
+            cpus.cancel(request)
             raise
-        self.cpus.release(request)
+        cpus.release(request)
         return result
 
     # -- introspection ------------------------------------------------------

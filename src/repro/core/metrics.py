@@ -117,7 +117,14 @@ class Results:
 
 
 class MetricsCollector:
-    """Accumulates statistics during a run (post-warm-up)."""
+    """Accumulates statistics during a run (post-warm-up).
+
+    The per-reference hooks (:meth:`record_page_access`,
+    :meth:`record_io`) run once per logical page access / physical I/O —
+    millions of times per figure — so they are plain dict-counter
+    increments: no string formatting, no attribute chains beyond one
+    bound dict, no allocation except the first time a tag appears.
+    """
 
     def __init__(self, env: Environment, reservoir: int = 4000):
         self.env = env
@@ -132,6 +139,12 @@ class MetricsCollector:
         self.page_access_by_tag: Dict[str, CategoryCounter] = {}
         self.io_counts = CategoryCounter()
         self.lock_counts = CategoryCounter()
+        # Bound inner dicts for the per-reference hooks.  CategoryCounter
+        # clears (never replaces) its dict on reset, so these aliases
+        # stay valid across warm-up boundaries.
+        self._page_counts = self.page_access._counts
+        self._io_count_map = self.io_counts._counts
+        self._tag_counts: Dict[str, Dict[str, int]] = {}
         self.lock_wait = Accumulator()
         self.composition_totals: Dict[str, float] = {
             "input_queue": 0.0,
@@ -144,6 +157,18 @@ class MetricsCollector:
         }
         self.input_queue_peak = 0
         self.saturated = False
+
+    @classmethod
+    def lite(cls, env: Environment) -> "MetricsCollector":
+        """Counters-only collector for micro-benchmarks.
+
+        Drops the percentile reservoir (mean/min/max and every counter
+        still work; :meth:`Accumulator.percentile` falls back to the
+        mean), so the hot hooks never touch the sampling machinery.
+        Used by ``benchmarks/kernel_bench.py``; full experiment runs
+        keep the default reservoir.
+        """
+        return cls(env, reservoir=0)
 
     # -- event hooks ------------------------------------------------------
     def record_commit(self, tx: Transaction, response_time: float) -> None:
@@ -177,17 +202,20 @@ class MetricsCollector:
     def record_page_access(self, tag: Optional[str], level: str) -> None:
         if not self.active:
             return
-        self.page_access.add(level)
+        counts = self._page_counts
+        counts[level] = counts.get(level, 0) + 1
         if tag is not None:
-            counter = self.page_access_by_tag.get(tag)
-            if counter is None:
+            by_tag = self._tag_counts.get(tag)
+            if by_tag is None:
                 counter = self.page_access_by_tag[tag] = CategoryCounter()
-            counter.add(level)
+                by_tag = self._tag_counts[tag] = counter._counts
+            by_tag[level] = by_tag.get(level, 0) + 1
 
     def record_io(self, kind: str) -> None:
         if not self.active:
             return
-        self.io_counts.add(kind)
+        counts = self._io_count_map
+        counts[kind] = counts.get(kind, 0) + 1
 
     def record_lock_request(self, granted_immediately: bool) -> None:
         if not self.active:
@@ -221,6 +249,7 @@ class MetricsCollector:
         self.restarts = 0
         self.page_access.reset()
         self.page_access_by_tag.clear()
+        self._tag_counts.clear()
         self.io_counts.reset()
         self.lock_counts.reset()
         self.lock_wait.reset()

@@ -129,7 +129,10 @@ class TransactionManager:
                         aborted = True
                         break
                 yield from self.cpu.execute(tx, self.cm.instr_or)
-                yield from self.bm.fix_page(tx, ref)
+                # Hot path: a buffer hit costs no simulated time, so it
+                # is a plain call — only misses enter the generator.
+                if self.bm.fix_page_fast(tx, ref) is None:
+                    yield from self.bm.fix_page_miss(tx, ref)
             if not aborted:
                 yield from self.cpu.execute(tx, self.cm.instr_eot)
                 # Commit phase 1: log + (FORCE) forced page writes.

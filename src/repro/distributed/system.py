@@ -259,7 +259,10 @@ class _DistributedTM(TransactionManager):
                         aborted = True
                         break
                 yield from self.cpu.execute(tx, self.cm.instr_or)
-                yield from self.bm.fix_page(tx, ref)
+                # Hot path: buffer hits complete synchronously (see the
+                # central TM); only misses enter the generator.
+                if self.bm.fix_page_fast(tx, ref) is None:
+                    yield from self.bm.fix_page_miss(tx, ref)
             if not aborted:
                 yield from self.cpu.execute(tx, self.cm.instr_eot)
                 yield from self.bm.commit(tx)

@@ -34,6 +34,12 @@ round trips, so that path is specialized end to end:
 * :meth:`Process._resume` keeps the generator's ``send`` and its own
   bound callback in locals and dispatches fresh timeouts without the
   general ``isinstance``/state checks.
+* Yielding an *already-processed* event feeds its value straight back
+  into the generator without suspending — no heap traffic, no callback
+  list.  The resource layer relies on this for uncontended grants
+  (:meth:`repro.sim.resources.Resource.request` returns a processed
+  request when a unit is free), which is why ``_resume`` loops rather
+  than recursing: a chain of immediate grants runs as one step.
 
 Cancellation
 ------------

@@ -14,6 +14,27 @@ excluded from the priority queue's live count with periodic heap
 compaction.  Queue-length statistics therefore never count cancelled
 waiters, and the grant path stays O(log n) without lazy-deletion scans.
 
+Uncontended fast path: when a unit is free (which for a consistent
+resource implies an empty wait queue) *and no other event is pending at
+the current instant*, :meth:`Resource.request` claims the unit
+immediately and returns an *already-processed* request — the kernel
+consumes such an event synchronously at the ``yield`` with no heap
+insertion and no grant round trip.  The same-instant guard is what
+keeps the simulation trajectory bit-identical: with nothing else
+scheduled at ``now``, the zero-delay grant event would have been the
+very next event popped, so skipping it runs the requester at exactly
+the same point in the global ``(time, seq)`` dispatch order (dropping
+the grant entry shifts every later sequence number uniformly, which
+cannot reorder any tie).  With another event pending at ``now`` the
+grant is scheduled on the heap as before, deferring the requester
+behind that event exactly as it always was.
+
+Fast-granted requests behave exactly like heap-granted ones afterwards:
+:meth:`Resource.release` returns the unit, :meth:`Resource.cancel` (and
+the interrupt machinery that funnels into it) treats the
+granted-but-abandoned claim as a release, and utilization statistics
+see the same busy transition at the same simulated time.
+
 Usage pattern (inside a process generator)::
 
     req = cpu.request()
@@ -28,7 +49,7 @@ from collections import deque
 from heapq import heapify, heappop, heappush
 from typing import Any, Generator, Optional
 
-from repro.sim.core import Environment, Event, SimulationError
+from repro.sim.core import _PROCESSED, Environment, Event, SimulationError
 from repro.sim.stats import TimeWeighted
 
 __all__ = ["PriorityResource", "Resource", "ResourceMonitor", "Store"]
@@ -141,16 +162,44 @@ class Resource:
 
     # -- public API ------------------------------------------------------
     def request(self, priority: int = 0) -> Request:
-        """Claim one unit; the returned event fires when granted."""
-        request = Request(self, priority)
+        """Claim one unit; the returned event fires when granted.
+
+        With a free unit and no other event pending at the current
+        instant, the returned request is already *processed*
+        (``callbacks is None``): the grant costs no heap insertion and
+        the requester resumes synchronously at the ``yield``.  See the
+        module docstring for why the same-instant guard keeps the
+        ``(time, seq)`` dispatch order bit-identical.
+        """
         self.monitor.requests += 1
+        env = self.env
         if self.users < self.capacity:
             self.users += 1
             self.monitor.busy.record(self.users)
+            heap = env._heap
+            if not heap or heap[0][0] > env._now:
+                # Synchronous grant: skip the Event.__init__ chain and
+                # the succeed/schedule/step round trip entirely.
+                request = Request.__new__(Request)
+                request.env = env
+                request.callbacks = None
+                request._state = _PROCESSED
+                request._ok = True
+                request._defused = False
+                request.resource = self
+                request.priority = priority
+                request.key = None
+                request.cancelled = False
+                request._value = request
+                return request
+            # Another event is pending at this very instant: defer the
+            # grant behind it via the heap, exactly as before.
+            request = Request(self, priority)
             request.succeed(request)
-        else:
-            self._enqueue(request)
-            self.monitor.queue.record(self._queue_len())
+            return request
+        request = Request(self, priority)
+        self._enqueue(request)
+        self.monitor.queue.record(self._queue_len())
         return request
 
     def cancel(self, request: Request) -> None:
@@ -194,7 +243,8 @@ class Resource:
         """
         request = self.request()
         try:
-            yield request
+            if request.callbacks is not None:
+                yield request
             yield self.env.timeout(draw_delay())
         except BaseException:
             self.cancel(request)

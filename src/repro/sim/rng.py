@@ -18,6 +18,13 @@ __all__ = ["RandomStreams"]
 # Large odd constant used to derive independent substream seeds.
 _STREAM_SALT = 0x9E3779B97F4A7C15
 
+#: CPython's Random exposes ``_randbelow``; ``randint(a, b)`` is exactly
+#: ``a + _randbelow(b - a + 1)`` (see random.py, randrange with istep 1),
+#: so calling it directly skips randrange's argument plumbing while
+#: consuming the identical underlying bits.  Other implementations fall
+#: back to the public API.
+_HAS_RANDBELOW = hasattr(random.Random, "_randbelow")
+
 
 class RandomStreams:
     """A family of independent ``random.Random`` substreams.
@@ -55,7 +62,14 @@ class RandomStreams:
 
     def uniform_int(self, name: str, low: int, high: int) -> int:
         """Uniform integer in [low, high] inclusive."""
-        return self.stream(name).randint(low, high)
+        if high < low:
+            raise ValueError(f"empty range [{low!r}, {high!r}]")
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = self.stream(name)
+        if _HAS_RANDBELOW:
+            return low + rng._randbelow(high - low + 1)
+        return rng.randint(low, high)  # pragma: no cover - non-CPython
 
     def bernoulli(self, name: str, p: float) -> bool:
         if p <= 0.0:

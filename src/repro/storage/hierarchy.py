@@ -52,6 +52,14 @@ class StorageSubsystem:
         self._alloc: Dict[str, str] = {
             part.name: part.allocation for part in config.partitions
         }
+        # Residency is fixed at construction time, so the per-reference
+        # queries below are set membership tests, not string compares.
+        self._memory_resident = frozenset(
+            name for name, target in self._alloc.items() if target == MEMORY
+        )
+        self._nvem_resident = frozenset(
+            name for name, target in self._alloc.items() if target == NVEM
+        )
         self._log_target = config.log.device
         #: Monotonic page number for the sequential log file.
         self._log_page = 0
@@ -61,10 +69,10 @@ class StorageSubsystem:
         return self._alloc[partition]
 
     def is_memory_resident(self, partition: str) -> bool:
-        return self._alloc[partition] == MEMORY
+        return partition in self._memory_resident
 
     def is_nvem_resident(self, partition: str) -> bool:
-        return self._alloc[partition] == NVEM
+        return partition in self._nvem_resident
 
     def unit_of(self, partition: str) -> Optional[StorageDevice]:
         target = self._alloc[partition]

@@ -158,6 +158,26 @@ class DebitCreditWorkload:
         return Transaction(self._tx_counter, "debit-credit", refs)
 
     # -- warm start ------------------------------------------------------
+    def _prewarm_pages(self, streams):
+        """One transaction's page numbers without building the objects.
+
+        Performs *exactly* the draws of :meth:`make_transaction` (branch,
+        teller, account — the teller draw is consumed even though only
+        pages matter) and advances the same counters, so a prewarm
+        replay leaves the RNG streams and transaction ids bit-identical
+        to one that materialized full transactions.
+        """
+        branch = streams.uniform_int("dc-branch", 0, self.num_branches - 1)
+        streams.uniform_int("dc-teller", 0, self.tellers_per_branch - 1)
+        account = self._pick_account(streams, branch)
+        history = self._history_cursor
+        self._history_cursor = (self._history_cursor + 1) % \
+            self._history_objects
+        self._tx_counter += 1
+        return (account // self.account_block_factor,
+                history // self.history_block_factor,
+                branch)
+
     def prewarm(self, system) -> None:
         """Warm all cache levels with a representative reference stream.
 
@@ -165,18 +185,23 @@ class DebitCreditWorkload:
         manager's prewarm path to fill the main-memory buffer (and any
         second-level caches) to LRU steady state: hot BRANCH/TELLER and
         HISTORY pages resident, the remaining frames churning with dirty
-        ACCOUNT pages — the state §4's measurements assume.
+        ACCOUNT pages — the state §4's measurements assume.  All four
+        Debit-Credit references are writes, and clustering makes the
+        BRANCH and TELLER references hit the same page.
         """
         capacity = system.config.cm.buffer_size
         second_level = max(system.config.cm.nvem_cache_size,
                            max((u.cache_size for u in
                                 system.config.disk_units), default=0))
         n_txs = max(4000, 3 * (capacity + second_level))
+        streams = system.streams
+        prewarm_ref = system.bm.prewarm_reference
         for _ in range(n_txs):
-            tx = self.make_transaction(system.streams)
-            for ref in tx.refs:
-                system.bm.prewarm_reference(ref.partition_index,
-                                            ref.page_no, ref.is_write)
+            acct_page, hist_page, bt_page = self._prewarm_pages(streams)
+            prewarm_ref(P_ACCOUNT, acct_page, True)
+            prewarm_ref(P_HISTORY, hist_page, True)
+            prewarm_ref(P_BRANCH_TELLER, bt_page, True)
+            prewarm_ref(P_BRANCH_TELLER, bt_page, True)
 
     # -- SOURCE ------------------------------------------------------------
     def start(self, system) -> None:

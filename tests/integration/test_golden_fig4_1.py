@@ -1,0 +1,44 @@
+"""Golden-output pin for the fig4_1 fast sweep.
+
+The determinism contract of the simulator ("same seed, same trajectory,
+bit for bit") is what allows kernel optimizations to be verified by
+output diffing.  This test freezes that contract: the SHA-256 of the
+canonical JSON export of ``fig4_1`` (fast profile, serial) must never
+change unless a PR *intends* to change simulation behaviour — in which
+case updating the hash below is the explicit, reviewable act.
+
+Any "optimization" that perturbs RNG draw order or ``(time, seq)``
+event dispatch order fails here loudly instead of silently shifting
+every published figure.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.experiments.api import ExperimentRunner, get_experiment
+from repro.experiments.export import experiment_to_dict
+
+#: sha256 of json.dumps(experiment_to_dict(...), sort_keys=True,
+#: separators=(",", ":")) for fig4_1, fast profile, serial runner.
+#: Pinned on PR 4 and byte-identical to the PR-3 output (the fast-path
+#: work preserved the trajectory exactly).
+GOLDEN_SHA256 = \
+    "ed08aabf3ec4573163644e1c7e86790698ab027a3edcf72b151411475537272c"
+
+
+@pytest.mark.slow
+def test_fig4_1_fast_output_checksum_is_pinned():
+    result = ExperimentRunner().run_one(get_experiment("fig4_1"),
+                                        profile="fast")
+    payload = json.dumps(experiment_to_dict(result), sort_keys=True,
+                         separators=(",", ":"))
+    digest = hashlib.sha256(payload.encode()).hexdigest()
+    assert digest == GOLDEN_SHA256, (
+        "fig4_1 fast output changed: the simulation trajectory is no "
+        "longer bit-identical to the pinned baseline. If this change "
+        "is intentional (a behavioural fix, a new model feature), "
+        "update GOLDEN_SHA256; if it comes from a performance "
+        "refactor, the refactor broke the determinism contract."
+    )

@@ -413,7 +413,12 @@ def test_interrupt_withdraws_queued_request():
 
 def test_interrupt_of_granted_but_undelivered_request_releases_unit():
     """If the grant event is scheduled but not yet delivered when the
-    requester is interrupted, the unit must return to the pool."""
+    requester is interrupted, the unit must return to the pool.
+
+    (The attacker's pending same-instant start event is also what keeps
+    the victim's grant on the heap-scheduled path rather than the
+    synchronous fast path — the very window this test protects.)
+    """
     env = Environment()
     res = Resource(env, capacity=1)
     log = []
@@ -435,6 +440,54 @@ def test_interrupt_of_granted_but_undelivered_request_releases_unit():
         return
         yield  # pragma: no cover - makes this a generator
 
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert log == ["interrupted"]
+    assert res.users == 0
+
+    def late(env):
+        req = res.request()
+        yield req
+        log.append("late-granted")
+        res.release(req)
+
+    env.process(late(env))
+    env.run()
+    assert log == ["interrupted", "late-granted"]
+
+
+def test_interrupt_of_release_granted_undelivered_request_releases_unit():
+    """Same hazard created the other way the window can arise: a
+    *queued* request granted by ``release()``, with the requester
+    interrupted in the same timestep before the grant is delivered."""
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def holder(env):
+        req = res.request()
+        yield req
+        yield env.timeout(1.0)
+        res.release(req)  # schedules the victim's grant (undelivered)
+
+    def victim(env):
+        req = res.request()  # queued behind the holder
+        assert not req.triggered
+        try:
+            yield req
+        except Interrupt:
+            log.append("interrupted")
+
+    def attacker(env, target):
+        # Created after the holder, so its timeout at t=1.0 pops after
+        # the holder's release scheduled the grant — the abandoned wait
+        # is triggered-but-undelivered.
+        yield env.timeout(1.0)
+        assert res.users == 1
+        target.interrupt()
+
+    env.process(holder(env))
     v = env.process(victim(env))
     env.process(attacker(env, v))
     env.run()
@@ -483,6 +536,152 @@ def test_interrupted_store_getter_does_not_swallow_items():
     env.process(producer(env, d))
     env.run()
     assert got == ["interrupted", ("survivor", "payload")]
+
+
+class TestUncontendedFastGrant:
+    """The synchronous-grant fast path of Resource.request()."""
+
+    def test_request_granted_synchronously_when_idle(self):
+        """Free unit + nothing pending at this instant: the request
+        comes back already processed, with no heap traffic."""
+        env = Environment()
+        res = Resource(env, capacity=1)
+        req = res.request()
+        assert req.processed and req.callbacks is None
+        assert req.value is req
+        assert res.users == 1
+        assert env.peek() == float("inf")  # no grant event scheduled
+        res.release(req)
+        assert res.users == 0
+        assert res.monitor.requests == 1
+        assert res.monitor.completions == 1
+
+    def test_priority_resource_fast_grant(self):
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        req = res.request(priority=3)
+        assert req.processed and res.users == 1
+        res.release(req)
+        assert res.users == 0
+
+    def test_same_instant_pending_event_defers_grant(self):
+        """With another event pending at ``now`` the grant must go
+        through the heap, preserving the historical dispatch order."""
+        env = Environment()
+        res = Resource(env, capacity=1)
+        env.timeout(0.0)  # unrelated event at the current instant
+        req = res.request()
+        assert req.triggered and not req.processed
+        assert res.users == 1
+
+        order = []
+
+        def waiter(env):
+            yield req
+            order.append("granted")
+
+        env.process(waiter(env))
+        env.run()
+        assert order == ["granted"]
+
+    def test_yield_of_fast_request_continues_synchronously(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        trace = []
+
+        def proc(env):
+            req = res.request()
+            trace.append(("before-yield", env.now, req.processed))
+            got = yield req
+            trace.append(("after-yield", env.now, got is req))
+            yield env.timeout(1.0)
+            res.release(req)
+
+        env.process(proc(env))
+        env.run()
+        assert trace == [("before-yield", 0.0, True),
+                         ("after-yield", 0.0, True)]
+        assert res.users == 0
+
+    def test_interrupt_while_holding_fast_granted_unit(self):
+        """Interrupting a process that holds a fast-granted unit must
+        return the unit through the cancel-as-release path."""
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def victim(env):
+            # Request at a quiet instant (other processes started at
+            # t=0) so the grant takes the synchronous fast path.
+            yield env.timeout(0.5)
+            req = res.request()
+            assert req.processed  # fast grant
+            try:
+                yield env.timeout(10.0)
+            except Interrupt:
+                res.cancel(req)
+                log.append(("interrupted", env.now))
+                return
+            res.release(req)  # pragma: no cover - interrupted before
+
+        def contender(env):
+            yield env.timeout(2.0)
+            req = res.request()
+            yield req
+            log.append(("contender-granted", env.now))
+            res.release(req)
+
+        v = env.process(victim(env))
+        env.process(contender(env))
+
+        def attacker(env):
+            yield env.timeout(1.0)
+            v.interrupt()
+
+        env.process(attacker(env))
+        env.run()
+        assert log == [("interrupted", 1.0), ("contender-granted", 2.0)]
+        assert res.users == 0
+
+    def test_interrupt_during_serve_with_fast_grant(self):
+        """serve() must return a fast-granted unit when its holder is
+        torn down at the service-time yield."""
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def victim(env):
+            try:
+                yield from res.serve(lambda: 10.0)
+            except Interrupt:
+                log.append("interrupted")
+
+        def attacker(env, target):
+            yield env.timeout(1.0)
+            target.interrupt()
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert log == ["interrupted"]
+        assert res.users == 0
+        assert res.queue_length == 0
+
+    def test_double_release_of_fast_request_rejected(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        req = res.request()
+        res.release(req)
+        with pytest.raises(SimulationError):
+            res.release(req)
+
+    def test_cancel_fast_granted_request_is_release(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        req = res.request()
+        assert res.users == 1
+        res.cancel(req)
+        assert res.users == 0
 
 
 def test_mm1_queue_matches_theory():
