@@ -190,6 +190,38 @@ def bench_page_reference(n: int = 20_000) -> int:
     return n
 
 
+def bench_restart_replay(redo_pages: int = 1200,
+                         log_pages: int = 600) -> int:
+    """Crash-recovery restart replay (log scan + redo) on disk units.
+
+    Populates the recovery tracker with a synthetic dirty page table
+    and log tail, then replays the restart through the real device
+    registry — the path every fig_restart / ablation_availability
+    point pays once per injected crash.
+    """
+    from repro.core.model import TransactionSystem
+    from repro.experiments.defaults import debit_credit_config, disk_only
+
+    config = debit_credit_config(disk_only())
+    config.recovery.enabled = True
+
+    class _IdleWorkload:
+        def start(self, system):
+            pass
+
+    system = TransactionSystem(config, _IdleWorkload(), seed=11)
+    tracker = system.recovery.tracker
+    for i in range(redo_pages):
+        tracker.note_dirty((0, i))
+    system.storage._log_page = log_pages
+    snapshot = tracker.on_crash(time=0.0, log_tail=log_pages, in_flight=0)
+    replayer = system.recovery.crash_controller.replayer
+    done = system.env.process(replayer.replay(snapshot))
+    system.env.run(until=done)
+    assert system.env.now > 0
+    return redo_pages + log_pages
+
+
 def bench_fig4_1_fast_sweep() -> int:
     """The registry-driven fig4_1 fast sweep, serial, end to end."""
     from repro.experiments.api import ExperimentRunner, get_experiment
@@ -222,6 +254,8 @@ BENCHMARKS: List[Tuple[str, Callable[[], int], str, Optional[int]]] = [
      "1 s of 200 TPS Debit-Credit end-to-end", None),
     ("page_reference", bench_page_reference,
      "20k-reference MM-hit pipeline (1 CM)", None),
+    ("restart_replay", bench_restart_replay,
+     "crash restart: 600-page log scan + 1200-page redo on disks", None),
     ("fig4_1_fast_sweep", bench_fig4_1_fast_sweep,
      "fig4_1 fast profile through the experiment registry", 2),
 ]

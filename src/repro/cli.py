@@ -112,6 +112,34 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="write <out>/<id>.csv per experiment")
     exp_run.add_argument("--out", metavar="DIR", default=None,
                          help="output directory for --json/--csv")
+    exp_run.add_argument("--seed", type=int, default=None, metavar="N",
+                         help="override every spec's base seed (per-point "
+                              "seeds still derive deterministically), so "
+                              "sweeps and crash schedules are reproducible "
+                              "from the command line")
+
+    rec = sub.add_parser(
+        "recovery",
+        help="crash one Debit-Credit run and compare the simulated "
+             "restart with the analytic RecoveryModel",
+    )
+    rec.add_argument("--scheme", choices=sorted(SCHEMES), default="disk",
+                     help="storage allocation (default: disk)")
+    rec.add_argument("--rate", type=float, default=50.0,
+                     help="arrival rate in TPS (default: 50)")
+    rec.add_argument("--interval", type=float, default=8.0,
+                     help="fuzzy-checkpoint interval in s (default: 8)")
+    rec.add_argument("--crash-at", type=float, default=None,
+                     help="crash instant in s (default: 1.5 * interval, "
+                          "i.e. half an interval after a checkpoint — "
+                          "the analytic model's expected exposure)")
+    rec.add_argument("--duration", type=float, default=None,
+                     help="measured simulated seconds (default: sized to "
+                          "cover crash + restart)")
+    rec.add_argument("--warmup", type=float, default=2.0)
+    rec.add_argument("--force", action="store_true",
+                     help="use the FORCE update strategy")
+    rec.add_argument("--seed", type=int, default=1)
 
     sub.add_parser("registry",
                    help="list registered device kinds and replacement "
@@ -200,7 +228,8 @@ def _cmd_experiment_run(args) -> int:
 
     parallel = args.parallel or args.workers is not None
     runner = api.ExperimentRunner(parallel=parallel,
-                                  max_workers=args.workers)
+                                  max_workers=args.workers,
+                                  seed=args.seed)
     results = runner.run(ids, profile=args.profile)
 
     exported = []
@@ -233,6 +262,68 @@ def _cmd_experiment(args) -> int:
         "run": _cmd_experiment_run,
     }
     return handlers[args.exp_command](args)
+
+
+def _cmd_recovery(args) -> int:
+    """Run one crashed simulation and the analytic model side by side."""
+    from repro.analysis.recovery import RecoveryModel  # noqa: F401 (doc)
+    from repro.recovery import matched_recovery_model
+
+    strategy = UpdateStrategy.FORCE if args.force else \
+        UpdateStrategy.NOFORCE
+    if args.interval <= 0:
+        print(f"error: --interval must be positive, got {args.interval:g}",
+              file=sys.stderr)
+        return 2
+    crash_at = args.crash_at if args.crash_at is not None \
+        else 1.5 * args.interval
+    if crash_at <= 0:
+        print(f"error: --crash-at must be positive, got {crash_at:g}",
+              file=sys.stderr)
+        return 2
+    config = debit_credit_config(SCHEMES[args.scheme](),
+                                 update_strategy=strategy)
+    config.recovery.enabled = True
+    config.recovery.checkpoint_interval = args.interval
+    config.recovery.crash_times = (crash_at,)
+    config.validate()
+    if crash_at <= args.warmup:
+        print("error: the crash must fall inside the measured window "
+              f"(crash at {crash_at:g} s <= warmup {args.warmup:g} s)",
+              file=sys.stderr)
+        return 2
+    duration = args.duration
+    if duration is None:
+        # Generous default: the window must contain the crash and the
+        # full restart, or no crash completes inside measurement.
+        duration = max(20.0, 4.0 * crash_at)
+
+    system = TransactionSystem(
+        config, DebitCreditWorkload(arrival_rate=args.rate),
+        seed=args.seed,
+    )
+    results = system.run(warmup=args.warmup, duration=duration)
+    print(f"scheme={args.scheme} strategy={strategy.value} "
+          f"rate={args.rate:g} TPS interval={args.interval:g} s "
+          f"crash at {crash_at:g} s")
+    print(results.summary())
+    restarts = system.recovery.crash_controller.restarts
+    for stats in restarts:
+        print("simulated " + stats.summary())
+
+    model = matched_recovery_model(config, update_tps=args.rate)
+    estimate = model.estimate(strategy)
+    print("analytic  " + estimate.summary()
+          + f"  [{strategy.value}, matched devices]")
+    if restarts:
+        simulated = restarts[-1].total
+        if estimate.total > 0:
+            print(f"simulated/analytic ratio: "
+                  f"{simulated / estimate.total:.2f} (the analytic "
+                  f"model assumes 3 distinct pages per update tx and "
+                  f"50% already propagated; the simulation measures "
+                  f"both)")
+    return 0
 
 
 def _cmd_trace_gen(args) -> int:
@@ -312,6 +403,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "run": _cmd_run,
         "experiment": _cmd_experiment,
+        "recovery": _cmd_recovery,
         "registry": _cmd_registry,
         "trace-gen": _cmd_trace_gen,
         "trace-run": _cmd_trace_run,

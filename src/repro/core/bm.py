@@ -51,7 +51,7 @@ from repro.core.metrics import (
     MetricsCollector,
 )
 from repro.core.transaction import Transaction
-from repro.sim import Environment, RandomStreams
+from repro.sim import Environment, Interrupt, RandomStreams
 from repro.sim.core import Event
 from repro.storage.hierarchy import StorageSubsystem
 from repro.storage.policies import ReplacementPolicy
@@ -83,12 +83,14 @@ _MIGRATES = {
 class _GroupCommitBatch:
     """One in-progress group commit (extension; §3.2 footnote 3)."""
 
-    __slots__ = ("members", "flush_event", "done_event")
+    __slots__ = ("members", "flush_event", "done_event", "flush_proc")
 
     def __init__(self, env: Environment):
         self.members = 0
         self.flush_event = Event(env)
         self.done_event = Event(env)
+        #: The batch's flush process, so a CM crash can kill it.
+        self.flush_proc = None
 
 
 class BufferManager:
@@ -128,6 +130,10 @@ class BufferManager:
         self._evicting: Set[Tuple[int, int]] = set()
         #: Group-commit state (only used when group_commit_size > 1).
         self._group: Optional[_GroupCommitBatch] = None
+        #: Dirty-page/LSN tracking for the crash-recovery subsystem
+        #: (:mod:`repro.recovery`); ``None`` unless recovery is enabled,
+        #: so the per-reference hooks below cost one ``is None`` test.
+        self.recovery_tracker = None
         #: Diagnostics.
         self.eviction_stalls = 0
 
@@ -160,6 +166,8 @@ class BufferManager:
         if ref.is_write:
             entry.dirty = True
             tx.modified_pages.add(key)
+            if self.recovery_tracker is not None:
+                self.recovery_tracker.note_dirty(key)
         self.metrics.record_page_access(
             ref.tag or self._part_tags[idx], LEVEL_MAIN_MEMORY
         )
@@ -202,6 +210,8 @@ class BufferManager:
             if entry is not None:
                 if ref.is_write or carried_dirty:
                     entry.dirty = True
+                    if self.recovery_tracker is not None:
+                        self.recovery_tracker.note_dirty(key)
                 if ref.is_write:
                     tx.modified_pages.add(key)
                 self.metrics.record_page_access(tag, LEVEL_MAIN_MEMORY)
@@ -224,6 +234,8 @@ class BufferManager:
                 yield self.env.timeout(1e-5)
 
         entry = self.mm.insert(key, dirty=ref.is_write or carried_dirty)
+        if entry.dirty and self.recovery_tracker is not None:
+            self.recovery_tracker.note_dirty(key)
         if ref.is_write:
             tx.modified_pages.add(key)
         # Pin the frame while its contents are in flight: a page being
@@ -353,7 +365,8 @@ class BufferManager:
     # ------------------------------------------------------------------
     # Write paths
     # ------------------------------------------------------------------
-    def _write_back(self, tx: Transaction, key, part: PartitionConfig,
+    def _write_back(self, tx: Optional[Transaction], key,
+                    part: PartitionConfig,
                     replacement: bool) -> Generator:
         """Persist a modified page (replacement write-back or FORCE).
 
@@ -368,6 +381,11 @@ class BufferManager:
         entry = self.mm.peek(key)
         if entry is not None:
             entry.dirty = False
+        if self.recovery_tracker is not None:
+            # The DPT mirrors the volatile dirty bits: the write-back to
+            # a non-volatile destination starts here, and a page
+            # re-dirtied meanwhile re-enters through note_dirty.
+            self.recovery_tracker.note_clean(key)
 
         if self.storage.is_nvem_resident(part.name):
             yield from self.cpu.execute_with_sync_access(
@@ -403,7 +421,7 @@ class BufferManager:
             return
         yield from self._unit_write(tx, key, part)
 
-    def _unit_write(self, tx: Transaction, key,
+    def _unit_write(self, tx: Optional[Transaction], key,
                     part: PartitionConfig) -> Generator:
         pidx = key[0]
         if part.access_mode is AccessMode.SYNC:
@@ -418,7 +436,8 @@ class BufferManager:
             result = yield from self.storage.write_page(
                 pidx, part.name, key[1]
             )
-            tx.wait_async_io += self.env.now - io_start
+            if tx is not None:
+                tx.wait_async_io += self.env.now - io_start
         if result.level == "disk_cache":
             self.metrics.record_io("db_write_absorbed")
         else:
@@ -447,7 +466,8 @@ class BufferManager:
     # ------------------------------------------------------------------
     # NVEM cache management
     # ------------------------------------------------------------------
-    def _nvem_insert(self, tx: Transaction, key, dirty: bool) -> Generator:
+    def _nvem_insert(self, tx: Optional[Transaction], key,
+                     dirty: bool) -> Generator:
         """Migrate a page into the NVEM cache (one NVEM page transfer).
 
         A modified page entering the cache immediately starts its
@@ -490,7 +510,8 @@ class BufferManager:
                 # Wait for the oldest outstanding disk update.
                 wait_start = self.env.now
                 yield victim.pending_write
-                tx.wait_async_io += self.env.now - wait_start
+                if tx is not None:
+                    tx.wait_async_io += self.env.now - wait_start
                 continue
             # Deferred propagation: the replacer reads the page from
             # NVEM and writes it to disk synchronously (§3.2's noted
@@ -552,6 +573,7 @@ class BufferManager:
         yield from self._log_write_once(tx)
 
     def _log_write_once(self, tx: Optional[Transaction]) -> Generator:
+        """Write one log page; returns its page number (the LSN)."""
         page_no = self.storage.next_log_page()
         if self.storage.log_on_nvem:
             yield from self.cpu.execute_with_sync_access(
@@ -559,7 +581,7 @@ class BufferManager:
                 self.storage.nvem_device.access("log"),
             )
             self.metrics.record_io("log_nvem")
-            return
+            return page_no
         if self.config.log.nvem_write_buffer and \
                 self._wb_pending < self.cm.nvem_write_buffer_size:
             self._wb_pending += 1
@@ -569,7 +591,7 @@ class BufferManager:
             )
             self.metrics.record_io("log_buffered")
             self.env.process(self._async_log_write(page_no))
-            return
+            return page_no
         yield from self.cpu.execute(tx, self.cm.instr_io, exponential=False)
         io_start = self.env.now
         result = yield from self.storage.write_log_to_unit(page_no)
@@ -581,6 +603,16 @@ class BufferManager:
             self.metrics.record_io(f"log_{result.level}")
         else:
             self.metrics.record_io("log_disk")
+        return page_no
+
+    def write_checkpoint_record(self) -> Generator:
+        """One checkpoint record through the configured log path.
+
+        Used by the fuzzy checkpointer (:mod:`repro.recovery`); returns
+        the record's log page number — the LSN a restart scans from.
+        """
+        page_no = yield from self._log_write_once(None)
+        return page_no
 
     def _async_log_write(self, page_no: int) -> Generator:
         """Background flush of a log page absorbed by the NVEM buffer."""
@@ -595,7 +627,8 @@ class BufferManager:
         batch = self._group
         if batch is None:
             batch = self._group = _GroupCommitBatch(self.env)
-            self.env.process(self._group_commit_flush(batch))
+            batch.flush_proc = self.env.process(
+                self._group_commit_flush(batch))
         batch.members += 1
         if batch.members >= self.cm.group_commit_size and \
                 not batch.flush_event.triggered:
@@ -605,13 +638,43 @@ class BufferManager:
         tx.wait_async_io += self.env.now - wait_start
 
     def _group_commit_flush(self, batch: _GroupCommitBatch) -> Generator:
-        timeout = self.env.timeout(self.cm.group_commit_timeout)
-        yield self.env.any_of([batch.flush_event, timeout])
-        if self._group is batch:
-            self._group = None
-        self.metrics.record_io("group_commits")
-        yield from self._log_write_once(None)
+        try:
+            timeout = self.env.timeout(self.cm.group_commit_timeout)
+            yield self.env.any_of([batch.flush_event, timeout])
+            if self._group is batch:
+                self._group = None
+            self.metrics.record_io("group_commits")
+            yield from self._log_write_once(None)
+        except Interrupt:
+            # CM crash (crash_reset): the batch died with its members —
+            # no log write happens on behalf of aborted transactions.
+            return
         batch.done_event.succeed()
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def crash_reset(self) -> None:
+        """Discard the volatile state a CM crash destroys.
+
+        The main-memory buffer and any in-progress group-commit batch
+        are lost; the NVEM cache, the NVEM write buffer and the disk
+        caches are non-volatile and survive, as do the background
+        destage processes draining them (their work targets
+        non-volatile state).  Callers must have interrupted the
+        in-flight transactions first — their teardown only touches
+        entry objects it already holds, never the buffer map.
+        """
+        self.mm.clear()
+        self._evicting.clear()
+        group = self._group
+        if group is not None:
+            # Kill the batch's pending flush: its members all aborted
+            # at the crash, so no log write may run on their behalf.
+            if group.flush_proc is not None and \
+                    not group.flush_proc.triggered:
+                group.flush_proc.interrupt("crash")
+            self._group = None
 
     # ------------------------------------------------------------------
     # Warm start

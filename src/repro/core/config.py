@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Sequence, Tuple
 
 __all__ = [
     "AccessMode",
@@ -37,6 +37,7 @@ __all__ = [
     "NVEMConfig",
     "PartitionConfig",
     "PolicySpec",
+    "RecoveryConfig",
     "SubPartition",
     "SystemConfig",
     "TransactionTypeConfig",
@@ -389,6 +390,15 @@ class CMConfig:
             raise ValueError("NVEM sizes must be >= 0")
         if self.group_commit_size < 1:
             raise ValueError("group_commit_size must be >= 1")
+        if self.group_commit_timeout < 0:
+            raise ValueError("group_commit_timeout must be >= 0")
+        if self.group_commit_size > 1 and self.group_commit_timeout == 0.0:
+            # A batch that never fills would wait forever for members
+            # that may not arrive: commits would stall indefinitely.
+            raise ValueError(
+                "group_commit_size > 1 requires a positive "
+                "group_commit_timeout (a partial batch must flush)"
+            )
 
     @property
     def instructions_per_second(self) -> float:
@@ -398,6 +408,50 @@ class CMConfig:
     def cpu_seconds(self, instructions: float) -> float:
         """Convert an instruction count into seconds on one CPU."""
         return instructions / self.instructions_per_second
+
+
+@dataclass
+class RecoveryConfig:
+    """Crash-recovery and availability simulation (§4.4, [HR83]).
+
+    When ``enabled``, the system runs a fuzzy checkpointer
+    (:mod:`repro.recovery.checkpoint`) and honours a deterministic
+    crash schedule (:mod:`repro.recovery.crash`): at each instant in
+    ``crash_times`` the computing module loses its volatile state,
+    in-flight transactions abort, and a restart phase replays the log
+    scan and redo I/O through the *actual* configured devices before
+    admission resumes.  All defaults keep the subsystem off, so
+    recovery-disabled runs are bit-identical to builds without it.
+    """
+
+    enabled: bool = False
+    #: Fuzzy-checkpoint period in simulated seconds.  Each checkpoint
+    #: writes one checkpoint record through the real log device and
+    #: (``checkpoint_flush``) destages the dirty page table in the
+    #: background, bounding redo work after a crash.
+    checkpoint_interval: float = 60.0
+    checkpoint_flush: bool = True
+    #: Simulated instants at which the CM crashes (strictly increasing).
+    #: A crash instant that falls inside a previous restart is skipped
+    #: (the module is already down).
+    crash_times: Tuple[float, ...] = ()
+    #: CPU instructions to apply one redone page during restart.
+    redo_instr: float = 5_000
+
+    def validate(self) -> None:
+        if not self.enabled:
+            return
+        if self.checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive")
+        if self.redo_instr < 0:
+            raise ValueError("redo_instr must be >= 0")
+        previous = 0.0
+        for instant in self.crash_times:
+            if instant <= previous:
+                raise ValueError(
+                    "crash_times must be strictly increasing and positive"
+                )
+            previous = instant
 
 
 @dataclass
@@ -414,6 +468,7 @@ class SystemConfig:
     nvem: NVEMConfig = field(default_factory=NVEMConfig)
     cm: CMConfig = field(default_factory=CMConfig)
     log: LogAllocation = field(default_factory=LogAllocation)
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
     tx_types: List[TransactionTypeConfig] = field(default_factory=list)
     seed: int = 0
 
@@ -466,6 +521,7 @@ class SystemConfig:
         self.cm.validate()
         self.nvem.validate()
         self.log.validate()
+        self.recovery.validate()
         for unit in self.disk_units:
             unit.validate()
         for spec in self.devices:

@@ -65,10 +65,28 @@ class Results:
     device_utilization: Dict[str, Dict[str, float]]
     saturated: bool = False
     input_queue_peak: int = 0
+    #: Crash-recovery/availability counters; ``None`` unless the run had
+    #: the recovery subsystem enabled (keeps recovery-disabled exports
+    #: bit-identical to builds without the subsystem).
+    recovery: Optional[Dict[str, float]] = None
 
     @property
     def response_time_ms(self) -> float:
         return self.response_time_mean * 1000.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the measured window the system was up."""
+        if self.recovery is None:
+            return 1.0
+        return self.recovery.get("availability", 1.0)
+
+    @property
+    def restart_time_mean(self) -> float:
+        """Mean restart (crash-to-admission) time in seconds — the MTTR."""
+        if self.recovery is None:
+            return 0.0
+        return self.recovery.get("restart_time_mean", 0.0)
 
     def normalized_response_time(self, mean_tx_size: float) -> float:
         """Response time of an "artificial transaction performing the
@@ -111,6 +129,13 @@ class Results:
                 if count > 0
             ),
         ]
+        if self.recovery is not None:
+            lines.append(
+                f"availability        : {self.availability * 100:.2f} % "
+                f"({int(self.recovery.get('crashes', 0))} crash(es), "
+                f"MTTR {self.restart_time_mean:.2f} s, "
+                f"{int(self.recovery.get('checkpoints', 0))} checkpoint(s))"
+            )
         if self.saturated:
             lines.append("WARNING             : input queue diverged (saturated)")
         return "\n".join(lines)
@@ -157,6 +182,23 @@ class MetricsCollector:
         }
         self.input_queue_peak = 0
         self.saturated = False
+        #: Set by the recovery subsystem when installed; makes finalize
+        #: emit the availability block even for crash-free windows.
+        self.recovery_enabled = False
+        self.crash_count = 0
+        self.checkpoint_count = 0
+        #: True restart durations (MTTR numerator) vs. the part of them
+        #: that fell inside the measured window (availability charge).
+        self.downtime_total = 0.0
+        self.window_downtime = 0.0
+        self.restart_log_pages = 0
+        self.restart_redo_pages = 0
+        self.restart_log_scan_total = 0.0
+        self.restart_redo_total = 0.0
+        #: Crash instant of an outage whose restart has not finished
+        #: yet; finalize charges its elapsed downtime so a window that
+        #: ends mid-restart still reports the availability loss.
+        self._outage_since: Optional[float] = None
 
     @classmethod
     def lite(cls, env: Environment) -> "MetricsCollector":
@@ -238,6 +280,31 @@ class MetricsCollector:
         if length > self.input_queue_peak:
             self.input_queue_peak = length
 
+    def record_checkpoint(self) -> None:
+        self.checkpoint_count += 1
+
+    def note_outage_start(self) -> None:
+        """The CM just crashed; the restart is now in progress."""
+        self._outage_since = self.env.now
+
+    def record_crash(self, downtime: float, stats) -> None:
+        """One crash/restart cycle finished; ``stats`` is a
+        :class:`repro.recovery.crash.RestartStats`.
+
+        ``downtime`` is the full crash-to-admission duration (the MTTR
+        numerator); the availability charge is clipped to the measured
+        window for restarts that began before the warm-up boundary.
+        """
+        self._outage_since = None
+        self.crash_count += 1
+        self.downtime_total += downtime
+        self.window_downtime += min(downtime,
+                                    self.env.now - self.measure_start)
+        self.restart_log_pages += stats.log_pages
+        self.restart_redo_pages += stats.redo_pages
+        self.restart_log_scan_total += stats.log_scan_time
+        self.restart_redo_total += stats.redo_time
+
     # -- warm-up ------------------------------------------------------------
     def reset(self) -> None:
         """Discard everything measured so far (warm-up boundary)."""
@@ -257,6 +324,14 @@ class MetricsCollector:
             self.composition_totals[key] = 0.0
         self.input_queue_peak = 0
         self.saturated = False
+        self.crash_count = 0
+        self.checkpoint_count = 0
+        self.downtime_total = 0.0
+        self.window_downtime = 0.0
+        self.restart_log_pages = 0
+        self.restart_redo_pages = 0
+        self.restart_log_scan_total = 0.0
+        self.restart_redo_total = 0.0
 
     # -- finalization ------------------------------------------------------
     def finalize(self, cpu_utilization: float,
@@ -296,6 +371,31 @@ class MetricsCollector:
             key: total / committed
             for key, total in self.composition_totals.items()
         }
+        recovery = None
+        if self.recovery_enabled:
+            downtime = self.window_downtime
+            if self._outage_since is not None:
+                # A restart is still in progress at the window's end:
+                # charge its elapsed downtime (clipped to the window).
+                downtime += self.env.now - max(self._outage_since,
+                                               self.measure_start)
+            availability = 1.0
+            if span > 0:
+                availability = min(1.0, max(0.0, 1.0 - downtime / span))
+            recovery = {
+                "crashes": float(self.crash_count),
+                "checkpoints": float(self.checkpoint_count),
+                "downtime": downtime,
+                "availability": availability,
+                "restart_time_mean": (
+                    self.downtime_total / self.crash_count
+                    if self.crash_count else 0.0
+                ),
+                "restart_log_scan_time": self.restart_log_scan_total,
+                "restart_redo_time": self.restart_redo_total,
+                "restart_log_pages": float(self.restart_log_pages),
+                "restart_redo_pages": float(self.restart_redo_pages),
+            }
         return Results(
             simulated_time=span,
             committed=self.committed,
@@ -318,4 +418,5 @@ class MetricsCollector:
             device_utilization=device_utilization,
             saturated=self.saturated,
             input_queue_peak=self.input_queue_peak,
+            recovery=recovery,
         )

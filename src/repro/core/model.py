@@ -49,6 +49,12 @@ class TransactionSystem:
         self.tm = TransactionManager(self.env, config, self.cpu, self.locks,
                                      self.bm, self.metrics,
                                      streams=self.streams)
+        self.recovery = None
+        if config.recovery.enabled:
+            # Imported lazily: repro.recovery builds on the core layer.
+            from repro.recovery import RecoveryManager
+
+            self.recovery = RecoveryManager(self)
         self.workload = workload
         self._started = False
 
@@ -58,6 +64,8 @@ class TransactionSystem:
             prewarm = getattr(self.workload, "prewarm", None)
             if prewarm is not None:
                 prewarm(self)
+            if self.recovery is not None:
+                self.recovery.start()
             self.workload.start(self)
             self._started = True
 

@@ -25,7 +25,7 @@ from repro.core.config import CCMode, PartitionConfig, SystemConfig
 from repro.core.cpu import CPUPool
 from repro.core.metrics import MetricsCollector
 from repro.core.transaction import ObjectRef, Transaction
-from repro.sim import Environment, Interrupt, Resource
+from repro.sim import Environment, Event, Interrupt, Resource
 
 __all__ = ["TransactionManager"]
 
@@ -51,6 +51,12 @@ class TransactionManager:
         self.active = 0
         self.submitted = 0
         self.completed = 0
+        #: Live lifecycle processes by tx id — the crash controller
+        #: interrupts all of them when the CM fails.
+        self._lifecycles = {}
+        #: Pending while the CM is down (crash/restart); admission and
+        #: execution wait on it.  ``None`` means online.
+        self._offline_gate: "Event | None" = None
 
     # -- admission ------------------------------------------------------
     def submit(self, tx: Transaction):
@@ -61,13 +67,64 @@ class TransactionManager:
         """
         tx.arrival_time = self.env.now
         self.submitted += 1
-        return self.env.process(self._lifecycle(tx))
+        proc = self.env.process(self._lifecycle(tx))
+        # env.process schedules lazily, so the lifecycle has not run
+        # (and cannot have deregistered itself) yet.
+        self._lifecycles[tx.tx_id] = proc
+        return proc
 
     @property
     def input_queue_length(self) -> int:
         return self.mpl_slots.queue_length
 
+    # -- crash support (see repro.recovery.crash) -----------------------
+    @property
+    def is_online(self) -> bool:
+        """False while a crash/restart outage is in progress."""
+        return self._offline_gate is None
+
+    def take_offline(self) -> None:
+        """Shut the admission gate: nothing starts until go_online()."""
+        if self._offline_gate is None:
+            self._offline_gate = Event(self.env)
+
+    def go_online(self) -> None:
+        """Reopen the gate; every transaction waiting on it proceeds."""
+        gate = self._offline_gate
+        if gate is not None:
+            self._offline_gate = None
+            gate.succeed()
+
+    def interrupt_active(self, cause="crash") -> int:
+        """Interrupt every live lifecycle; returns how many there were.
+
+        Transactions submitted *after* this call (e.g. arrivals during
+        the restart) are untouched — they wait at the offline gate.
+        """
+        victims = list(self._lifecycles.values())
+        for proc in victims:
+            proc.interrupt(cause)
+        return len(victims)
+
     def _lifecycle(self, tx: Transaction) -> Generator:
+        try:
+            yield from self._lifecycle_body(tx)
+        finally:
+            self._lifecycles.pop(tx.tx_id, None)
+
+    def _lifecycle_body(self, tx: Transaction) -> Generator:
+        gate = self._offline_gate
+        if gate is not None:
+            # The CM is down (crash/restart): wait out the outage.  The
+            # wait counts as input-queue time, so availability shows up
+            # in the response-time composition.
+            queued_at = self.env.now
+            try:
+                yield gate
+            except Interrupt:
+                self.metrics.record_abort(tx, restarted=False)
+                return
+            tx.wait_input_queue += self.env.now - queued_at
         slot = self.mpl_slots.request()
         queued_at = self.env.now
         self.metrics.note_input_queue(self.mpl_slots.queue_length)
@@ -92,12 +149,13 @@ class TransactionManager:
             # committed count.
             self.completed += 1
         except Interrupt:
-            # Externally aborted mid-flight (extension beyond the
-            # paper's requester-aborts policy): back out any pending
-            # lock wait and release everything held, then fall through
-            # to the finally block to free the MPL slot.  The CPU /
-            # device / NVEM units the transaction held are returned by
-            # the interrupt-safe service generators themselves.
+            # Externally aborted mid-flight (crash or an abort policy
+            # beyond the paper's requester-aborts default): back out any
+            # pending lock wait and release everything held, then fall
+            # through to the finally block to free the MPL slot.  The
+            # CPU / device / NVEM units the transaction held are
+            # returned by the interrupt-safe service generators
+            # themselves.
             self.locks.withdraw(tx)
             self.locks.release_all(tx)
             self.metrics.record_abort(tx, restarted=False)

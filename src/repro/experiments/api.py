@@ -298,13 +298,19 @@ class ExperimentRunner:
     """
 
     def __init__(self, parallel: bool = False,
-                 max_workers: Optional[int] = None):
+                 max_workers: Optional[int] = None,
+                 seed: Optional[int] = None):
+        """``seed`` overrides every spec's base seed (each sweep point
+        still gets its own :func:`point_seed` derived from it), so one
+        CLI flag reruns any experiment — crash schedules included — on
+        a different deterministic trajectory."""
         if max_workers is not None and max_workers < 1:
             raise ValueError(
                 f"max_workers must be >= 1, got {max_workers}"
             )
         self.parallel = parallel
         self.max_workers = max_workers
+        self.seed = seed
 
     # -- public API --------------------------------------------------------
     def run_one(self, spec: Union[str, ExperimentSpec],
@@ -345,11 +351,11 @@ class ExperimentRunner:
             return spec
         return get_experiment(spec)
 
-    @staticmethod
-    def _plan(spec: ExperimentSpec, profile_name: str,
+    def _plan(self, spec: ExperimentSpec, profile_name: str,
               duration: Optional[float]) -> _Plan:
         prof = spec.profile(profile_name)
         run_duration = duration if duration is not None else prof.duration
+        base_seed = self.seed if self.seed is not None else spec.seed
         result = ExperimentResult(
             experiment_id=spec.id,
             title=spec.title,
@@ -362,7 +368,7 @@ class ExperimentRunner:
             result.series.append(Series(label=curve.label))
             plan.tasks.append([
                 (x, *curve.build(x), prof.warmup, run_duration,
-                 point_seed(spec.seed, i))
+                 point_seed(base_seed, i))
                 for i, x in enumerate(prof.xs)
             ])
         return plan

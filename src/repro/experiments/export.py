@@ -34,8 +34,13 @@ __all__ = [
 
 
 def results_to_dict(results: Results) -> Dict:
-    """Flatten one run's Results into JSON-serializable dicts."""
-    return {
+    """Flatten one run's Results into JSON-serializable dicts.
+
+    The ``recovery`` block is present only for recovery-enabled runs,
+    so exports (and the pinned fig4_1 golden checksum) of
+    recovery-disabled runs are unchanged by the subsystem's existence.
+    """
+    payload = {
         "simulated_time": results.simulated_time,
         "committed": results.committed,
         "aborted": results.aborted,
@@ -59,6 +64,9 @@ def results_to_dict(results: Results) -> Dict:
         "saturated": results.saturated,
         "input_queue_peak": results.input_queue_peak,
     }
+    if results.recovery is not None:
+        payload["recovery"] = dict(results.recovery)
+    return payload
 
 
 def results_from_dict(payload: Dict) -> Results:
@@ -66,11 +74,13 @@ def results_from_dict(payload: Dict) -> Results:
     return Results(**payload)
 
 
-#: Flat columns exported per sweep point.
+#: Flat columns exported per sweep point.  ``availability`` and
+#: ``restart_time_s`` report 1.0 / 0.0 for recovery-disabled runs.
 CSV_FIELDS = [
     "experiment", "series", "x", "response_time_ms", "response_p95_ms",
     "throughput_tps", "committed", "aborted", "cpu_utilization",
     "mm_hit", "nvem_cache_hit", "disk_cache_hit", "saturated",
+    "availability", "restart_time_s",
 ]
 
 
@@ -95,6 +105,8 @@ def experiment_to_rows(result: ExperimentResult) -> List[Dict]:
                 "nvem_cache_hit": r.hit_ratio("nvem_cache"),
                 "disk_cache_hit": r.hit_ratio("disk_cache"),
                 "saturated": r.saturated,
+                "availability": r.availability,
+                "restart_time_s": r.restart_time_mean,
             })
     return rows
 

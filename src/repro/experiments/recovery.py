@@ -1,0 +1,228 @@
+"""Recovery experiments: restart time and delivered availability (§4.4).
+
+Two registered experiments connect the crash-recovery subsystem
+(:mod:`repro.recovery`) to the storage question the paper asks —
+*where should log and database live?* — the way Gray's availability
+argument frames it (MTTR is the metric modern TP systems are judged
+on):
+
+* ``fig_restart`` — simulated restart time vs. checkpoint interval for
+  four log/database placements under FORCE and NOFORCE.  One crash is
+  injected at 1.5× the checkpoint interval, so the log exposure at the
+  crash is exactly half an interval — the expected exposure of the
+  analytic :class:`repro.analysis.recovery.RecoveryModel`, making the
+  two directly comparable.  Expected shape: NOFORCE restart grows with
+  the interval while FORCE stays flat, and a non-volatile log/database
+  cuts restart by orders of magnitude.
+* ``ablation_availability`` — delivered throughput and availability
+  under *periodic* crashes (x = crash period): the disk configuration
+  spends a large fraction of its life in redo while the NVEM-resident
+  system barely notices the same fault schedule.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.config import UpdateStrategy
+from repro.experiments.api import (
+    CurveSpec,
+    ExperimentSpec,
+    SweepProfile,
+    experiment,
+)
+from repro.experiments.defaults import (
+    debit_credit_config,
+    disk_only,
+    nvem_resident,
+)
+from repro.experiments.fig4_1 import log_in_nvem
+from repro.experiments.runner import ExperimentResult
+from repro.workload.debit_credit import DebitCreditWorkload
+
+__all__ = ["UPDATE_TPS", "availability_summary", "restart_summary"]
+
+#: Arrival rate all recovery experiments run at — low enough that the
+#: post-restart backlog drains without saturating the input queue.
+UPDATE_TPS = 50.0
+
+#: Fuzzy-checkpoint interval of the availability ablation (seconds);
+#: deliberately not a divisor of the crash periods so crashes never
+#: coincide with a checkpoint instant.
+AVAILABILITY_CHECKPOINT_INTERVAL = 6.0
+
+
+def _restart_config(scheme_fn, strategy: UpdateStrategy,
+                    interval: float):
+    """Debit-Credit config with one crash at 1.5 checkpoint intervals."""
+    config = debit_credit_config(scheme_fn(), update_strategy=strategy)
+    config.recovery.enabled = True
+    config.recovery.checkpoint_interval = interval
+    config.recovery.crash_times = (1.5 * interval,)
+    return config
+
+
+def _restart_curves() -> List[CurveSpec]:
+    placements = [
+        ("disk log+db", disk_only),
+        ("NVEM log, disk db", log_in_nvem),
+        ("NVEM log+db", nvem_resident),
+    ]
+
+    def curve(label, scheme_fn, strategy):
+        def build(interval: float) -> Tuple:
+            config = _restart_config(scheme_fn, strategy, interval)
+            return config, DebitCreditWorkload(arrival_rate=UPDATE_TPS)
+
+        return CurveSpec(label=label, build=build)
+
+    curves = [curve(f"{label}, NOFORCE", fn, UpdateStrategy.NOFORCE)
+              for label, fn in placements]
+    curves.append(curve("disk log+db, FORCE", disk_only,
+                        UpdateStrategy.FORCE))
+    return curves
+
+
+def restart_summary(result: ExperimentResult):
+    """{label: {interval: recovery dict}} for tests and reports."""
+    return {
+        series.label: {
+            point.x: dict(point.results.recovery or {})
+            for point in series.points
+        }
+        for series in result.series
+    }
+
+
+def _restart_render(result: ExperimentResult) -> str:
+    lines = [result.to_table(
+        metric=lambda r: r.restart_time_mean, fmt="{:8.2f}")]
+    for series in result.series:
+        for point in series.points:
+            rec = point.results.recovery or {}
+            lines.append(
+                f"  {series.label:24s} interval={point.x:g}: "
+                f"scan {rec.get('restart_log_scan_time', 0.0):7.3f} s "
+                f"({int(rec.get('restart_log_pages', 0))} pages), "
+                f"redo {rec.get('restart_redo_time', 0.0):7.3f} s "
+                f"({int(rec.get('restart_redo_pages', 0))} pages)"
+            )
+    return "\n".join(lines)
+
+
+@experiment("fig_restart")
+def restart_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        id="fig_restart",
+        title="Restart time after a crash: log/db placement x "
+              "checkpoint interval",
+        x_label="checkpoint interval (s)",
+        y_label="restart time (s); crash at 1.5 intervals",
+        curves=_restart_curves(),
+        profiles={
+            # The window must contain the crash (at 1.5x) AND the full
+            # restart, or the crash never completes inside measurement.
+            "full": SweepProfile(xs=(4.0, 8.0, 16.0), warmup=3.0,
+                                 duration=60.0),
+            "fast": SweepProfile(xs=(4.0, 8.0), warmup=2.0,
+                                 duration=30.0),
+        },
+        notes=(
+            "expected: NOFORCE restart grows ~linearly with the "
+            "checkpoint interval, FORCE stays flat (only the commit "
+            "window is redone), and NVEM-resident log/database cut "
+            "restart by orders of magnitude (Table 4.1 speeds)",
+        ),
+        metric=lambda r: r.restart_time_mean,
+        metric_fmt="{:8.2f}",
+        renderer=_restart_render,
+        truncate_on_saturation=False,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Availability under periodic crashes
+
+
+def _availability_config(scheme_fn, period: float, horizon: float):
+    config = debit_credit_config(scheme_fn())
+    config.recovery.enabled = True
+    config.recovery.checkpoint_interval = AVAILABILITY_CHECKPOINT_INTERVAL
+    crashes = []
+    instant = period
+    while instant < horizon:
+        crashes.append(instant)
+        instant += period
+    config.recovery.crash_times = tuple(crashes)
+    return config
+
+
+def _availability_curves(profile: str) -> List[CurveSpec]:
+    horizon = 63.0 if profile == "full" else 32.0
+
+    def curve(label, scheme_fn):
+        def build(period: float) -> Tuple:
+            config = _availability_config(scheme_fn, period, horizon)
+            return config, DebitCreditWorkload(arrival_rate=UPDATE_TPS)
+
+        return CurveSpec(label=label, build=build)
+
+    return [curve("disk log+db", disk_only),
+            curve("NVEM log+db", nvem_resident)]
+
+
+def availability_summary(result: ExperimentResult):
+    """{label: {period: (delivered TPS, availability)}}."""
+    return {
+        series.label: {
+            point.x: (point.results.throughput,
+                      point.results.availability)
+            for point in series.points
+        }
+        for series in result.series
+    }
+
+
+def _availability_render(result: ExperimentResult) -> str:
+    lines = [result.to_table(metric=lambda r: r.throughput,
+                             fmt="{:8.1f}")]
+    for series in result.series:
+        for point in series.points:
+            r = point.results
+            rec = r.recovery or {}
+            lines.append(
+                f"  {series.label:12s} period={point.x:g}: "
+                f"{r.throughput:6.1f} TPS delivered, "
+                f"availability {r.availability * 100:6.2f} %, "
+                f"{int(rec.get('crashes', 0))} crash(es), "
+                f"MTTR {r.restart_time_mean:6.2f} s"
+            )
+    return "\n".join(lines)
+
+
+@experiment("ablation_availability")
+def availability_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        id="ablation_availability",
+        title="Delivered throughput & availability under periodic "
+              "crashes (NOFORCE)",
+        x_label="crash period (s)",
+        y_label="delivered throughput (TPS)",
+        curves=_availability_curves,
+        profiles={
+            "full": SweepProfile(xs=(10.0, 20.0, 40.0), warmup=3.0,
+                                 duration=60.0),
+            "fast": SweepProfile(xs=(15.0, 30.0), warmup=2.0,
+                                 duration=30.0),
+        },
+        notes=(
+            "expected: the disk configuration loses a large fraction "
+            "of its delivered TPS to redo at short crash periods; the "
+            "NVEM-resident system restarts in well under a second and "
+            "keeps availability near 100%",
+        ),
+        metric=lambda r: r.throughput,
+        metric_fmt="{:8.1f}",
+        renderer=_availability_render,
+        truncate_on_saturation=False,
+    )

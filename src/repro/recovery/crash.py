@@ -1,0 +1,223 @@
+"""Fault injection and simulated restart (log scan + redo replay).
+
+:class:`CrashController` crashes the computing module at the instants of
+``RecoveryConfig.crash_times``: admission gates shut, every in-flight
+transaction is interrupted (its undo is assumed instantaneous — the
+paper's model has no partial-update visibility), the volatile buffer is
+discarded, and :class:`RestartReplayer` then replays recovery through
+the *actual* device registry before the gate reopens:
+
+* **log scan** — every log page after the ARIES-style scan start (the
+  older of the last completed checkpoint record and the dirty-page
+  table's minimum recLSN) is read from the configured log device (NVEM
+  access, SSD, cached or plain disk) with the ordinary per-I/O CPU
+  overheads.  Under FORCE the scan collapses to the commit-window
+  tail: committed updates are already in the permanent database, so
+  history needs no redo [HR83].
+* **redo** — every page of the crash-time dirty page table is read from
+  its home device, the log records are applied (``redo_instr`` CPU),
+  and the page is written back.  NVEM-resident partitions redo at NVEM
+  speed; memory-resident partitions have no permanent device, so their
+  redo charges CPU only (their content is rebuilt from the scanned
+  log).
+
+Down-time (crash to gate-reopen) feeds the availability counters in
+:class:`repro.core.metrics.MetricsCollector`.  Simplifications, chosen
+to keep the device-level timing exact while avoiding kernel surgery:
+background destages that were in flight at the crash are treated as
+surviving (their destinations are non-volatile), and a write-back
+counts as propagated from its start (a crash mid-write-back
+under-counts redo by the in-flight writes).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.config import MEMORY, NVEM, UpdateStrategy
+from repro.recovery.tracker import CrashSnapshot, RecoveryTracker
+
+__all__ = ["CrashController", "RestartReplayer", "RestartStats"]
+
+
+class RestartStats:
+    """Timing breakdown of one simulated restart."""
+
+    __slots__ = ("log_pages", "redo_pages", "log_scan_time", "redo_time")
+
+    def __init__(self, log_pages: int = 0, redo_pages: int = 0,
+                 log_scan_time: float = 0.0, redo_time: float = 0.0):
+        self.log_pages = log_pages
+        self.redo_pages = redo_pages
+        self.log_scan_time = log_scan_time
+        self.redo_time = redo_time
+
+    @property
+    def total(self) -> float:
+        return self.log_scan_time + self.redo_time
+
+    def summary(self) -> str:
+        return (f"restart {self.total:8.2f} s "
+                f"(log scan {self.log_scan_time:7.2f} s / "
+                f"{self.log_pages} pages, "
+                f"redo {self.redo_time:7.2f} s / "
+                f"{self.redo_pages} pages)")
+
+
+class RestartReplayer:
+    """Replays crash recovery through the configured storage devices."""
+
+    def __init__(self, system, tracker: RecoveryTracker):
+        self.system = system
+        self.env = system.env
+        self.tracker = tracker
+
+    def replay(self, snapshot: CrashSnapshot) -> Generator:
+        """Run the restart; returns a :class:`RestartStats`."""
+        stats = RestartStats()
+        scan_start = self.env.now
+        yield from self._scan_log(snapshot, stats)
+        stats.log_scan_time = self.env.now - scan_start
+        redo_start = self.env.now
+        yield from self._redo(snapshot, stats)
+        stats.redo_time = self.env.now - redo_start
+        return stats
+
+    # -- log scan --------------------------------------------------------
+    def _scan_pages(self, snapshot: CrashSnapshot) -> int:
+        """How far back the log scan reaches.
+
+        NOFORCE scans everything after the snapshot's scan-start LSN
+        (the older of the last checkpoint record and the DPT's minimum
+        recLSN).  FORCE only needs the commit-window tail — one log
+        page per transaction that was admitted at the crash — because
+        every committed update was already forced to the permanent
+        database.
+        """
+        to_scan = snapshot.log_pages_to_scan
+        cm = self.system.config.cm
+        if cm.update_strategy is UpdateStrategy.FORCE:
+            return min(to_scan, snapshot.in_flight + 1)
+        return to_scan
+
+    def _scan_log(self, snapshot: CrashSnapshot,
+                  stats: RestartStats) -> Generator:
+        system = self.system
+        cm = system.config.cm
+        pages = self._scan_pages(snapshot)
+        first = snapshot.log_tail - pages + 1
+        for page_no in range(first, snapshot.log_tail + 1):
+            if system.storage.log_on_nvem:
+                yield from system.cpu.execute_with_sync_access(
+                    None, cm.instr_nvem,
+                    system.storage.nvem_device.access("read"),
+                )
+            else:
+                yield from system.cpu.execute(None, cm.instr_io,
+                                              exponential=False)
+                yield from system.storage.read_log_from_unit(page_no)
+            stats.log_pages += 1
+            system.metrics.record_io("restart_log_read")
+
+    # -- redo ------------------------------------------------------------
+    def _redo(self, snapshot: CrashSnapshot,
+              stats: RestartStats) -> Generator:
+        system = self.system
+        cm = system.config.cm
+        redo_instr = system.config.recovery.redo_instr
+        for key in snapshot.dirty_pages:
+            pidx = key[0]
+            part = system.config.partitions[pidx]
+            if part.allocation == MEMORY:
+                # No permanent device: the page is rebuilt in memory
+                # from the already-scanned log records.
+                yield from system.cpu.execute(None, redo_instr,
+                                              exponential=False)
+            elif part.allocation == NVEM:
+                yield from system.cpu.execute_with_sync_access(
+                    None, cm.instr_nvem,
+                    system.storage.nvem_device.access("read"),
+                )
+                yield from system.cpu.execute(None, redo_instr,
+                                              exponential=False)
+                yield from system.cpu.execute_with_sync_access(
+                    None, cm.instr_nvem,
+                    system.storage.nvem_device.access("write"),
+                )
+                system.metrics.record_io("restart_redo_read")
+                system.metrics.record_io("restart_redo_write")
+            else:
+                yield from system.cpu.execute(None, cm.instr_io,
+                                              exponential=False)
+                yield from system.storage.read_page(pidx, part.name,
+                                                    key[1])
+                yield from system.cpu.execute(None, redo_instr,
+                                              exponential=False)
+                yield from system.cpu.execute(None, cm.instr_io,
+                                              exponential=False)
+                yield from system.storage.write_page(pidx, part.name,
+                                                     key[1])
+                system.metrics.record_io("restart_redo_read")
+                system.metrics.record_io("restart_redo_write")
+            stats.redo_pages += 1
+
+
+class CrashController:
+    """Crashes the CM on the configured deterministic schedule."""
+
+    def __init__(self, system, tracker: RecoveryTracker,
+                 checkpointer=None):
+        self.system = system
+        self.env = system.env
+        self.tracker = tracker
+        #: Told about crashes so an in-flight checkpoint dies with the
+        #: CM instead of contending with the restart replay.
+        self.checkpointer = checkpointer
+        self.replayer = RestartReplayer(system, tracker)
+        #: Restart breakdowns, most recent last (introspection/tests).
+        self.restarts = []
+
+    def start(self) -> None:
+        if self.system.config.recovery.crash_times:
+            self.env.process(self._run())
+
+    # -- internals -------------------------------------------------------
+    def _run(self) -> Generator:
+        for instant in self.system.config.recovery.crash_times:
+            delay = instant - self.env.now
+            if delay <= 0:
+                # The scheduled crash fell inside a previous outage:
+                # the module was already down, nothing extra fails.
+                continue
+            yield self.env.timeout(delay)
+            yield from self._crash_and_restart()
+
+    def _crash_and_restart(self) -> Generator:
+        system = self.system
+        crashed_at = self.env.now
+        # 1. The gate shuts: nothing new is admitted until restart ends.
+        system.metrics.note_outage_start()
+        system.tm.take_offline()
+        # 2. Volatile state is lost: in-flight transactions (and any
+        #    checkpoint in progress) die, the buffer is discarded.
+        #    Only *admitted* transactions count toward the FORCE
+        #    commit-window — input-queue waiters wrote no log records.
+        admitted = system.tm.active
+        system.tm.interrupt_active("crash")
+        if self.checkpointer is not None:
+            self.checkpointer.on_crash()
+        snapshot = self.tracker.on_crash(
+            time=crashed_at,
+            log_tail=system.storage.log_page_count,
+            in_flight=admitted,
+        )
+        system.bm.crash_reset()
+        # Let the interrupt carriers deliver so the victims unwind
+        # (returning CPUs, withdrawing lock waits) before replay starts.
+        yield self.env.timeout(0.0)
+        # 3. Restart replay through the real devices.
+        stats = yield from self.replayer.replay(snapshot)
+        self.restarts.append(stats)
+        system.metrics.record_crash(self.env.now - crashed_at, stats)
+        # 4. Reopen for business.
+        system.tm.go_online()

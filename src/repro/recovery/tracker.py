@@ -1,0 +1,152 @@
+"""Dirty-page table and log-sequence tracking for crash recovery.
+
+NOFORCE "requires special checkpointing techniques and redo recovery
+after a system crash" (§4.4, [HR83]): after a failure of the computing
+module, the permanent database misses every update that was still only
+in the volatile main-memory buffer.  :class:`RecoveryTracker` maintains
+the two structures a restart needs to quantify that exposure:
+
+* the **dirty page table** (DPT) — the pages whose only current copy is
+  the volatile buffer, each with the time it was first dirtied and its
+  *recLSN* (the log position from which its redo records can start).
+  The buffer manager notes pages as they are dirtied in main memory and
+  as their write-backs reach a non-volatile destination (disk, disk
+  cache, NVEM cache, NVEM write buffer); the DPT therefore mirrors the
+  buffer's volatile dirty state at all times.
+* **log-sequence tracking** — the monotonically growing log page number
+  (the storage hierarchy's sequential log file) doubles as the LSN
+  space; checkpoints record the LSN of their checkpoint record, and a
+  restart scans from the *older* of that LSN and the DPT's minimum
+  recLSN (the ARIES rule: a fuzzy checkpoint does not flush, so pages
+  dirtied before it may need records from the unscanned prefix).
+
+Pages dirtied by the pre-measurement prewarm replay predate the log
+horizon (no log records exist for them) and are deliberately *not*
+tracked: they are treated as propagated for recovery purposes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["CrashSnapshot", "RecoveryTracker"]
+
+PageKey = Tuple[int, int]
+
+
+class CrashSnapshot:
+    """Frozen recovery state at the instant of a crash."""
+
+    __slots__ = ("time", "log_tail", "checkpoint_lsn", "scan_from_lsn",
+                 "dirty_pages", "in_flight")
+
+    def __init__(self, time: float, log_tail: int, checkpoint_lsn: int,
+                 scan_from_lsn: int, dirty_pages: List[PageKey],
+                 in_flight: int):
+        #: Simulated instant of the crash.
+        self.time = time
+        #: Highest log page number written before the crash.
+        self.log_tail = log_tail
+        #: LSN of the last *completed* checkpoint record (0 = none yet).
+        self.checkpoint_lsn = checkpoint_lsn
+        #: Exclusive scan start: min(checkpoint LSN, oldest recLSN - 1).
+        self.scan_from_lsn = scan_from_lsn
+        #: Pages needing redo, in deterministic (sorted) order.
+        self.dirty_pages = dirty_pages
+        #: Transactions that were *admitted* (executing) at the crash —
+        #: input-queue waiters hold no locks and wrote no log records.
+        self.in_flight = in_flight
+
+    @property
+    def log_pages_to_scan(self) -> int:
+        return max(0, self.log_tail - self.scan_from_lsn)
+
+
+class RecoveryTracker:
+    """Bookkeeping shared by the buffer manager, checkpointer and
+    restart replayer.  Pure state — it never touches simulated time, so
+    installing it cannot perturb the event trajectory.
+
+    ``now`` and ``log_tail`` are zero-argument providers for the
+    current simulated time and log page number (the installer passes
+    ``env.now`` / ``storage.log_page_count``); bare trackers in unit
+    tests default to constant stubs.
+    """
+
+    def __init__(self, now: Optional[Callable[[], float]] = None,
+                 log_tail: Optional[Callable[[], int]] = None):
+        #: page key -> (first-dirty time, recLSN).  The recLSN is the
+        #: next log page at dirtying time: the page's redo records
+        #: cannot precede it (its transaction logs at commit).
+        self.dirty_pages: Dict[PageKey, Tuple[float, int]] = {}
+        #: LSN (log page number) of the last completed checkpoint record.
+        self.checkpoint_lsn = 0
+        #: Simulated time of the last completed checkpoint.
+        self.checkpoint_time = 0.0
+        self.checkpoints_taken = 0
+        self._now = now if now is not None else (lambda: 0.0)
+        self._log_tail = log_tail if log_tail is not None else (lambda: 0)
+
+    # -- buffer-manager hooks (hot path: plain dict operations) ---------
+    def note_dirty(self, key: PageKey) -> None:
+        """A page became dirty in the volatile buffer."""
+        if key not in self.dirty_pages:
+            self.dirty_pages[key] = (self._now(), self._log_tail() + 1)
+
+    def note_clean(self, key: PageKey) -> None:
+        """A page's write-back to non-volatile storage began.
+
+        The DPT mirrors the buffer's dirty bits, which the buffer
+        manager clears at write-back *start*; a page re-dirtied during
+        the write re-enters through :meth:`note_dirty` (with a fresh
+        recLSN).
+        """
+        self.dirty_pages.pop(key, None)
+
+    # -- checkpointer ----------------------------------------------------
+    def complete_checkpoint(self, lsn: int, time: float) -> None:
+        self.checkpoint_lsn = lsn
+        self.checkpoint_time = time
+        self.checkpoints_taken += 1
+
+    def flush_candidates(self) -> List[PageKey]:
+        """Dirty pages at checkpoint time, in deterministic order."""
+        return sorted(self.dirty_pages)
+
+    # -- crash -----------------------------------------------------------
+    def scan_from_lsn(self) -> int:
+        """Exclusive LSN a NOFORCE restart scan must start after.
+
+        The older of the last checkpoint record and the DPT's minimum
+        recLSN: with the background flush disabled (or unfinished), a
+        page dirtied before the checkpoint still needs records from
+        before the checkpoint record.
+        """
+        scan_from = self.checkpoint_lsn
+        if self.dirty_pages:
+            oldest_rec = min(lsn for _, lsn in self.dirty_pages.values())
+            scan_from = min(scan_from, oldest_rec - 1)
+        return max(0, scan_from)
+
+    def on_crash(self, time: float, log_tail: int,
+                 in_flight: int) -> CrashSnapshot:
+        """Freeze the restart input and drop the (lost) volatile DPT."""
+        snapshot = CrashSnapshot(
+            time=time,
+            log_tail=log_tail,
+            checkpoint_lsn=self.checkpoint_lsn,
+            scan_from_lsn=self.scan_from_lsn(),
+            dirty_pages=sorted(self.dirty_pages),
+            in_flight=in_flight,
+        )
+        self.dirty_pages.clear()
+        return snapshot
+
+    # -- introspection ---------------------------------------------------
+    def dirty_page_count(self) -> int:
+        return len(self.dirty_pages)
+
+    def oldest_dirty_time(self) -> Optional[float]:
+        if not self.dirty_pages:
+            return None
+        return min(t for t, _ in self.dirty_pages.values())

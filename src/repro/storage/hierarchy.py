@@ -95,6 +95,11 @@ class StorageSubsystem:
         self._log_page += 1
         return self._log_page
 
+    @property
+    def log_page_count(self) -> int:
+        """Highest log page number written so far (the log tail LSN)."""
+        return self._log_page
+
     # -- device access ------------------------------------------------------
     def read_page(self, partition_index: int, partition: str,
                   page_no: int) -> Generator:
@@ -129,6 +134,14 @@ class StorageSubsystem:
             raise RuntimeError("log is NVEM-resident; no unit write")
         # Partition index -1 identifies the log file in page keys.
         result = yield from unit.write((-1, page_no))
+        return result
+
+    def read_log_from_unit(self, page_no: int) -> Generator:
+        """Read one log page back (the restart replayer's log scan)."""
+        unit = self.log_unit
+        if unit is None:
+            raise RuntimeError("log is NVEM-resident; no unit read")
+        result = yield from unit.read((-1, page_no))
         return result
 
     # -- statistics ------------------------------------------------------

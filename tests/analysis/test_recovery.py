@@ -92,10 +92,48 @@ class TestBreakEven:
 
     def test_nonpositive_target(self):
         assert model().break_even_checkpoint_interval(0.0) == float("inf")
+        assert model().break_even_checkpoint_interval(-5.0) == \
+            float("inf")
 
     def test_zero_rate_never_needs_checkpoints(self):
         assert model(update_tps=0.0).break_even_checkpoint_interval(
             10.0) == float("inf")
+
+    def test_zero_redo_cost_never_needs_checkpoints(self):
+        """Free devices + everything already propagated: any interval
+        meets any target, so the break-even interval is infinite."""
+        m = model(log_page_read_time=0.0,
+                  already_propagated_fraction=1.0)
+        assert m.break_even_checkpoint_interval(10.0) == float("inf")
+        # The NOFORCE estimate itself collapses to zero.
+        assert m.estimate(UpdateStrategy.NOFORCE).total == 0.0
+
+    def test_fully_propagated_still_pays_log_scan(self):
+        """already_propagated_fraction=1 removes redo I/O but the log
+        scan cost keeps the break-even interval finite."""
+        m = model(already_propagated_fraction=1.0)
+        interval = m.break_even_checkpoint_interval(10.0)
+        assert interval != float("inf")
+        check = model(already_propagated_fraction=1.0,
+                      checkpoint_interval=interval)
+        assert check.estimate(UpdateStrategy.NOFORCE).total == \
+            pytest.approx(10.0, rel=1e-9)
+
+    def test_force_estimate_independent_of_interval(self):
+        """FORCE redoes only the commit window: its restart estimate
+        does not depend on the checkpoint interval at all."""
+        short = model(checkpoint_interval=10.0).estimate(
+            UpdateStrategy.FORCE)
+        long = model(checkpoint_interval=10_000.0).estimate(
+            UpdateStrategy.FORCE)
+        assert short.total == pytest.approx(long.total, rel=1e-12)
+        assert short.log_scan_time == long.log_scan_time
+
+    def test_force_estimate_independent_of_rate(self):
+        """The commit window is per-transaction work, not rate work."""
+        slow = model(update_tps=10.0).estimate(UpdateStrategy.FORCE)
+        fast = model(update_tps=1000.0).estimate(UpdateStrategy.FORCE)
+        assert slow.total == pytest.approx(fast.total, rel=1e-12)
 
 
 class TestStorageComparison:

@@ -14,6 +14,7 @@ from repro.core.config import (
     NVEMCachingMode,
     NVEMConfig,
     PartitionConfig,
+    RecoveryConfig,
     SubPartition,
     SystemConfig,
     TransactionTypeConfig,
@@ -172,6 +173,62 @@ class TestCMConfig:
     def test_rejects_negative_instructions(self):
         with pytest.raises(ValueError):
             CMConfig(instr_bot=-1).validate()
+
+    def test_rejects_negative_group_commit_timeout(self):
+        with pytest.raises(ValueError, match="group_commit_timeout"):
+            CMConfig(group_commit_timeout=-0.001).validate()
+
+    def test_rejects_group_commit_batch_without_timeout(self):
+        """A batch that never fills would stall commits forever."""
+        with pytest.raises(ValueError, match="positive.*timeout"):
+            CMConfig(group_commit_size=8,
+                     group_commit_timeout=0.0).validate()
+
+    def test_group_commit_batch_with_timeout_ok(self):
+        CMConfig(group_commit_size=8,
+                 group_commit_timeout=0.002).validate()
+
+    def test_single_log_writes_need_no_timeout(self):
+        """The paper's default (no group commit) keeps timeout 0."""
+        CMConfig(group_commit_size=1, group_commit_timeout=0.0).validate()
+
+
+class TestRecoveryConfig:
+    def test_default_disabled_and_valid(self):
+        config = RecoveryConfig()
+        assert not config.enabled
+        config.validate()
+
+    def test_disabled_skips_field_checks(self):
+        RecoveryConfig(checkpoint_interval=-1.0).validate()
+
+    def test_enabled_requires_positive_interval(self):
+        with pytest.raises(ValueError, match="checkpoint_interval"):
+            RecoveryConfig(enabled=True,
+                           checkpoint_interval=0.0).validate()
+
+    def test_crash_times_must_increase(self):
+        with pytest.raises(ValueError, match="crash_times"):
+            RecoveryConfig(enabled=True,
+                           crash_times=(5.0, 5.0)).validate()
+        with pytest.raises(ValueError, match="crash_times"):
+            RecoveryConfig(enabled=True,
+                           crash_times=(0.0,)).validate()
+
+    def test_negative_redo_instr_rejected(self):
+        with pytest.raises(ValueError, match="redo_instr"):
+            RecoveryConfig(enabled=True, redo_instr=-1.0).validate()
+
+    def test_valid_enabled_config(self):
+        RecoveryConfig(enabled=True, checkpoint_interval=8.0,
+                       crash_times=(12.0, 30.0)).validate()
+
+    def test_system_config_validates_recovery(self):
+        config = minimal_config()
+        config.recovery = RecoveryConfig(enabled=True,
+                                         checkpoint_interval=-5.0)
+        with pytest.raises(ValueError, match="checkpoint_interval"):
+            config.validate()
 
 
 class TestLogAllocation:

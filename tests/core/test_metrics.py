@@ -143,3 +143,109 @@ class TestFinalize:
         results = self.run_scenario()
         results.saturated = True
         assert "saturated" in results.summary()
+
+
+class _FakeRestartStats:
+    def __init__(self, log_pages=10, redo_pages=20,
+                 log_scan=1.0, redo=2.0):
+        self.log_pages = log_pages
+        self.redo_pages = redo_pages
+        self.log_scan_time = log_scan
+        self.redo_time = redo
+
+
+class TestRecoveryCounters:
+    def test_no_block_unless_enabled(self):
+        env = Environment()
+        m = MetricsCollector(env)
+        assert m.finalize(0.0, {}).recovery is None
+
+    def test_enabled_but_crash_free_reports_full_availability(self):
+        env = Environment()
+        m = MetricsCollector(env)
+        m.recovery_enabled = True
+        env.run(until=10.0)
+        rec = m.finalize(0.0, {}).recovery
+        assert rec["crashes"] == 0.0
+        assert rec["availability"] == 1.0
+        assert rec["restart_time_mean"] == 0.0
+
+    def test_crash_accumulates_downtime_and_breakdown(self):
+        env = Environment()
+        m = MetricsCollector(env)
+        m.recovery_enabled = True
+        m.record_checkpoint()
+        env.run(until=4.0)
+        m.note_outage_start()
+        env.run(until=7.0)
+        m.record_crash(3.0, _FakeRestartStats())
+        env.run(until=10.0)
+        rec = m.finalize(0.0, {}).recovery
+        assert rec["crashes"] == 1.0
+        assert rec["checkpoints"] == 1.0
+        assert rec["downtime"] == pytest.approx(3.0)
+        assert rec["availability"] == pytest.approx(0.7)
+        assert rec["restart_time_mean"] == pytest.approx(3.0)
+        assert rec["restart_log_pages"] == 10.0
+        assert rec["restart_redo_pages"] == 20.0
+        assert rec["restart_log_scan_time"] == pytest.approx(1.0)
+        assert rec["restart_redo_time"] == pytest.approx(2.0)
+
+    def test_open_outage_charged_and_clipped_to_window(self):
+        env = Environment()
+        m = MetricsCollector(env)
+        m.recovery_enabled = True
+        env.run(until=4.0)
+        m.reset()  # warm-up boundary at t=4
+        env.run(until=6.0)
+        m.note_outage_start()
+        env.run(until=10.0)
+        rec = m.finalize(0.0, {}).recovery
+        assert rec["crashes"] == 0.0
+        assert rec["downtime"] == pytest.approx(4.0)
+        assert rec["availability"] == pytest.approx(1.0 - 4.0 / 6.0)
+
+    def test_restart_spanning_warmup_clips_availability_not_mttr(self):
+        """A restart that began before the warm-up boundary charges
+        only its in-window part to availability, while MTTR reports
+        the true restart duration."""
+        env = Environment()
+        m = MetricsCollector(env)
+        m.recovery_enabled = True
+        env.run(until=8.0)
+        m.note_outage_start()
+        env.run(until=10.0)
+        m.reset()  # warm-up boundary at t=10, restart still running
+        env.run(until=13.0)
+        m.record_crash(5.0, _FakeRestartStats())
+        env.run(until=20.0)
+        rec = m.finalize(0.0, {}).recovery
+        # Only t=10..13 of the 5 s restart fell inside the window.
+        assert rec["downtime"] == pytest.approx(3.0)
+        assert rec["availability"] == pytest.approx(0.7)
+        assert rec["restart_time_mean"] == pytest.approx(5.0)
+
+    def test_reset_clears_recovery_counters(self):
+        env = Environment()
+        m = MetricsCollector(env)
+        m.recovery_enabled = True
+        m.record_checkpoint()
+        m.note_outage_start()
+        m.record_crash(3.0, _FakeRestartStats())
+        m.reset()
+        env.run(until=10.0)
+        rec = m.finalize(0.0, {}).recovery
+        assert rec["crashes"] == 0.0
+        assert rec["downtime"] == 0.0
+        assert rec["availability"] == 1.0
+
+    def test_summary_includes_availability_line(self):
+        env = Environment()
+        m = MetricsCollector(env)
+        m.recovery_enabled = True
+        m.note_outage_start()
+        m.record_crash(2.0, _FakeRestartStats())
+        env.run(until=10.0)
+        text = m.finalize(0.0, {}).summary()
+        assert "availability" in text
+        assert "MTTR" in text

@@ -62,6 +62,45 @@ class TestResultsRoundTrip:
         payload = results_to_dict(fake_results())
         assert "second_level_hit_by_tag" in payload
 
+    def test_recovery_block_absent_when_disabled(self):
+        """Recovery-disabled exports carry no recovery key at all, so
+        pinned outputs (the fig4_1 golden sha) are unchanged by the
+        subsystem's existence."""
+        payload = results_to_dict(fake_results())
+        assert "recovery" not in payload
+
+    def test_csv_rows_carry_recovery_columns(self):
+        from repro.experiments.export import CSV_FIELDS, experiment_to_rows
+
+        assert "availability" in CSV_FIELDS
+        assert "restart_time_s" in CSV_FIELDS
+        enabled = fake_results()
+        enabled.recovery = {"availability": 0.8,
+                            "restart_time_mean": 4.5}
+        result = ExperimentResult(experiment_id="t", title="t",
+                                  x_label="x", y_label="y")
+        result.series = [Series(label="s",
+                                points=[SeriesPoint(1, enabled),
+                                        SeriesPoint(2, fake_results())])]
+        rows = experiment_to_rows(result)
+        assert rows[0]["availability"] == 0.8
+        assert rows[0]["restart_time_s"] == 4.5
+        # Recovery-disabled points report perfect uptime, not blanks.
+        assert rows[1]["availability"] == 1.0
+        assert rows[1]["restart_time_s"] == 0.0
+
+    def test_recovery_block_round_trips(self):
+        original = fake_results()
+        original.recovery = {"crashes": 1.0, "downtime": 12.5,
+                             "availability": 0.75,
+                             "restart_time_mean": 12.5}
+        restored = results_from_dict(
+            json.loads(json.dumps(results_to_dict(original)))
+        )
+        assert restored == original
+        assert restored.availability == 0.75
+        assert restored.restart_time_mean == 12.5
+
 
 class TestExperimentRoundTrip:
     def test_dict_round_trip_equal(self):

@@ -1,0 +1,110 @@
+"""The registered recovery experiments and their expected shapes.
+
+These assertions are the acceptance contract of the recovery
+subsystem: on the fast profile, an NVEM-resident log beats a
+disk-resident log on restart time, NOFORCE restart grows with the
+checkpoint interval while FORCE stays flat, and a crash-ridden disk
+configuration loses far more availability than the NVEM-resident one.
+"""
+
+import pytest
+
+from repro.experiments.api import ExperimentRunner, get_experiment
+from repro.experiments.recovery import (
+    availability_summary,
+    restart_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def fig_restart_fast():
+    return ExperimentRunner().run_one(get_experiment("fig_restart"),
+                                      profile="fast")
+
+
+@pytest.fixture(scope="module")
+def availability_fast():
+    return ExperimentRunner().run_one(
+        get_experiment("ablation_availability"), profile="fast")
+
+
+class TestRegistration:
+    def test_specs_registered_with_profiles(self):
+        for exp_id in ("fig_restart", "ablation_availability"):
+            spec = get_experiment(exp_id)
+            assert spec.id == exp_id
+            assert set(spec.profiles) == {"fast", "full"}
+            assert not spec.truncate_on_saturation
+
+    def test_renderers_mention_recovery_metrics(self, fig_restart_fast,
+                                                availability_fast):
+        restart_text = get_experiment("fig_restart").render(
+            fig_restart_fast)
+        assert "scan" in restart_text and "redo" in restart_text
+        avail_text = get_experiment("ablation_availability").render(
+            availability_fast)
+        assert "availability" in avail_text and "MTTR" in avail_text
+
+
+class TestRestartShapes:
+    def test_every_point_recorded_its_crash(self, fig_restart_fast):
+        for series in fig_restart_fast.series:
+            for point in series.points:
+                assert point.results.recovery["crashes"] == 1.0, \
+                    f"{series.label} x={point.x}: restart did not " \
+                    f"complete inside the measured window"
+
+    def test_nvem_log_beats_disk_log(self, fig_restart_fast):
+        summary = restart_summary(fig_restart_fast)
+        disk = summary["disk log+db, NOFORCE"]
+        nvem_log = summary["NVEM log, disk db, NOFORCE"]
+        for interval, rec in disk.items():
+            assert nvem_log[interval]["restart_time_mean"] < \
+                rec["restart_time_mean"]
+            # The win is the log scan: NVEM reads vs 6.4 ms disk pages.
+            assert nvem_log[interval]["restart_log_scan_time"] < \
+                0.1 * rec["restart_log_scan_time"]
+
+    def test_nvem_resident_orders_of_magnitude_faster(self,
+                                                      fig_restart_fast):
+        summary = restart_summary(fig_restart_fast)
+        disk = summary["disk log+db, NOFORCE"]
+        nvem = summary["NVEM log+db, NOFORCE"]
+        for interval, rec in disk.items():
+            assert nvem[interval]["restart_time_mean"] < \
+                0.05 * rec["restart_time_mean"]
+
+    def test_noforce_grows_with_interval_force_flat(self,
+                                                    fig_restart_fast):
+        summary = restart_summary(fig_restart_fast)
+        noforce = summary["disk log+db, NOFORCE"]
+        force = summary["disk log+db, FORCE"]
+        intervals = sorted(noforce)
+        lo, hi = intervals[0], intervals[-1]
+        # NOFORCE: exposure (log scan + dirty pages) scales with the
+        # checkpoint interval.
+        assert noforce[hi]["restart_time_mean"] > \
+            1.3 * noforce[lo]["restart_time_mean"]
+        # FORCE redoes only the commit window: no interval dependence
+        # (allow generous noise, it is a ~0.3 s restart either way).
+        assert force[hi]["restart_time_mean"] < \
+            2.0 * max(force[lo]["restart_time_mean"], 0.1)
+        assert force[hi]["restart_time_mean"] < \
+            0.2 * noforce[lo]["restart_time_mean"]
+
+
+class TestAvailabilityShapes:
+    def test_disk_loses_far_more_availability_than_nvem(
+            self, availability_fast):
+        summary = availability_summary(availability_fast)
+        disk = summary["disk log+db"]
+        nvem = summary["NVEM log+db"]
+        for period in disk:
+            disk_tps, disk_avail = disk[period]
+            nvem_tps, nvem_avail = nvem[period]
+            assert nvem_avail > 0.99
+            assert nvem_avail > disk_avail
+        # At the shortest crash period the disk system spends a large
+        # share of its life in redo.
+        shortest = min(disk)
+        assert disk[shortest][1] < 0.8

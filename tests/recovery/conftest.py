@@ -1,0 +1,81 @@
+"""Shared builders for the crash-recovery tests."""
+
+from repro.core.config import (
+    CCMode,
+    LogAllocation,
+    PartitionConfig,
+    SystemConfig,
+    TransactionTypeConfig,
+    UpdateStrategy,
+)
+from repro.core.model import TransactionSystem
+from repro.experiments.defaults import (
+    db_disk_unit,
+    debit_credit_config,
+    default_cm,
+    default_nvem,
+    disk_only,
+    log_disk_unit,
+)
+from repro.workload.debit_credit import DebitCreditWorkload
+from repro.workload.synthetic import SyntheticWorkload
+
+
+class NoPrewarm:
+    """Wrap a workload, skipping its prewarm: every dirty page then has
+    a log record, so the DPT mirrors the buffer's dirty bits exactly."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def start(self, system):
+        self._inner.start(system)
+
+
+def debit_credit_system(rate=50.0, strategy=UpdateStrategy.NOFORCE,
+                        interval=5.0, crash_times=(), seed=1,
+                        scheme=None, prewarm=True):
+    config = debit_credit_config(scheme or disk_only(),
+                                 update_strategy=strategy)
+    config.recovery.enabled = True
+    config.recovery.checkpoint_interval = interval
+    config.recovery.crash_times = tuple(crash_times)
+    config.validate()
+    workload = DebitCreditWorkload(arrival_rate=rate)
+    if not prewarm:
+        workload = NoPrewarm(workload)
+    return TransactionSystem(config, workload, seed=seed)
+
+
+def matched_synthetic_config(rate=50.0, interval=10.0, crash_at=15.0,
+                             strategy=UpdateStrategy.NOFORCE,
+                             buffer_size=6000):
+    """Uniform random writes over a huge partition: ~3 distinct pages
+    per transaction, no replacement churn (big buffer, no prewarm), so
+    the analytic model's assumptions hold with propagated fraction 0."""
+    partitions = [PartitionConfig("DATA", num_objects=2_000_000,
+                                  block_factor=10, cc_mode=CCMode.PAGE,
+                                  allocation="db0")]
+    tx = TransactionTypeConfig("update", arrival_rate=rate, tx_size=3,
+                               write_prob=1.0,
+                               reference_matrix={"DATA": 1.0})
+    config = SystemConfig(
+        partitions=partitions,
+        disk_units=[db_disk_unit("db0"),
+                    log_disk_unit("log0", num_disks=8)],
+        nvem=default_nvem(),
+        cm=default_cm(update_strategy=strategy, buffer_size=buffer_size),
+        log=LogAllocation(device="log0"),
+        tx_types=[tx],
+    )
+    config.recovery.enabled = True
+    config.recovery.checkpoint_interval = interval
+    config.recovery.crash_times = (crash_at,)
+    config.validate()
+    return config
+
+
+def matched_synthetic_system(seed=3, **kwargs):
+    config = matched_synthetic_config(**kwargs)
+    workload = NoPrewarm(SyntheticWorkload(config))
+    return TransactionSystem(config, workload, seed=seed)

@@ -1,0 +1,93 @@
+"""Tests for the config -> RecoveryModel bridge (repro.recovery.analytic)."""
+
+import pytest
+
+from repro.core.config import DeviceSpec, LogAllocation, NVEM
+from repro.experiments.defaults import (
+    debit_credit_config,
+    disk_only,
+    flash_resident,
+    nvem_resident,
+    ssd_resident,
+)
+from repro.recovery import matched_recovery_model, page_time_estimates
+
+
+def test_disk_config_matches_table41_arithmetic():
+    config = debit_credit_config(disk_only())
+    log_read, db_read, db_write = page_time_estimates(config)
+    io_cpu = 3000 / 50e6
+    # Log disk: 1 ms controller + 0.4 ms transfer + 5 ms disk + I/O CPU.
+    assert log_read == pytest.approx(0.0064 + io_cpu)
+    # DB disk: 16.4 ms (§4.2's "average access time per page") + CPU;
+    # the read side also carries the redo-apply instructions.
+    redo_cpu = config.recovery.redo_instr / 50e6
+    assert db_read == pytest.approx(0.0164 + io_cpu + redo_cpu)
+    assert db_write == pytest.approx(0.0164 + io_cpu)
+
+
+def test_nvem_config_runs_at_nvem_speed():
+    config = debit_credit_config(nvem_resident())
+    log_read, db_read, db_write = page_time_estimates(config)
+    nvem_cpu = 300 / 50e6
+    assert log_read == pytest.approx(50e-6 + nvem_cpu)
+    assert db_write == pytest.approx(50e-6 + nvem_cpu)
+    assert db_read < 0.001
+
+
+def test_ssd_config_skips_disk_delay():
+    config = debit_credit_config(ssd_resident())
+    log_read, _, db_write = page_time_estimates(config)
+    io_cpu = 3000 / 50e6
+    assert log_read == pytest.approx(0.0014 + io_cpu)
+    assert db_write == pytest.approx(0.0014 + io_cpu)
+
+
+def test_flash_config_is_asymmetric():
+    config = debit_credit_config(flash_resident())
+    _, db_read, db_write = page_time_estimates(config)
+    redo_cpu = config.recovery.redo_instr / 50e6
+    # Programs are slower than reads on flash.
+    assert db_write > db_read - redo_cpu
+
+
+def test_matched_model_uses_config_interval_and_overrides():
+    config = debit_credit_config(disk_only())
+    config.recovery.checkpoint_interval = 42.0
+    model = matched_recovery_model(config, update_tps=100.0,
+                                   pages_modified_per_tx=2.5)
+    assert model.checkpoint_interval == 42.0
+    assert model.update_tps == 100.0
+    assert model.pages_modified_per_tx == 2.5
+
+
+def test_unknown_device_kind_rejected():
+    config = debit_credit_config(disk_only())
+    config.devices.append(DeviceSpec(kind="pcm", name="pcm0"))
+    config.log = LogAllocation(device="pcm0")
+    with pytest.raises(ValueError, match="pcm"):
+        page_time_estimates(config)
+
+
+def test_unknown_device_name_rejected():
+    config = debit_credit_config(disk_only())
+    config.log = LogAllocation(device="ghost")
+    with pytest.raises(KeyError, match="ghost"):
+        page_time_estimates(config)
+
+
+def test_memory_resident_db_costs_nothing():
+    config = debit_credit_config(disk_only())
+    for part in config.partitions:
+        part.allocation = "memory"
+    _, db_read, db_write = page_time_estimates(config)
+    redo_cpu = config.recovery.redo_instr / 50e6
+    assert db_read == pytest.approx(redo_cpu)
+    assert db_write == 0.0
+
+
+def test_nvem_allocation_string_accepted():
+    config = debit_credit_config(disk_only())
+    config.log = LogAllocation(device=NVEM)
+    log_read, _, _ = page_time_estimates(config)
+    assert log_read == pytest.approx(50e-6 + 300 / 50e6)

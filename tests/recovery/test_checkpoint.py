@@ -1,0 +1,121 @@
+"""Fuzzy-checkpointer tests: record writes, flush, DPT invariants."""
+
+from repro.core.config import UpdateStrategy
+
+from tests.recovery.conftest import debit_credit_system
+
+
+def dirty_mm_keys(system):
+    return {e.key for e in system.bm.mm.entries() if e.dirty}
+
+
+class TestCheckpointRecords:
+    def test_checkpoints_written_through_log_device(self):
+        system = debit_credit_system(rate=20.0, interval=2.0,
+                                     prewarm=False)
+        results = system.run(warmup=0.0, duration=7.0)
+        tracker = system.recovery.tracker
+        # Checkpoints at t=2, 4, 6: each wrote one record via the real
+        # log path and advanced the checkpoint LSN monotonically.
+        assert tracker.checkpoints_taken == 3
+        assert results.recovery["checkpoints"] == 3.0
+        assert 0 < tracker.checkpoint_lsn <= \
+            system.storage.log_page_count
+        # Checkpoint records share the transaction log's page space.
+        committed_like = results.committed + results.aborted
+        assert system.storage.log_page_count >= committed_like
+
+    def test_flush_destages_dirty_pages(self):
+        """Pages dirtied before a checkpoint leave the DPT once the
+        background flush has destaged them (bounded redo exposure)."""
+        system = debit_credit_system(rate=30.0, interval=3.0,
+                                     prewarm=False)
+        system.run(warmup=0.0, duration=3.5)
+        dirty_mid = system.recovery.tracker.dirty_page_count()
+        # Let the flush drain, with arrivals still running: the DPT
+        # should shrink well below its pre-checkpoint size even though
+        # new transactions keep dirtying pages.
+        system.env.run(until=6.0)
+        flushed = system.metrics.io_counts.get("checkpoint_flush")
+        assert flushed > 0
+        assert dirty_mid > 0
+
+    def test_no_checkpoints_during_an_outage(self):
+        """A crashed module takes no checkpoints: ticks that fall
+        inside the restart are skipped, so no checkpoint record
+        interleaves with (and inflates) the replay, and the checkpoint
+        LSN never advances to a record written while down."""
+        system = debit_credit_system(rate=50.0, interval=2.0,
+                                     crash_times=(3.0,), prewarm=False)
+        system.start_workload()
+        system.env.run(until=3.05)
+        assert not system.tm.is_online  # restart in progress
+        tracker = system.recovery.tracker
+        taken_at_crash = tracker.checkpoints_taken
+        lsn_at_crash = tracker.checkpoint_lsn
+        # The disk restart here takes several simulated seconds, so the
+        # t=4 and t=6 ticks fall inside the outage.
+        system.env.run(until=6.5)
+        assert not system.tm.is_online
+        assert tracker.checkpoints_taken == taken_at_crash
+        assert tracker.checkpoint_lsn == lsn_at_crash
+        system.env.run(until=40.0)
+        assert system.tm.is_online
+        assert tracker.checkpoints_taken > taken_at_crash
+
+    def test_crash_mid_checkpoint_kills_the_record_write(self):
+        """A checkpoint record in flight when the CM fails never
+        completes: the checkpoint LSN must not advance from a dead
+        module (the controller interrupts the checkpointer)."""
+        # The t=2 checkpoint's record write takes ~6.5 ms on the log
+        # disk; crash 3 ms into it.
+        system = debit_credit_system(rate=20.0, interval=2.0,
+                                     crash_times=(2.003,),
+                                     prewarm=False)
+        system.start_workload()
+        tracker = system.recovery.tracker
+        system.env.run(until=2.002)
+        assert tracker.checkpoints_taken == 0  # record still in flight
+        system.env.run(until=2.1)
+        assert tracker.checkpoints_taken == 0
+        assert tracker.checkpoint_lsn == 0
+        # After the restart the cadence resumes and checkpoints
+        # complete normally again.
+        system.env.run(until=30.0)
+        assert system.tm.is_online
+        assert tracker.checkpoints_taken > 0
+
+    def test_force_checkpoints_have_little_to_flush(self):
+        """Under FORCE every commit forces its pages: the DPT holds only
+        in-flight transactions' pages, so checkpoint flushes are tiny."""
+        system = debit_credit_system(rate=30.0, interval=3.0,
+                                     strategy=UpdateStrategy.FORCE,
+                                     prewarm=False)
+        system.run(warmup=0.0, duration=7.0)
+        assert system.recovery.tracker.dirty_page_count() < 30
+        flushed = system.metrics.io_counts.get("checkpoint_flush")
+        noforce = debit_credit_system(rate=30.0, interval=3.0,
+                                      prewarm=False)
+        noforce.run(warmup=0.0, duration=7.0)
+        assert flushed < noforce.metrics.io_counts.get("checkpoint_flush")
+
+
+class TestDPTMirrorsBuffer:
+    def test_dpt_equals_dirty_buffer_pages_without_prewarm(self):
+        """The DPT is exactly the set of dirty main-memory pages (the
+        note_dirty/note_clean hooks mirror the dirty bits) when no
+        prewarm predates the log horizon."""
+        system = debit_credit_system(rate=40.0, interval=50.0,
+                                     prewarm=False)
+        system.run(warmup=0.0, duration=4.0)
+        assert set(system.recovery.tracker.dirty_pages) == \
+            dirty_mm_keys(system)
+
+    def test_dpt_subset_of_dirty_buffer_with_prewarm(self):
+        """Prewarm-dirty pages are untracked (no log records exist for
+        them), so with prewarm the DPT is a subset of the dirty bits."""
+        system = debit_credit_system(rate=40.0, interval=50.0,
+                                     prewarm=True)
+        system.run(warmup=0.0, duration=2.0)
+        assert set(system.recovery.tracker.dirty_pages) <= \
+            dirty_mm_keys(system)

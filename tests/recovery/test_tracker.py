@@ -1,0 +1,107 @@
+"""Unit tests for the recovery tracker (repro.recovery.tracker)."""
+
+from repro.recovery.tracker import RecoveryTracker
+
+
+def make_tracker(times=(1.0, 2.0, 3.0), lsns=(10, 20, 30)):
+    time_iter = iter(times)
+    lsn_iter = iter(lsns)
+    return RecoveryTracker(now=lambda: next(time_iter),
+                           log_tail=lambda: next(lsn_iter))
+
+
+def test_note_dirty_records_first_dirty_time_and_reclsn():
+    tracker = make_tracker()
+    tracker.note_dirty((0, 7))
+    tracker.note_dirty((0, 7))  # re-dirty: first record sticks
+    tracker.note_dirty((1, 2))
+    # recLSN is the *next* log page at dirtying time.
+    assert tracker.dirty_pages == {(0, 7): (1.0, 11), (1, 2): (2.0, 21)}
+    assert tracker.oldest_dirty_time() == 1.0
+
+
+def test_note_clean_is_idempotent():
+    tracker = make_tracker()
+    tracker.note_dirty((0, 1))
+    tracker.note_clean((0, 1))
+    tracker.note_clean((0, 1))  # never-dirty / already-clean: no-op
+    tracker.note_clean((5, 5))
+    assert tracker.dirty_page_count() == 0
+    assert tracker.oldest_dirty_time() is None
+
+
+def test_reclean_then_redirty_refreshes_reclsn():
+    tracker = make_tracker()
+    tracker.note_dirty((0, 1))
+    tracker.note_clean((0, 1))
+    tracker.note_dirty((0, 1))
+    assert tracker.dirty_pages[(0, 1)] == (2.0, 21)
+
+
+def test_checkpoint_bookkeeping():
+    tracker = RecoveryTracker()
+    tracker.complete_checkpoint(lsn=120, time=10.0)
+    tracker.complete_checkpoint(lsn=260, time=20.0)
+    assert tracker.checkpoint_lsn == 260
+    assert tracker.checkpoint_time == 20.0
+    assert tracker.checkpoints_taken == 2
+
+
+def test_flush_candidates_sorted():
+    tracker = make_tracker(times=(1.0,) * 4, lsns=(5,) * 4)
+    for key in [(1, 9), (0, 3), (1, 1), (0, 11)]:
+        tracker.note_dirty(key)
+    assert tracker.flush_candidates() == [(0, 3), (0, 11), (1, 1), (1, 9)]
+
+
+class TestScanStart:
+    def test_scan_starts_at_checkpoint_when_dpt_is_younger(self):
+        tracker = make_tracker(times=(9.0,), lsns=(150,))
+        tracker.complete_checkpoint(lsn=100, time=8.0)
+        tracker.note_dirty((0, 1))  # recLSN 151 > checkpoint
+        assert tracker.scan_from_lsn() == 100
+
+    def test_scan_extends_to_oldest_unflushed_reclsn(self):
+        """ARIES rule: a fuzzy checkpoint does not flush, so a page
+        dirtied before it needs records from before its record."""
+        tracker = make_tracker(times=(5.0,), lsns=(60,))
+        tracker.note_dirty((0, 1))  # recLSN 61, before the checkpoint
+        tracker.complete_checkpoint(lsn=100, time=8.0)
+        assert tracker.scan_from_lsn() == 60
+
+    def test_scan_never_negative(self):
+        tracker = make_tracker(times=(0.0,), lsns=(0,))
+        tracker.note_dirty((0, 1))  # recLSN 1 -> scan from 0
+        assert tracker.scan_from_lsn() == 0
+
+
+class TestCrashSnapshot:
+    def test_on_crash_freezes_and_clears(self):
+        tracker = make_tracker(times=(9.0, 9.5, 10.5),
+                               lsns=(110, 115, 130))
+        tracker.complete_checkpoint(lsn=100, time=8.0)
+        for key in [(0, 5), (0, 2), (2, 1)]:
+            tracker.note_dirty(key)
+        snapshot = tracker.on_crash(time=12.0, log_tail=160, in_flight=7)
+        assert snapshot.time == 12.0
+        assert snapshot.checkpoint_lsn == 100
+        assert snapshot.scan_from_lsn == 100
+        assert snapshot.log_pages_to_scan == 60
+        assert snapshot.dirty_pages == [(0, 2), (0, 5), (2, 1)]
+        assert snapshot.in_flight == 7
+        # The volatile DPT died with the buffer.
+        assert tracker.dirty_page_count() == 0
+
+    def test_snapshot_scan_covers_pre_checkpoint_dirt(self):
+        tracker = make_tracker(times=(5.0,), lsns=(60,))
+        tracker.note_dirty((0, 1))
+        tracker.complete_checkpoint(lsn=100, time=8.0)
+        snapshot = tracker.on_crash(time=12.0, log_tail=160, in_flight=0)
+        assert snapshot.scan_from_lsn == 60
+        assert snapshot.log_pages_to_scan == 100
+
+    def test_empty_scan_window(self):
+        tracker = RecoveryTracker()
+        tracker.complete_checkpoint(lsn=50, time=1.0)
+        snapshot = tracker.on_crash(time=2.0, log_tail=50, in_flight=0)
+        assert snapshot.log_pages_to_scan == 0
