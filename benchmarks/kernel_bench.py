@@ -3,29 +3,18 @@
 
 Every paper figure is produced by replaying millions of kernel events,
 so kernel speed bounds experiment turnaround.  This harness times the
-three levels that matter and writes them to a JSON trajectory file:
-
-* ``event_chain`` — a single process yielding 20k timeouts: the pure
-  ``yield env.timeout`` hot path.
-* ``resource_contention`` — 2k customers through a three-stage FIFO
-  queueing network: request/grant/release plus timeout mix.
-* ``priority_cancel`` — a priority queue under heavy cancellation:
-  exercises the eager-purge/compaction path.
-* ``debit_credit`` — one simulated second of 200 TPS Debit-Credit:
-  the end-to-end simulator.
-* ``page_reference`` — one CM hammering the per-reference pipeline
-  (CPU burst + buffer-manager fix) on a main-memory-hit working set:
-  the path every figure replays millions of times.
-* ``fig4_1_fast_sweep`` — the registry-driven fig4_1 fast sweep end to
-  end (12 simulated points through the experiment runner): what an
-  experiment author actually waits for.
+workload set defined in :mod:`repro.bench` (importable, so ``repro
+bench --profile`` profiles the exact same code) and writes the results
+to a JSON trajectory file.
 
 Because absolute times differ between machines, each benchmark also
 reports a *normalized* score: its time divided by the time of a fixed
 pure-Python calibration loop measured on the same interpreter.  The
 ``--check`` mode compares normalized scores against a committed
 baseline, so a uniformly slower CI runner does not trip the gate while
-a genuine kernel regression does.
+a genuine kernel regression does.  Per-benchmark tolerance overrides
+tighten the gate where a regression would matter most (``event_chain``
+guards the scheduler hot path).
 
 Usage::
 
@@ -43,15 +32,15 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.sim import Environment, PriorityResource, RandomStreams, Resource
+from repro.bench import WORKLOADS, calibration
 
 #: Committed measurements of earlier PRs, kept for the trajectory.
 #: PR 1 = pre-overhaul kernel; PR 3 = post kernel overhaul, before the
 #: PR 4 reference-pipeline fast path (uncontended grants, fused CPU
-#: bursts, buffer-hit/metrics/prewarm fast paths).
+#: bursts, buffer-hit/metrics/prewarm fast paths); PR 5 = before the
+#: PR 6 pluggable calendar-queue scheduler.
 REFERENCE = {
-    "source": "PR 1 (pre fast-path kernel) / PR 3 (pre reference-pipeline "
-              "fast path) on the committed baseline machine",
+    "source": "PR 1 / PR 3 / PR 5 measured on the committed baseline machine",
     "pr1": {
         "event_chain_ms": 21.7,
         "debit_credit_ms": 127.0,
@@ -64,200 +53,28 @@ REFERENCE = {
         "page_reference_ms": 130.7,
         "fig4_1_fast_sweep_ms": 3783.0,
     },
+    "pr5": {
+        "event_chain_ms": 15.39,
+        "debit_credit_ms": 73.486,
+        "page_reference_ms": 90.494,
+        "fig4_1_fast_sweep_ms": 3140.489,
+    },
 }
 
-
-# -- workloads -----------------------------------------------------------
-def bench_event_chain(n: int = 20_000) -> int:
-    env = Environment()
-
-    def proc(env):
-        for _ in range(n):
-            yield env.timeout(1.0)
-
-    env.process(proc(env))
-    env.run()
-    assert env.now == float(n)
-    return n
-
-
-def bench_resource_contention(customers: int = 2_000) -> int:
-    env = Environment()
-    streams = RandomStreams(1)
-    servers = [Resource(env, capacity=2) for _ in range(3)]
-
-    def customer(env):
-        for server in servers:
-            req = server.request()
-            yield req
-            yield env.timeout(streams.exponential("svc", 1.0))
-            server.release(req)
-
-    def source(env):
-        for _ in range(customers):
-            yield env.timeout(streams.exponential("arr", 0.5))
-            env.process(customer(env))
-
-    env.process(source(env))
-    env.run()
-    return customers
-
-
-def bench_priority_cancel(customers: int = 2_000) -> int:
-    """Contended priority resource with a third of the waiters aborted."""
-    env = Environment()
-    streams = RandomStreams(2)
-    server = PriorityResource(env, capacity=2)
-
-    def customer(env, i):
-        req = server.request(priority=i % 7)
-        if i % 3 == 0:
-            # Give up quickly: exercises cancel/purge under load.
-            result = yield env.any_of([req, env.timeout(0.4)])
-            if req not in result.values():
-                server.cancel(req)
-                return
-        else:
-            yield req
-        yield env.timeout(streams.exponential("svc", 1.0))
-        server.release(req)
-
-    def source(env):
-        for i in range(customers):
-            yield env.timeout(streams.exponential("arr", 0.3))
-            env.process(customer(env, i))
-
-    env.process(source(env))
-    env.run()
-    return customers
-
-
-def bench_debit_credit() -> int:
-    from repro.core.model import TransactionSystem
-    from repro.experiments.defaults import debit_credit_config, disk_only
-    from repro.workload.debit_credit import DebitCreditWorkload
-
-    config = debit_credit_config(disk_only())
-    system = TransactionSystem(config, DebitCreditWorkload(arrival_rate=200))
-    results = system.run(warmup=0.5, duration=1.0)
-    assert results.committed > 100
-    return results.committed
-
-
-def bench_page_reference(n: int = 20_000) -> int:
-    """One CM driving the per-reference pipeline on a hot working set.
-
-    64 warm-up misses fill the frames, then every reference is a main
-    memory hit: per-object CPU burst + buffer fix + hit accounting —
-    the exact loop the transaction managers run per object reference.
-    Uses the counters-only metrics mode like the other micro-benchmarks.
-    """
-    from repro.core.bm import BufferManager
-    from repro.core.cpu import CPUPool
-    from repro.core.metrics import MetricsCollector
-    from repro.core.transaction import ObjectRef, Transaction
-    from repro.experiments.defaults import debit_credit_config, disk_only
-    from repro.storage.hierarchy import StorageSubsystem
-
-    config = debit_credit_config(disk_only())
-    env = Environment()
-    streams = RandomStreams(7)
-    metrics = (MetricsCollector.lite(env)
-               if hasattr(MetricsCollector, "lite")
-               else MetricsCollector(env, reservoir=0))
-    storage = StorageSubsystem(env, streams, config)
-    cpu = CPUPool(env, streams, config.cm)
-    bm = BufferManager(env, streams, config, cpu, storage, metrics)
-    instr_or = config.cm.instr_or
-    refs = [ObjectRef(1, i, i % 64, False, tag="BRANCH") for i in range(n)]
-    tx = Transaction(1, "bench", refs[:1])
-    # Runnable against pre-fast-path checkouts (reference measurements).
-    fix_fast = getattr(bm, "fix_page_fast", None)
-
-    def driver(env):
-        if fix_fast is None:  # pragma: no cover - old-checkout fallback
-            for ref in refs:
-                yield from cpu.execute(tx, instr_or)
-                yield from bm.fix_page(tx, ref)
-            return
-        for ref in refs:
-            yield from cpu.execute(tx, instr_or)
-            if fix_fast(tx, ref) is None:
-                yield from bm.fix_page_miss(tx, ref)
-
-    env.run(until=env.process(driver(env)))
-    assert metrics.page_access.total() == n
-    return n
-
-
-def bench_restart_replay(redo_pages: int = 1200,
-                         log_pages: int = 600) -> int:
-    """Crash-recovery restart replay (log scan + redo) on disk units.
-
-    Populates the recovery tracker with a synthetic dirty page table
-    and log tail, then replays the restart through the real device
-    registry — the path every fig_restart / ablation_availability
-    point pays once per injected crash.
-    """
-    from repro.core.model import TransactionSystem
-    from repro.experiments.defaults import debit_credit_config, disk_only
-
-    config = debit_credit_config(disk_only())
-    config.recovery.enabled = True
-
-    class _IdleWorkload:
-        def start(self, system):
-            pass
-
-    system = TransactionSystem(config, _IdleWorkload(), seed=11)
-    tracker = system.recovery.tracker
-    for i in range(redo_pages):
-        tracker.note_dirty((0, i))
-    system.storage._log_page = log_pages
-    snapshot = tracker.on_crash(time=0.0, log_tail=log_pages, in_flight=0)
-    replayer = system.recovery.crash_controller.replayer
-    done = system.env.process(replayer.replay(snapshot))
-    system.env.run(until=done)
-    assert system.env.now > 0
-    return redo_pages + log_pages
-
-
-def bench_fig4_1_fast_sweep() -> int:
-    """The registry-driven fig4_1 fast sweep, serial, end to end."""
-    from repro.experiments.api import ExperimentRunner, get_experiment
-
-    result = ExperimentRunner().run_one(get_experiment("fig4_1"),
-                                        profile="fast")
-    points = sum(len(series.points) for series in result.series)
-    assert points >= 8
-    return points
-
-
-def calibration(loops: int = 2_000_000) -> int:
-    """Fixed pure-Python spin loop; the machine-speed yardstick."""
-    acc = 0
-    for i in range(loops):
-        acc += i & 7
-    return acc
-
+#: Per-benchmark regression tolerance on normalized scores, overriding
+#: the CLI-wide ``--tolerance``.  ``event_chain`` is the direct
+#: scheduler-hot-path guard: a regression there means the kernel
+#: itself slowed down, so the gate is deliberately tight.
+TOLERANCE_OVERRIDES: Dict[str, float] = {
+    "event_chain": 0.15,
+}
 
 #: (name, workload, description, max_repeats).  ``max_repeats`` caps the
 #: timing repetitions for benchmarks whose single run is seconds long
 #: (the end-to-end sweep), so the suite stays CI-friendly.
 BENCHMARKS: List[Tuple[str, Callable[[], int], str, Optional[int]]] = [
-    ("event_chain", bench_event_chain, "20k-timeout chain", None),
-    ("resource_contention", bench_resource_contention,
-     "2k customers, 3-stage FIFO network", None),
-    ("priority_cancel", bench_priority_cancel,
-     "2k customers, priority queue, 1/3 cancelled", None),
-    ("debit_credit", bench_debit_credit,
-     "1 s of 200 TPS Debit-Credit end-to-end", None),
-    ("page_reference", bench_page_reference,
-     "20k-reference MM-hit pipeline (1 CM)", None),
-    ("restart_replay", bench_restart_replay,
-     "crash restart: 600-page log scan + 1200-page redo on disks", None),
-    ("fig4_1_fast_sweep", bench_fig4_1_fast_sweep,
-     "fig4_1 fast profile through the experiment registry", 2),
+    (name, fn, desc, 2 if name == "fig4_1_fast_sweep" else None)
+    for name, (fn, desc) in WORKLOADS.items()
 ]
 
 
@@ -299,6 +116,11 @@ def run_suite(repeats: int = 5) -> Dict:
     return report
 
 
+def _limit(name: str, base_normalized: float, tolerance: float) -> float:
+    tol = TOLERANCE_OVERRIDES.get(name, tolerance)
+    return base_normalized * (1.0 + tol)
+
+
 def write_summary(report: Dict, baseline_path: str, tolerance: float,
                   path: str) -> None:
     """Append a markdown before/after table (for $GITHUB_STEP_SUMMARY).
@@ -325,7 +147,7 @@ def write_summary(report: Dict, baseline_path: str, tolerance: float,
             continue
         delta = (current["normalized"] / base["normalized"] - 1.0) * 100.0
         status = ("REGRESSION" if current["normalized"] >
-                  base["normalized"] * (1.0 + tolerance) else "ok")
+                  _limit(name, base["normalized"], tolerance) else "ok")
         lines.append(
             f"| {name} | {base['ms_min']:.2f} | {current['ms_min']:.2f} "
             f"| {base['normalized']:.3f} | {current['normalized']:.3f} "
@@ -334,7 +156,8 @@ def write_summary(report: Dict, baseline_path: str, tolerance: float,
     lines.append("")
     lines.append(f"calibration: {report['calibration_ms']:.2f} ms "
                  f"(python {report['python']}, {report['machine']}); "
-                 f"tolerance {tolerance:.0%} on normalized scores")
+                 f"tolerance {tolerance:.0%} on normalized scores "
+                 f"(overrides: {TOLERANCE_OVERRIDES})")
     with open(path, "a") as fh:
         fh.write("\n".join(lines) + "\n")
 
@@ -347,7 +170,7 @@ def check(report: Dict, baseline_path: str, tolerance: float) -> int:
         base = baseline.get("benchmarks", {}).get(name)
         if base is None:
             continue
-        allowed = base["normalized"] * (1.0 + tolerance)
+        allowed = _limit(name, base["normalized"], tolerance)
         status = "ok" if current["normalized"] <= allowed else "REGRESSION"
         print(f"check {name:22s} normalized {current['normalized']:.3f} "
               f"vs baseline {base['normalized']:.3f} "
@@ -355,8 +178,8 @@ def check(report: Dict, baseline_path: str, tolerance: float) -> int:
         if status != "ok":
             failures.append(name)
     if failures:
-        print(f"kernel benchmark regression (> {tolerance:.0%}) in: "
-              f"{', '.join(failures)}", file=sys.stderr)
+        print(f"kernel benchmark regression in: {', '.join(failures)}",
+              file=sys.stderr)
         return 1
     return 0
 
@@ -367,7 +190,8 @@ def main(argv=None) -> int:
     parser.add_argument("--check", metavar="BASELINE",
                         help="compare against a committed baseline JSON")
     parser.add_argument("--tolerance", type=float, default=0.30,
-                        help="allowed normalized slowdown (default 0.30)")
+                        help="allowed normalized slowdown (default 0.30; "
+                             "per-benchmark overrides may be tighter)")
     parser.add_argument("--repeats", type=int, default=5,
                         help="timing repetitions per benchmark (default 5)")
     parser.add_argument("--summary", metavar="PATH",

@@ -145,6 +145,22 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="list registered device kinds and replacement "
                         "policies")
 
+    bench = sub.add_parser(
+        "bench",
+        help="time (or profile) the kernel benchmark workloads",
+    )
+    bench.add_argument("workloads", nargs="*", metavar="WORKLOAD",
+                       help="workload names (default: all; see --list)")
+    bench.add_argument("--list", action="store_true",
+                       help="list available workloads and exit")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="runs per workload; the minimum is reported "
+                            "(default: 3)")
+    bench.add_argument("--profile", metavar="PSTATS",
+                       help="run under cProfile, write the pstats dump "
+                            "to this path and print the top 25 "
+                            "cumulative entries to stderr")
+
     gen = sub.add_parser("trace-gen",
                          help="generate a synthetic real-life trace")
     gen.add_argument("--out", required=True, help="output trace file")
@@ -370,6 +386,65 @@ def _cmd_registry(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    """Time or profile kernel workloads (same code the tracked
+    ``benchmarks/kernel_bench.py`` harness runs)."""
+    from repro.bench import WORKLOADS
+
+    if args.list:
+        width = max(len(name) for name in WORKLOADS)
+        for name, (_fn, desc) in WORKLOADS.items():
+            print(f"{name:<{width}}  {desc}")
+        return 0
+    names = args.workloads or list(WORKLOADS)
+    unknown = sorted(set(names) - set(WORKLOADS))
+    if unknown:
+        print(f"unknown workload(s): {', '.join(unknown)} "
+              f"(try 'repro bench --list')", file=sys.stderr)
+        return 2
+    if args.repeats < 1:
+        print("--repeats must be >= 1", file=sys.stderr)
+        return 2
+
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        for name in names:
+            fn = WORKLOADS[name][0]
+            fn()  # warm-up outside the profile (imports, caches)
+            profiler.enable()
+            for _ in range(args.repeats):
+                fn()
+            profiler.disable()
+        profiler.dump_stats(args.profile)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
+        print(f"wrote cProfile dump to {args.profile} "
+              f"(inspect with: python -m pstats {args.profile})",
+              file=sys.stderr)
+        return 0
+
+    width = max(len(name) for name in names)
+    for name in names:
+        fn, desc = WORKLOADS[name]
+        fn()  # warm-up
+        best = min(
+            _timed_ms(fn) for _ in range(args.repeats)
+        )
+        print(f"{name:<{width}}  {best:9.2f} ms  {desc}")
+    return 0
+
+
+def _timed_ms(fn) -> float:
+    import time
+
+    t0 = time.perf_counter()
+    fn()
+    return (time.perf_counter() - t0) * 1e3
+
+
 def _upgrade_legacy_experiment_argv(argv: List[str]) -> List[str]:
     """Rewrite the pre-registry syntax ``experiment <id> [--fast]``
     (flags and id in any order) to ``experiment run <id> [--profile
@@ -405,6 +480,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "recovery": _cmd_recovery,
         "registry": _cmd_registry,
+        "bench": _cmd_bench,
         "trace-gen": _cmd_trace_gen,
         "trace-run": _cmd_trace_run,
     }

@@ -299,8 +299,10 @@ class BufferManager:
                 self.storage.read_page(pidx, part.name, key[1]),
             )
         else:
-            yield from self.cpu.execute(tx, self.cm.instr_io,
-                                        exponential=False)
+            burst = self.cpu.execute_event(tx, self.cm.instr_io,
+                                           exponential=False)
+            if burst is not None:
+                yield burst
             io_start = self.env.now
             result = yield from self.storage.read_page(
                 pidx, part.name, key[1]
@@ -430,8 +432,10 @@ class BufferManager:
                 self.storage.write_page(pidx, part.name, key[1]),
             )
         else:
-            yield from self.cpu.execute(tx, self.cm.instr_io,
-                                        exponential=False)
+            burst = self.cpu.execute_event(tx, self.cm.instr_io,
+                                           exponential=False)
+            if burst is not None:
+                yield burst
             io_start = self.env.now
             result = yield from self.storage.write_page(
                 pidx, part.name, key[1]
@@ -451,8 +455,10 @@ class BufferManager:
         transfers between ES and disk must go through main memory"), so
         the I/O overhead is charged to a CPU, but to no transaction.
         """
-        yield from self.cpu.execute(None, self.cm.instr_io,
-                                    exponential=False)
+        burst = self.cpu.execute_event(None, self.cm.instr_io,
+                                       exponential=False)
+        if burst is not None:
+            yield burst
         yield from self.storage.write_page(key[0], part.name, key[1])
         self.metrics.record_io("db_write_async")
         if wb_slot:
@@ -592,7 +598,10 @@ class BufferManager:
             self.metrics.record_io("log_buffered")
             self.env.process(self._async_log_write(page_no))
             return page_no
-        yield from self.cpu.execute(tx, self.cm.instr_io, exponential=False)
+        burst = self.cpu.execute_event(tx, self.cm.instr_io,
+                                       exponential=False)
+        if burst is not None:
+            yield burst
         io_start = self.env.now
         result = yield from self.storage.write_log_to_unit(page_no)
         if tx is not None:
@@ -616,8 +625,10 @@ class BufferManager:
 
     def _async_log_write(self, page_no: int) -> Generator:
         """Background flush of a log page absorbed by the NVEM buffer."""
-        yield from self.cpu.execute(None, self.cm.instr_io,
-                                    exponential=False)
+        burst = self.cpu.execute_event(None, self.cm.instr_io,
+                                       exponential=False)
+        if burst is not None:
+            yield burst
         yield from self.storage.write_log_to_unit(page_no)
         self.metrics.record_io("log_async")
         self._wb_pending -= 1

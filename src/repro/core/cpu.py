@@ -20,8 +20,70 @@ from typing import Generator, Optional
 from repro.core.config import CMConfig
 from repro.core.transaction import Transaction
 from repro.sim import Environment, RandomStreams, Resource
+from repro.sim.core import _PENDING, _TRIGGERED, Event, Timeout
 
 __all__ = ["CPUPool"]
+
+
+class _CPUBurst(Timeout):
+    """A fused CPU burst: grant wait + instruction timeout + release as
+    one kernel event (the CPU analogue of the resource layer's
+    ``_ServiceEvent``; see that class for the lifecycle contract).
+
+    Unlike generic resource service, the instruction draw happens at
+    *creation* (before the request), matching the order the generator
+    version established; accounting stays exact — ``wait_cpu`` is
+    charged at grant dispatch, ``service_cpu`` only once the burst
+    completed, neither on interrupt.
+    """
+
+    __slots__ = ("_cpus", "_request", "_tx", "_service", "_queued_at")
+
+    def _on_grant(self, request) -> None:
+        """CPU-grant callback: charge the queueing wait and schedule
+        the burst completion (no-op if the claim was withdrawn)."""
+        if request.cancelled:
+            return
+        env = self.env
+        tx = self._tx
+        if tx is not None:
+            tx.wait_cpu += env._now - self._queued_at
+        self._state = _TRIGGERED
+        env._insert(env._now + self._service, self)
+
+    def _finish(self, event: Event) -> None:
+        """Own completion callback (runs before the waiter's resume)."""
+        tx = self._tx
+        if tx is not None:
+            tx.service_cpu += self._service
+        self._cpus.release(self._request)
+
+    def _finalize(self, carrier: Event) -> None:
+        """Interrupt-delivery finalizer: give back the held CPU."""
+        self._cpus.cancel(self._request)
+
+    def _abandoned(self):
+        if self._state == _PENDING:
+            # Still queued for a CPU: withdraw the claim.
+            request = self._request
+            callbacks = request.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(self._on_grant)
+                except ValueError:  # pragma: no cover - already granted
+                    pass
+            self._cpus.cancel(request)
+            Event._abandoned(request)
+            return None
+        # Burst in flight: drop the completion event and return the CPU
+        # at interrupt delivery (the generator version's ``except``
+        # clause timing); service_cpu is deliberately not charged.
+        try:
+            self.callbacks.remove(self._finish)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        Event._abandoned(self)
+        return self._finalize
 
 
 class CPUPool:
@@ -57,42 +119,83 @@ class CPUPool:
         return self.config.cpu_seconds(instructions)
 
     # -- execution primitives ------------------------------------------------
-    def execute(self, tx: Optional[Transaction], mean_instructions: float,
-                exponential: bool = True) -> Generator:
-        """Acquire a CPU, burn the instructions, release.
+    def execute_event(self, tx: Optional[Transaction],
+                      mean_instructions: float,
+                      exponential: bool = True) -> Optional[Event]:
+        """Acquire a CPU, burn the instructions, release — fused into a
+        single yieldable event (see :class:`_CPUBurst`).
 
-        Interrupt-safe: tearing down the executing process at any wait
-        point withdraws or returns the CPU claim instead of leaking it.
+        Returns None when the burst completes synchronously (immediate
+        grant, zero-service draw); otherwise the caller must yield the
+        returned event.  Interrupt-safe: tearing down the waiting
+        process withdraws or returns the CPU claim instead of leaking
+        it.
         """
         service = self._service_seconds(mean_instructions, exponential)
+        env = self.env
         cpus = self.cpus
         request = cpus.request()
         if request.callbacks is None:
-            # Immediate grant: the whole burst is one timeout (or none
-            # for a zero-service draw); wait_cpu stays exactly 0.0.
-            try:
-                if service > 0:
-                    yield self.env.timeout(service)
-            except BaseException:
-                cpus.cancel(request)
-                raise
-            if tx is not None:
-                tx.service_cpu += service
-            cpus.release(request)
-            return
-        queued_at = self.env.now
-        try:
-            yield request
-            if tx is not None:
-                tx.wait_cpu += self.env.now - queued_at
-            if service > 0:
-                yield self.env.timeout(service)
-            if tx is not None:
-                tx.service_cpu += service
-        except BaseException:
-            cpus.cancel(request)
-            raise
-        cpus.release(request)
+            # Immediate grant; wait_cpu stays exactly 0.0.
+            if service <= 0:
+                cpus.release(request)
+                return None
+            ev = _CPUBurst.__new__(_CPUBurst)
+            ev.env = env
+            ev._ok = True
+            ev._value = None
+            ev._defused = False
+            ev.delay = service
+            ev._cpus = cpus
+            ev._request = request
+            ev._tx = tx
+            ev._service = service
+            ev._queued_at = 0.0
+            ev._state = _TRIGGERED
+            ev.callbacks = [ev._finish]
+            if env._pending == 0 and env._solo is None and env._solo_on:
+                env._solo = ev
+                env._solo_at = env._now + service
+            else:
+                env._insert(env._now + service, ev)
+            return ev
+        queued_at = env._now
+        if service <= 0:
+            # Zero-service burst behind a queue: piggyback on the grant
+            # event itself — charge the wait and release at grant
+            # dispatch, just before the waiter's resume runs.
+            def _zero_finish(req, tx=tx, cpus=cpus, queued_at=queued_at):
+                if req.cancelled:
+                    return
+                if tx is not None:
+                    tx.wait_cpu += req.env._now - queued_at
+                cpus.release(req)
+
+            request.callbacks.append(_zero_finish)
+            return request
+        ev = _CPUBurst.__new__(_CPUBurst)
+        ev.env = env
+        ev._ok = True
+        ev._value = None
+        ev._defused = False
+        ev.delay = service
+        ev._cpus = cpus
+        ev._request = request
+        ev._tx = tx
+        ev._service = service
+        ev._queued_at = queued_at
+        ev._state = _PENDING
+        ev.callbacks = [ev._finish]
+        request.callbacks.append(ev._on_grant)
+        return ev
+
+    def execute(self, tx: Optional[Transaction], mean_instructions: float,
+                exponential: bool = True) -> Generator:
+        """Generator form of :meth:`execute_event` (compatibility shim
+        for ``yield from`` call sites; hot paths yield the event)."""
+        ev = self.execute_event(tx, mean_instructions, exponential)
+        if ev is not None:
+            yield ev
 
     def execute_with_sync_access(self, tx: Optional[Transaction],
                                  mean_instructions: float,

@@ -173,7 +173,9 @@ class TransactionManager:
     def _execute(self, tx: Transaction) -> Generator:
         while True:
             tx.start_time = self.env.now
-            yield from self.cpu.execute(tx, self.cm.instr_bot)
+            burst = self.cpu.execute_event(tx, self.cm.instr_bot)
+            if burst is not None:
+                yield burst
             aborted = False
             for ref in tx.refs:
                 part = self.partitions[ref.partition_index]
@@ -186,13 +188,17 @@ class TransactionManager:
                     if outcome is LockOutcome.DEADLOCK:
                         aborted = True
                         break
-                yield from self.cpu.execute(tx, self.cm.instr_or)
+                burst = self.cpu.execute_event(tx, self.cm.instr_or)
+                if burst is not None:
+                    yield burst
                 # Hot path: a buffer hit costs no simulated time, so it
                 # is a plain call — only misses enter the generator.
                 if self.bm.fix_page_fast(tx, ref) is None:
                     yield from self.bm.fix_page_miss(tx, ref)
             if not aborted:
-                yield from self.cpu.execute(tx, self.cm.instr_eot)
+                burst = self.cpu.execute_event(tx, self.cm.instr_eot)
+                if burst is not None:
+                    yield burst
                 # Commit phase 1: log + (FORCE) forced page writes.
                 yield from self.bm.commit(tx)
                 # Commit phase 2: release locks.

@@ -68,23 +68,33 @@ class MessageBus:
         """
         self.stats.add(kind)
         self.stats.add("messages", 2)
-        yield from sender_cpu.execute(tx, self.config.instr_send,
-                                      exponential=False)
+        burst = sender_cpu.execute_event(tx, self.config.instr_send,
+                                         exponential=False)
+        if burst is not None:
+            yield burst
         yield self.env.timeout(self.config.latency)
-        yield from receiver_cpu.execute(None, self.config.instr_receive
-                                        + self.config.instr_send,
-                                        exponential=False)
+        burst = receiver_cpu.execute_event(None, self.config.instr_receive
+                                           + self.config.instr_send,
+                                           exponential=False)
+        if burst is not None:
+            yield burst
         yield self.env.timeout(self.config.latency)
-        yield from sender_cpu.execute(tx, self.config.instr_receive,
-                                      exponential=False)
+        burst = sender_cpu.execute_event(tx, self.config.instr_receive,
+                                         exponential=False)
+        if burst is not None:
+            yield burst
 
     def one_way(self, tx: Optional[Transaction], sender_cpu: CPUPool,
                 receiver_cpu: CPUPool, kind: str = "notify") -> Generator:
         """A single message (e.g. a broadcast invalidation)."""
         self.stats.add(kind)
         self.stats.add("messages", 1)
-        yield from sender_cpu.execute(tx, self.config.instr_send,
-                                      exponential=False)
+        burst = sender_cpu.execute_event(tx, self.config.instr_send,
+                                         exponential=False)
+        if burst is not None:
+            yield burst
         yield self.env.timeout(self.config.latency)
-        yield from receiver_cpu.execute(None, self.config.instr_receive,
-                                        exponential=False)
+        burst = receiver_cpu.execute_event(None, self.config.instr_receive,
+                                           exponential=False)
+        if burst is not None:
+            yield burst

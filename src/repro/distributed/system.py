@@ -116,8 +116,10 @@ class _NodeBufferManager(BufferManager):
         return super()._migrates_to_nvem(part, dirty)
 
     def _gem_async_write(self, key, part, entry) -> Generator:
-        yield from self.cpu.execute(None, self.cm.instr_io,
-                                    exponential=False)
+        burst = self.cpu.execute_event(None, self.cm.instr_io,
+                                       exponential=False)
+        if burst is not None:
+            yield burst
         yield from self.storage.write_page(key[0], part.name, key[1])
         self.metrics.record_io("db_write_async")
         self.gem.mark_clean(key, entry)
@@ -245,7 +247,9 @@ class _DistributedTM(TransactionManager):
 
         while True:
             tx.start_time = self.env.now
-            yield from self.cpu.execute(tx, self.cm.instr_bot)
+            burst = self.cpu.execute_event(tx, self.cm.instr_bot)
+            if burst is not None:
+                yield burst
             aborted = False
             for ref in tx.refs:
                 part = self.partitions[ref.partition_index]
@@ -258,13 +262,17 @@ class _DistributedTM(TransactionManager):
                     if outcome is LockOutcome.DEADLOCK:
                         aborted = True
                         break
-                yield from self.cpu.execute(tx, self.cm.instr_or)
+                burst = self.cpu.execute_event(tx, self.cm.instr_or)
+                if burst is not None:
+                    yield burst
                 # Hot path: buffer hits complete synchronously (see the
                 # central TM); only misses enter the generator.
                 if self.bm.fix_page_fast(tx, ref) is None:
                     yield from self.bm.fix_page_miss(tx, ref)
             if not aborted:
-                yield from self.cpu.execute(tx, self.cm.instr_eot)
+                burst = self.cpu.execute_event(tx, self.cm.instr_eot)
+                if burst is not None:
+                    yield burst
                 yield from self.bm.commit(tx)
                 yield from self.bm.propagate_commit(tx)
                 if tx.modified_pages:

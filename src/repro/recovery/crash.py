@@ -113,8 +113,10 @@ class RestartReplayer:
                     system.storage.nvem_device.access("read"),
                 )
             else:
-                yield from system.cpu.execute(None, cm.instr_io,
-                                              exponential=False)
+                burst = system.cpu.execute_event(None, cm.instr_io,
+                                                 exponential=False)
+                if burst is not None:
+                    yield burst
                 yield from system.storage.read_log_from_unit(page_no)
             stats.log_pages += 1
             system.metrics.record_io("restart_log_read")
@@ -131,15 +133,19 @@ class RestartReplayer:
             if part.allocation == MEMORY:
                 # No permanent device: the page is rebuilt in memory
                 # from the already-scanned log records.
-                yield from system.cpu.execute(None, redo_instr,
-                                              exponential=False)
+                burst = system.cpu.execute_event(None, redo_instr,
+                                                 exponential=False)
+                if burst is not None:
+                    yield burst
             elif part.allocation == NVEM:
                 yield from system.cpu.execute_with_sync_access(
                     None, cm.instr_nvem,
                     system.storage.nvem_device.access("read"),
                 )
-                yield from system.cpu.execute(None, redo_instr,
-                                              exponential=False)
+                burst = system.cpu.execute_event(None, redo_instr,
+                                                 exponential=False)
+                if burst is not None:
+                    yield burst
                 yield from system.cpu.execute_with_sync_access(
                     None, cm.instr_nvem,
                     system.storage.nvem_device.access("write"),
@@ -147,14 +153,20 @@ class RestartReplayer:
                 system.metrics.record_io("restart_redo_read")
                 system.metrics.record_io("restart_redo_write")
             else:
-                yield from system.cpu.execute(None, cm.instr_io,
-                                              exponential=False)
+                burst = system.cpu.execute_event(None, cm.instr_io,
+                                                 exponential=False)
+                if burst is not None:
+                    yield burst
                 yield from system.storage.read_page(pidx, part.name,
                                                     key[1])
-                yield from system.cpu.execute(None, redo_instr,
-                                              exponential=False)
-                yield from system.cpu.execute(None, cm.instr_io,
-                                              exponential=False)
+                burst = system.cpu.execute_event(None, redo_instr,
+                                                 exponential=False)
+                if burst is not None:
+                    yield burst
+                burst = system.cpu.execute_event(None, cm.instr_io,
+                                                 exponential=False)
+                if burst is not None:
+                    yield burst
                 yield from system.storage.write_page(pidx, part.name,
                                                      key[1])
                 system.metrics.record_io("restart_redo_read")

@@ -49,7 +49,15 @@ from collections import deque
 from heapq import heapify, heappop, heappush
 from typing import Any, Generator, Optional
 
-from repro.sim.core import _PROCESSED, Environment, Event, SimulationError
+from repro.sim.core import (
+    _PENDING,
+    _PROCESSED,
+    _TRIGGERED,
+    Environment,
+    Event,
+    SimulationError,
+    Timeout,
+)
 from repro.sim.stats import TimeWeighted
 
 __all__ = ["PriorityResource", "Resource", "ResourceMonitor", "Store"]
@@ -95,7 +103,7 @@ class Request(Event):
         self.key: Any = None
         self.cancelled = False
 
-    def _abandoned(self) -> None:
+    def _abandoned(self):
         """Kernel hook: the requesting process was interrupted.
 
         Withdraw the claim so a dead process is never granted a unit
@@ -104,6 +112,83 @@ class Request(Event):
         """
         self.resource.cancel(self)
         Event._abandoned(self)
+        return None
+
+
+class _ServiceEvent(Timeout):
+    """A fused acquire→hold→release cycle as one kernel event.
+
+    ``yield resource.serve_event(draw)`` is the hot-path equivalent of
+    ``yield from resource.serve(draw)``: one event object replaces the
+    sub-generator, its grant round trip, and the separate service
+    timeout, while reproducing the exact ``(time, seq)`` dispatch order
+    and RNG draw positions of the generator version.
+
+    Lifecycle:
+
+    * uncontended grant — created already *triggered* at
+      ``now + draw()`` with a pre-seeded ``_finish`` callback that
+      releases the unit when the kernel dispatches it (parked in the
+      environment's solo slot when nothing else is pending at all);
+    * deferred or queued grant — stays *pending* with ``_on_grant``
+      subscribed to the request; the service time is drawn at grant
+      dispatch, exactly where the generator version drew it;
+    * interrupt — the kernel's ``_abandoned`` hook withdraws a queued
+      request immediately, while a granted-and-running service returns
+      a finalizer that releases the unit at interrupt *delivery*,
+      matching the generator version's ``except`` clause timing.
+
+    A Timeout subclass so the kernel treats a scheduled instance like
+    any other timed event; the exact-type gate on the object pool keeps
+    it from ever being recycled as a plain timeout.
+    """
+
+    __slots__ = ("_resource", "_request", "_draw")
+
+    def _on_grant(self, request: "Request") -> None:
+        """Request-grant callback: draw the service time and schedule
+        the completion (the grant was withdrawn if ``cancelled``)."""
+        if request.cancelled:
+            return
+        delay = self._draw()
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        self.delay = delay
+        self._state = _TRIGGERED
+        env = self.env
+        env._insert(env._now + delay, self)
+
+    def _finish(self, event: Event) -> None:
+        """Own completion callback (runs before the waiter's resume)."""
+        self._resource.release(self._request)
+
+    def _finalize(self, carrier: Event) -> None:
+        """Interrupt-delivery finalizer: give back the held unit."""
+        self._resource.cancel(self._request)
+
+    def _abandoned(self):
+        if self._state == _PENDING:
+            # Still waiting for the grant: withdraw from the queue (or
+            # turn an undelivered deferred grant into a release).
+            request = self._request
+            callbacks = request.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(self._on_grant)
+                except ValueError:  # pragma: no cover - already granted
+                    pass
+            self._resource.cancel(request)
+            Event._abandoned(request)
+            return None
+        # Unit held, completion scheduled: drop the completion event and
+        # release the unit at interrupt delivery — the same instant the
+        # generator version's ``except`` clause released it.
+        try:
+            self.callbacks.remove(self._finish)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        Event._abandoned(self)
+        return self._finalize
 
 
 class Resource:
@@ -176,8 +261,7 @@ class Resource:
         if self.users < self.capacity:
             self.users += 1
             self.monitor.busy.record(self.users)
-            heap = env._heap
-            if not heap or heap[0][0] > env._now:
+            if not env._pending_now():
                 # Synchronous grant: skip the Event.__init__ chain and
                 # the succeed/schedule/step round trip entirely.
                 request = Request.__new__(Request)
@@ -193,7 +277,7 @@ class Resource:
                 request._value = request
                 return request
             # Another event is pending at this very instant: defer the
-            # grant behind it via the heap, exactly as before.
+            # grant behind it via the scheduler, exactly as before.
             request = Request(self, priority)
             request.succeed(request)
             return request
@@ -230,26 +314,55 @@ class Resource:
             self.users -= 1
             self.monitor.busy.record(self.users)
 
-    def serve(self, draw_delay) -> Generator:
-        """Acquire one unit, hold it for a drawn service time, release.
+    def serve_event(self, draw_delay) -> Event:
+        """Acquire one unit, hold it for a drawn service time, release —
+        fused into a single yieldable event (see :class:`_ServiceEvent`).
 
         ``draw_delay`` is a zero-argument callable evaluated *after* the
         grant: service-time draw order relative to the queueing wait is
         part of the simulation's determinism contract, so it must not
-        move to call time.  The generator is interrupt-safe — if the
-        waiting process is torn down at either yield, the claim is
-        cancelled (withdrawing a queued request, releasing a held one)
-        instead of leaking a capacity unit.
+        move to call time.  The cycle is interrupt-safe — if the waiting
+        process is torn down, the claim is cancelled (withdrawing a
+        queued request, releasing a held one) instead of leaking a
+        capacity unit.
         """
+        env = self.env
         request = self.request()
-        try:
-            if request.callbacks is not None:
-                yield request
-            yield self.env.timeout(draw_delay())
-        except BaseException:
-            self.cancel(request)
-            raise
-        self.release(request)
+        ev = _ServiceEvent.__new__(_ServiceEvent)
+        ev.env = env
+        ev._ok = True
+        ev._value = None
+        ev._defused = False
+        ev._resource = self
+        ev._request = request
+        if request.callbacks is None:
+            # Uncontended fast grant: draw now (the same RNG position
+            # the generator version drew at) and schedule completion.
+            delay = draw_delay()
+            if delay < 0:
+                raise ValueError(f"negative timeout delay: {delay!r}")
+            ev.delay = delay
+            ev._draw = None
+            ev._state = _TRIGGERED
+            ev.callbacks = [ev._finish]
+            if env._pending == 0 and env._solo is None and env._solo_on:
+                env._solo = ev
+                env._solo_at = env._now + delay
+            else:
+                env._insert(env._now + delay, ev)
+            return ev
+        # Deferred or queued grant: draw at grant dispatch.
+        ev.delay = 0.0
+        ev._draw = draw_delay
+        ev._state = _PENDING
+        ev.callbacks = [ev._finish]
+        request.callbacks.append(ev._on_grant)
+        return ev
+
+    def serve(self, draw_delay) -> Generator:
+        """Generator form of :meth:`serve_event` (compatibility shim for
+        ``yield from`` call sites; hot paths yield the event directly)."""
+        yield self.serve_event(draw_delay)
 
     @property
     def queue_length(self) -> int:

@@ -1,0 +1,679 @@
+"""Pluggable event schedulers for the simulation kernel.
+
+The kernel keys every scheduled event by ``(time, seq)``: simultaneous
+events dispatch in FIFO order of their sequence numbers, which makes a
+fixed-seed run fully deterministic.  This module provides two
+interchangeable structures that maintain that order:
+
+* :class:`HeapScheduler` — the classic binary heap of
+  ``(time, seq, event)`` tuples.  O(log n) per insert/pop, one pop per
+  event.  Kept as the verification backend: its dispatch order *is* the
+  specification.
+* :class:`CalendarScheduler` — a calendar queue specialised for this
+  workload's shape.  TPSIM service times are near-constant (CPU bursts,
+  disk/NVEM/flash latencies) and a large fraction of events share an
+  exact timestamp (zero-delay grants, lock handoffs, simultaneous I/O
+  completions), so events are hashed into *exact-timestamp buckets*
+  (``dict`` time → list) while a small heap orders only the *distinct*
+  times.  Same-instant cohorts are then drained in one bucket scan:
+  ``n`` events at one instant cost one heap pop plus ``n`` list reads
+  instead of ``n`` heap pops.  Within a bucket, append order equals
+  sequence order (sequence numbers are assigned monotonically at
+  insert), so no per-event key is stored at all on the hot path.
+
+Both backends expose the same protocol, consumed by
+:class:`repro.sim.core.Environment`:
+
+``insert(when, seq, event)``
+    Add a triggered event.  ``seq`` is assigned by the environment's
+    single ``_insert`` choke point and is strictly monotone.
+``run_all(env)`` / ``run_horizon(env, horizon)`` / ``run_event(env, finished)``
+    The three event-loop modes (drain, run-until-time, run-until-event),
+    each owning an optimised dispatch loop.
+``pop_one(env)`` / ``peek()`` / ``pending_at(now)`` / ``note_cancelled(env)``
+    Single-step dispatch, next-event time, the same-instant pending
+    probe used by the resource layer's uncontended fast-grant guard,
+    and cancellation accounting (with compaction).
+
+Cancellation and compaction
+---------------------------
+Cancelled events stay in the structure and are dropped as no-ops when
+they surface, exactly as for the heap historically.  When cancelled
+entries dominate (``>= _COMPACT_MIN`` of them and at least half of all
+pending entries), the structure is compacted in one sweep.  For the
+calendar queue the sweep also *deletes buckets left empty*, so mass
+interruption cannot pin thousands of dead timestamps in the time heap;
+the distinct-time heap is rebuilt from the surviving bucket keys.
+
+Tracing (the scheduler-equivalence oracle)
+------------------------------------------
+``enable_trace()`` turns on dispatch-order recording: every *live*
+dispatch appends ``(time, seq)`` to ``trace``.  Cancelled no-op drops
+are not recorded because compaction may collect them at slightly
+different points on the two backends (the calendar queue cannot compact
+its in-flight cohort); live dispatch order is the observable contract.
+The environment also disables its solo-event short circuit under
+tracing so every event flows through the structure.
+"""
+
+from __future__ import annotations
+
+import os
+from heapq import heapify, heappop, heappush
+from sys import getrefcount as _getrefcount
+from typing import Optional
+
+__all__ = ["CalendarScheduler", "HeapScheduler", "make_scheduler"]
+
+# Event states (single source of truth; re-exported by repro.sim.core).
+_PENDING = 0
+_TRIGGERED = 1  # scheduled, value fixed
+_CANCELLED = 2  # scheduled but abandoned: dropped unless re-subscribed
+_PROCESSED = 3  # callbacks have run
+
+#: Cancelled entries in the structure before a compaction sweep is
+#: considered.
+_COMPACT_MIN = 64
+
+_INF = float("inf")
+
+#: Set by repro.sim.core after it defines Timeout (avoids a circular
+#: import); the dispatch loops use it to gate the timeout object pool.
+_Timeout: Optional[type] = None
+
+
+def make_scheduler(spec=None):
+    """Resolve a scheduler spec: None (env var / default), name, class
+    or ready instance."""
+    if spec is None:
+        spec = os.environ.get("REPRO_SCHEDULER", "calendar")
+    if isinstance(spec, str):
+        try:
+            return _SCHEDULERS[spec.lower()]()
+        except KeyError:
+            raise ValueError(
+                f"unknown scheduler {spec!r}; expected one of "
+                f"{sorted(_SCHEDULERS)}"
+            ) from None
+    if isinstance(spec, type):
+        return spec()
+    return spec
+
+
+class HeapScheduler:
+    """Binary heap of ``(time, seq, event)`` — the verification backend."""
+
+    name = "heap"
+
+    __slots__ = ("_heap", "_ncancelled", "trace")
+
+    def __init__(self):
+        self._heap: list = []
+        self._ncancelled = 0
+        self.trace: Optional[list] = None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def enable_trace(self) -> list:
+        self.trace = []
+        return self.trace
+
+    # -- structure ops ---------------------------------------------------
+    def insert(self, when, seq, event) -> None:
+        heappush(self._heap, (when, seq, event))
+
+    def peek(self) -> float:
+        heap = self._heap
+        return heap[0][0] if heap else _INF
+
+    def pending_at(self, now) -> bool:
+        heap = self._heap
+        return bool(heap) and heap[0][0] <= now
+
+    def pop_one(self, env):
+        """Pop the next entry (IndexError when empty), advancing time."""
+        when, _, event = heappop(self._heap)
+        env._now = when
+        return event
+
+    def note_cancelled(self, env) -> None:
+        """Account one newly cancelled entry; compact when dominant.
+
+        Compaction removes cancelled entries outright so that mass
+        interruption (e.g. aborting a wave of blocked transactions)
+        does not leave the heap dragging thousands of dead waits.
+        Collected events are marked processed: anyone who later waits
+        on one gets its value immediately, as for any past event.
+        """
+        n = self._ncancelled + 1
+        self._ncancelled = n
+        heap = self._heap
+        if n >= _COMPACT_MIN and 2 * n >= len(heap):
+            alive = []
+            for entry in heap:
+                ev = entry[2]
+                if ev._state == _CANCELLED:
+                    ev._state = _PROCESSED
+                    ev.callbacks = None
+                else:
+                    alive.append(entry)
+            env._pending -= len(heap) - len(alive)
+            # In place: run loops hold a reference to this very list.
+            heap[:] = alive
+            heapify(heap)
+            self._ncancelled = 0
+
+    # -- dispatch loops --------------------------------------------------
+    def run_all(self, env) -> None:
+        heap = self._heap
+        pop = heappop
+        tr = self.trace
+        grc = _getrefcount
+        timeout_cls = _Timeout
+        while True:
+            if not heap:
+                if env._solo is None:
+                    return None
+                env._flush()
+                continue
+            when, seq, event = pop(heap)
+            env._now = when
+            env._pending -= 1
+            if event._state == _CANCELLED:
+                self._ncancelled -= 1
+                event._state = _PROCESSED
+                event.callbacks = None
+                continue
+            if tr is not None:
+                tr.append((when, seq))
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._state = _PROCESSED
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
+            if (type(event) is timeout_cls and env._tcache is None
+                    and grc(event) == 2):
+                # Only the kernel still references this timeout: recycle
+                # it through the environment's one-slot object pool.
+                event._state = _TRIGGERED
+                callbacks.clear()
+                event.callbacks = callbacks
+                event._value = None
+                env._tcache = event
+
+    def run_event(self, env, finished) -> None:
+        heap = self._heap
+        pop = heappop
+        tr = self.trace
+        grc = _getrefcount
+        timeout_cls = _Timeout
+        while not finished:
+            if not heap:
+                if env._solo is not None:
+                    env._flush()
+                    continue
+                from repro.sim.core import SimulationError
+                raise SimulationError(
+                    "event loop ran dry before the awaited event fired"
+                )
+            when, seq, event = pop(heap)
+            env._now = when
+            env._pending -= 1
+            if event._state == _CANCELLED:
+                self._ncancelled -= 1
+                event._state = _PROCESSED
+                event.callbacks = None
+                continue
+            if tr is not None:
+                tr.append((when, seq))
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._state = _PROCESSED
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
+            if (type(event) is timeout_cls and env._tcache is None
+                    and grc(event) == 2):
+                event._state = _TRIGGERED
+                callbacks.clear()
+                event.callbacks = callbacks
+                event._value = None
+                env._tcache = event
+
+    def run_horizon(self, env, horizon) -> None:
+        heap = self._heap
+        pop = heappop
+        tr = self.trace
+        grc = _getrefcount
+        timeout_cls = _Timeout
+        while True:
+            while heap and heap[0][0] <= horizon:
+                when, seq, event = pop(heap)
+                env._now = when
+                env._pending -= 1
+                if event._state == _CANCELLED:
+                    self._ncancelled -= 1
+                    event._state = _PROCESSED
+                    event.callbacks = None
+                    continue
+                if tr is not None:
+                    tr.append((when, seq))
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._state = _PROCESSED
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+                if (type(event) is timeout_cls and env._tcache is None
+                        and grc(event) == 2):
+                    event._state = _TRIGGERED
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    event._value = None
+                    env._tcache = event
+            solo = env._solo
+            if solo is not None and env._solo_at <= horizon:
+                env._flush()
+                continue
+            return None
+
+
+class CalendarScheduler:
+    """Exact-timestamp buckets + a heap of distinct times.
+
+    ``_buckets`` maps a timestamp to the events scheduled at exactly
+    that instant, in sequence order (appends happen in monotone-
+    sequence order): the event itself while the bucket holds one entry,
+    a list from the second same-instant arrival on.  ``_times`` is a
+    heap of the distinct timestamps that still have a bucket.  A
+    singleton bucket dispatches directly; a list bucket is detached as
+    the current *cohort* and drained by index, and events scheduled *at
+    the current instant while the cohort drains* are appended to the
+    live cohort and picked up in the same scan, preserving
+    ``(time, seq)`` order exactly.
+
+    The cohort survives across ``run(until=event)`` exits mid-drain;
+    ``_cohort_i`` always reflects the next undispatched slot so that
+    ``pending_at``/``peek`` stay correct from inside callbacks.
+    """
+
+    name = "calendar"
+
+    __slots__ = ("_times", "_buckets", "_cohort", "_cohort_time",
+                 "_cohort_i", "_ncancelled", "trace", "_seqmap")
+
+    def __init__(self):
+        self._times: list = []
+        self._buckets: dict = {}
+        self._cohort: Optional[list] = None
+        self._cohort_time = -_INF
+        self._cohort_i = 0
+        self._ncancelled = 0
+        self.trace: Optional[list] = None
+        self._seqmap: Optional[dict] = None
+
+    def __len__(self) -> int:
+        n = 0
+        for bucket in self._buckets.values():
+            n += len(bucket) if type(bucket) is list else 1
+        cohort = self._cohort
+        if cohort is not None:
+            n += len(cohort) - self._cohort_i
+        return n
+
+    def enable_trace(self) -> list:
+        self.trace = []
+        self._seqmap = {}
+        return self.trace
+
+    # -- structure ops ---------------------------------------------------
+    # A bucket is stored as the event itself while it holds exactly one
+    # entry and is promoted to a list on the second same-instant
+    # arrival.  Workloads dominated by continuous (all-distinct) delays
+    # then pay no list allocation and no cohort bookkeeping per event,
+    # while dense same-instant cohorts keep the batched drain.
+    def insert(self, when, seq, event) -> None:
+        if self._seqmap is not None:
+            self._seqmap[id(event)] = seq
+        cohort = self._cohort
+        if cohort is not None and when == self._cohort_time:
+            # Same instant as the cohort being drained: the scan picks
+            # it up in this very pass, in sequence order.
+            cohort.append(event)
+            return
+        buckets = self._buckets
+        bucket = buckets.get(when)
+        if bucket is None:
+            buckets[when] = event
+            heappush(self._times, when)
+        elif type(bucket) is list:
+            bucket.append(event)
+        else:
+            buckets[when] = [bucket, event]
+
+    def peek(self) -> float:
+        cohort = self._cohort
+        if cohort is not None and self._cohort_i < len(cohort):
+            return self._cohort_time
+        times = self._times
+        return times[0] if times else _INF
+
+    def pending_at(self, now) -> bool:
+        cohort = self._cohort
+        if cohort is not None and self._cohort_i < len(cohort):
+            return self._cohort_time <= now
+        times = self._times
+        return bool(times) and times[0] <= now
+
+    def pop_one(self, env):
+        cohort = self._cohort
+        if cohort is not None and self._cohort_i < len(cohort):
+            i = self._cohort_i
+            event = cohort[i]
+            cohort[i] = None
+            self._cohort_i = i + 1
+            env._now = self._cohort_time
+            return event
+        if not self._times:
+            raise IndexError("pop from an empty scheduler")
+        when = heappop(self._times)
+        event = self._buckets.pop(when)
+        env._now = when
+        if type(event) is not list:
+            # Singleton bucket: nothing to track across callbacks.
+            return event
+        cohort = event
+        self._cohort = cohort
+        self._cohort_time = when
+        event = cohort[0]
+        cohort[0] = None
+        self._cohort_i = 1
+        return event
+
+    def note_cancelled(self, env) -> None:
+        """Account one newly cancelled entry; compact when dominant.
+
+        The sweep filters every bucket and *deletes buckets left
+        empty*, rebuilding the distinct-time heap from the surviving
+        keys — cancelled entries must not pin dead timestamps.  The
+        in-flight cohort (if any) is left alone: it is about to drain
+        anyway, and its surviving cancelled entries stay counted so the
+        next trigger point is computed honestly.
+        """
+        n = self._ncancelled + 1
+        self._ncancelled = n
+        if n >= _COMPACT_MIN and 2 * n >= env._pending:
+            self._compact(env)
+
+    def _compact(self, env) -> None:
+        buckets = self._buckets
+        seqmap = self._seqmap
+        removed = 0
+        for when in list(buckets):
+            bucket = buckets[when]
+            if type(bucket) is not list:
+                if bucket._state == _CANCELLED:
+                    bucket._state = _PROCESSED
+                    bucket.callbacks = None
+                    removed += 1
+                    if seqmap is not None:
+                        seqmap.pop(id(bucket), None)
+                    del buckets[when]
+                continue
+            alive = [ev for ev in bucket if ev._state != _CANCELLED]
+            if len(alive) == len(bucket):
+                continue
+            for ev in bucket:
+                if ev._state == _CANCELLED:
+                    ev._state = _PROCESSED
+                    ev.callbacks = None
+                    removed += 1
+                    if seqmap is not None:
+                        seqmap.pop(id(ev), None)
+            if alive:
+                buckets[when] = alive
+            else:
+                del buckets[when]
+        if removed:
+            self._times[:] = list(buckets)
+            heapify(self._times)
+            env._pending -= removed
+        leftover = 0
+        cohort = self._cohort
+        if cohort is not None:
+            for ev in cohort[self._cohort_i:]:
+                if ev is not None and ev._state == _CANCELLED:
+                    leftover += 1
+        self._ncancelled = leftover
+
+    # -- dispatch loops --------------------------------------------------
+    def run_all(self, env) -> None:
+        times = self._times
+        buckets = self._buckets
+        pop = heappop
+        tr = self.trace
+        grc = _getrefcount
+        timeout_cls = _Timeout
+        while True:
+            cohort = self._cohort
+            if cohort is None:
+                if not times:
+                    if env._solo is None:
+                        return None
+                    env._flush()
+                    continue
+                when = pop(times)
+                event = buckets.pop(when)
+                env._now = when
+                if type(event) is not list:
+                    # Singleton bucket: dispatch with no cohort state.
+                    env._pending -= 1
+                    if event._state == _CANCELLED:
+                        self._ncancelled -= 1
+                        event._state = _PROCESSED
+                        event.callbacks = None
+                        continue
+                    if tr is not None:
+                        tr.append((when, self._seqmap.pop(id(event))))
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._state = _PROCESSED
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    if (type(event) is timeout_cls and env._tcache is None
+                            and grc(event) == 2):
+                        event._state = _TRIGGERED
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        event._value = None
+                        env._tcache = event
+                    continue
+                cohort = event
+                self._cohort = cohort
+                self._cohort_time = when
+                self._cohort_i = 0
+            else:
+                when = self._cohort_time
+            i = self._cohort_i
+            while i < len(cohort):
+                event = cohort[i]
+                cohort[i] = None
+                i += 1
+                self._cohort_i = i
+                env._pending -= 1
+                if event._state == _CANCELLED:
+                    self._ncancelled -= 1
+                    event._state = _PROCESSED
+                    event.callbacks = None
+                    continue
+                if tr is not None:
+                    tr.append((when, self._seqmap.pop(id(event))))
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._state = _PROCESSED
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+                if (type(event) is timeout_cls and env._tcache is None
+                        and grc(event) == 2):
+                    event._state = _TRIGGERED
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    event._value = None
+                    env._tcache = event
+            self._cohort = None
+
+    def run_event(self, env, finished) -> None:
+        times = self._times
+        buckets = self._buckets
+        pop = heappop
+        tr = self.trace
+        grc = _getrefcount
+        timeout_cls = _Timeout
+        while not finished:
+            cohort = self._cohort
+            if cohort is not None and self._cohort_i >= len(cohort):
+                self._cohort = cohort = None
+            if cohort is None:
+                if not times:
+                    if env._solo is not None:
+                        env._flush()
+                        continue
+                    from repro.sim.core import SimulationError
+                    raise SimulationError(
+                        "event loop ran dry before the awaited event fired"
+                    )
+                when = pop(times)
+                event = buckets.pop(when)
+                env._now = when
+                if type(event) is list:
+                    cohort = event
+                    self._cohort = cohort
+                    self._cohort_time = when
+                    self._cohort_i = 1
+                    event = cohort[0]
+                    cohort[0] = None
+                env._pending -= 1
+            else:
+                i = self._cohort_i
+                event = cohort[i]
+                cohort[i] = None
+                self._cohort_i = i + 1
+                env._pending -= 1
+            if event._state == _CANCELLED:
+                self._ncancelled -= 1
+                event._state = _PROCESSED
+                event.callbacks = None
+                continue
+            if tr is not None:
+                # env._now is the dispatch time for singleton buckets
+                # (which never touch _cohort_time) and cohorts alike.
+                tr.append((env._now, self._seqmap.pop(id(event))))
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._state = _PROCESSED
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
+            if (type(event) is timeout_cls and env._tcache is None
+                    and grc(event) == 2):
+                event._state = _TRIGGERED
+                callbacks.clear()
+                event.callbacks = callbacks
+                event._value = None
+                env._tcache = event
+
+    def run_horizon(self, env, horizon) -> None:
+        times = self._times
+        buckets = self._buckets
+        pop = heappop
+        tr = self.trace
+        grc = _getrefcount
+        timeout_cls = _Timeout
+        while True:
+            cohort = self._cohort
+            if cohort is None:
+                if not times or times[0] > horizon:
+                    solo = env._solo
+                    if solo is not None and env._solo_at <= horizon:
+                        env._flush()
+                        continue
+                    return None
+                when = pop(times)
+                event = buckets.pop(when)
+                env._now = when
+                if type(event) is not list:
+                    # Singleton bucket: dispatch with no cohort state.
+                    env._pending -= 1
+                    if event._state == _CANCELLED:
+                        self._ncancelled -= 1
+                        event._state = _PROCESSED
+                        event.callbacks = None
+                        continue
+                    if tr is not None:
+                        tr.append((when, self._seqmap.pop(id(event))))
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._state = _PROCESSED
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    if (type(event) is timeout_cls and env._tcache is None
+                            and grc(event) == 2):
+                        event._state = _TRIGGERED
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        event._value = None
+                        env._tcache = event
+                    continue
+                cohort = event
+                self._cohort = cohort
+                self._cohort_time = when
+                self._cohort_i = 0
+            else:
+                when = self._cohort_time
+            i = self._cohort_i
+            while i < len(cohort):
+                event = cohort[i]
+                cohort[i] = None
+                i += 1
+                self._cohort_i = i
+                env._pending -= 1
+                if event._state == _CANCELLED:
+                    self._ncancelled -= 1
+                    event._state = _PROCESSED
+                    event.callbacks = None
+                    continue
+                if tr is not None:
+                    tr.append((when, self._seqmap.pop(id(event))))
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._state = _PROCESSED
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+                if (type(event) is timeout_cls and env._tcache is None
+                        and grc(event) == 2):
+                    event._state = _TRIGGERED
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    event._value = None
+                    env._tcache = event
+            self._cohort = None
+
+
+_SCHEDULERS = {
+    HeapScheduler.name: HeapScheduler,
+    CalendarScheduler.name: CalendarScheduler,
+}

@@ -137,7 +137,9 @@ class TimeWeighted:
         return self._level
 
     def record(self, level: float) -> None:
-        now = self._env.now
+        # Hot path (every resource grant/release): read the clock slot
+        # directly, skipping the ``now`` property descriptor.
+        now = self._env._now
         self._area += self._level * (now - self._last)
         self._last = now
         self._level = level

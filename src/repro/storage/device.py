@@ -102,7 +102,7 @@ class _SemiconductorDevice(StorageDevice):
         self.stats = CategoryCounter()
 
     def _controller_service(self) -> Generator:
-        yield from self.controllers.serve(lambda: self.controller_delay)
+        yield self.controllers.serve_event(lambda: self.controller_delay)
 
     def _transmission(self) -> Generator:
         if self.trans_delay > 0:
@@ -151,7 +151,7 @@ class FlashSSDDevice(_SemiconductorDevice):
         return self.channels[int(page_no) % len(self.channels)]
 
     def _channel_service(self, key: Hashable, delay: float) -> Generator:
-        yield from self._channel_for(key).serve(lambda: delay)
+        yield self._channel_for(key).serve_event(lambda: delay)
 
     def read(self, key: Hashable) -> Generator:
         start = self.env.now

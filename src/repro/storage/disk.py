@@ -112,13 +112,13 @@ class DiskUnit(StorageDevice):
 
     # -- primitive stages ------------------------------------------------------
     def _controller_service(self) -> Generator:
-        yield from self.controllers.serve(self._controller_time)
+        yield self.controllers.serve_event(self._controller_time)
 
     def _disk_service(self, key: Hashable) -> Generator:
         # Note: striping may draw randomness, so the disk is selected
         # before queueing (as before); the service time is drawn after
-        # the grant inside serve().
-        yield from self._disk_for(key).serve(self._disk_time)
+        # the grant inside serve_event().
+        yield self._disk_for(key).serve_event(self._disk_time)
 
     def _transmission(self) -> Generator:
         if self.config.trans_delay > 0:

@@ -44,7 +44,7 @@ class NVEMDevice:
         log).  The caller decides whether the CPU is held meanwhile.
         """
         self.stats.add(kind)
-        yield from self.servers.serve(self._service_time)
+        yield self.servers.serve_event(self._service_time)
 
     @property
     def utilization(self) -> float:

@@ -114,16 +114,20 @@ class TestFusedFastPath:
         assert tx.service_cpu == 0.0
 
     def test_fused_burst_is_single_event(self):
-        """An uncontended burst costs exactly one heap event (the
-        service timeout) — no separate grant event."""
+        """An uncontended burst costs exactly one scheduled event (the
+        fused service timeout) — no separate grant event."""
+        from repro.sim.core import Timeout
+
         env, pool = make_pool()
         gen = pool.execute(make_tx(), 50_000, exponential=False)
         first = next(gen)
-        assert type(first).__name__ == "Timeout"
+        assert isinstance(first, Timeout)
         assert env.peek() == pytest.approx(0.001)
+        # The CPU is released by the event's own completion callback.
+        env.run(until=first)
+        assert pool.cpus.users == 0
         with pytest.raises(StopIteration):
             gen.send(None)
-        assert pool.cpus.users == 0
 
     def test_interrupt_during_fused_burst_releases_cpu(self):
         from repro.sim import Interrupt

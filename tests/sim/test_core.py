@@ -521,7 +521,7 @@ def test_mass_interrupt_compacts_heap():
     env.run(until=2.0)
     # All 500 far-future waits were cancelled; compaction must have
     # removed nearly all of them instead of dragging them to t=1e6.
-    assert len(env._heap) < 250
+    assert len(env.scheduler) < 250
     # Whatever survived compaction is dropped as a no-op at dispatch
     # (the clock still advances past it, as for any empty event).
     env.run()

@@ -1,0 +1,441 @@
+"""Scheduler-backend tests: heap vs calendar equivalence, sequence
+monotonicity, and cancellation/compaction under the bucketed structure.
+
+The central contract of the pluggable-scheduler refactor is that both
+backends produce *bit-identical* ``(time, seq)`` dispatch order for any
+workload.  ``Environment(trace=True)`` records exactly that order (and
+disables the solo-slot short circuit so every event flows through the
+structure), which makes the contract directly checkable: run the same
+deterministic workload under both backends and compare the traces.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Environment, Interrupt
+from repro.sim.core import Timeout
+from repro.sim.scheduler import (
+    CalendarScheduler,
+    HeapScheduler,
+    make_scheduler,
+)
+
+BACKENDS = ["heap", "calendar"]
+
+
+# ---------------------------------------------------------------------------
+# Backend selection plumbing
+# ---------------------------------------------------------------------------
+
+def test_make_scheduler_resolves_names_types_and_instances():
+    assert isinstance(make_scheduler("heap"), HeapScheduler)
+    assert isinstance(make_scheduler("calendar"), CalendarScheduler)
+    assert isinstance(make_scheduler(HeapScheduler), HeapScheduler)
+    inst = CalendarScheduler()
+    assert make_scheduler(inst) is inst
+
+
+def test_make_scheduler_env_var_default(monkeypatch):
+    monkeypatch.setenv("REPRO_SCHEDULER", "heap")
+    assert isinstance(make_scheduler(None), HeapScheduler)
+    monkeypatch.setenv("REPRO_SCHEDULER", "calendar")
+    assert isinstance(make_scheduler(None), CalendarScheduler)
+    monkeypatch.delenv("REPRO_SCHEDULER")
+    assert isinstance(make_scheduler(None), CalendarScheduler)
+
+
+def test_make_scheduler_rejects_unknown_name():
+    with pytest.raises(ValueError):
+        make_scheduler("splay-tree")
+
+
+def test_environment_exposes_backend():
+    assert Environment(scheduler="heap").scheduler.name == "heap"
+    assert Environment(scheduler="calendar").scheduler.name == "calendar"
+
+
+# ---------------------------------------------------------------------------
+# Satellite: _seq strictly monotone across both scheduling paths
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_seq_strictly_monotone_across_both_paths(backend):
+    """``Environment.schedule`` (explicit events) and the inlined
+    ``timeout`` insert share one ``_insert`` choke point; the sequence
+    counter must advance strictly monotonically over any interleaving
+    of the two paths."""
+    env = Environment(scheduler=backend, trace=True)
+    rng = random.Random(42)
+    seq_after = []
+    for _ in range(300):
+        if rng.random() < 0.5:
+            env.timeout(rng.random() * 5.0)
+        else:
+            env.event().succeed(None)  # goes through schedule()
+        seq_after.append(env._seq)
+    # One fresh, strictly larger sequence number per scheduling call.
+    assert seq_after == list(range(1, 301))
+    env.run()
+    # Dispatch consumed each entry exactly once, in (time, seq) order.
+    tr = env.trace
+    assert sorted(seq for _, seq in tr) == list(range(1, 301))
+    assert tr == sorted(tr)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_seq_monotone_across_solo_flush(backend):
+    """The solo slot defers the sequence assignment of a lone timeout;
+    flushing it must still produce strictly ordered sequence numbers
+    relative to the insert that triggered the flush."""
+    env = Environment(scheduler=backend)
+    fired = []
+
+    def lone(env):
+        # This timeout is parked in the solo slot (nothing else pending).
+        t = env.timeout(5.0)
+        assert env._solo is t
+        # A second schedule flushes it; both must dispatch in time order.
+        u = env.timeout(1.0)
+        assert env._solo is None
+        got = yield u
+        fired.append(("u", env.now))
+        yield t
+        fired.append(("t", env.now))
+
+    env.process(lone(env))
+    env.run()
+    assert fired == [("u", 1.0), ("t", 5.0)]
+    assert env._seq >= 2
+
+
+# ---------------------------------------------------------------------------
+# Satellite: cancellation / compaction under the bucketed structure
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_ninety_percent_cancelled_dispatches_survivors_in_order(backend):
+    """A structure that is 90% cancelled must still dispatch the
+    surviving 10% in exact (time, seq) order."""
+    env = Environment(scheduler=backend, trace=True)
+    rng = random.Random(7)
+
+    def waiter(env, delay):
+        try:
+            yield env.timeout(delay)
+        except Interrupt:
+            pass
+
+    procs = []
+    for i in range(400):
+        delay = rng.choice([1.0, 2.0, 2.0, 3.0, 1.0 + rng.random() * 3.0])
+        procs.append((env.process(waiter(env, delay)), i))
+    # Interrupt 90% of them at t=0.5 (before any timeout fires).
+    doomed = set(idx for _, idx in procs if idx % 10 != 0)
+
+    def attacker(env):
+        yield env.timeout(0.5)
+        for p, idx in procs:
+            if idx in doomed and p.is_alive:
+                p.interrupt()
+
+    env.process(attacker(env))
+    env.run()
+    for p, idx in procs:
+        assert not p.is_alive
+    # The trace records every live dispatch as (time, seq): it must be
+    # sorted under exactly the (time, seq) ordering contract.
+    tr = env.trace
+    assert tr == sorted(tr)
+
+
+def test_cancelled_entries_do_not_pin_empty_buckets():
+    """Calendar-queue specific: compaction must delete buckets emptied
+    by cancellation, not leave them to be scanned at dispatch time."""
+    env = Environment(scheduler="calendar")
+
+    def victim(env, delay):
+        try:
+            yield env.timeout(delay)
+        except Interrupt:
+            pass
+
+    # 500 distinct far-future buckets, all cancelled.
+    victims = [env.process(victim(env, 1000.0 + i)) for i in range(500)]
+
+    def attacker(env):
+        yield env.timeout(1.0)
+        for v in victims:
+            v.interrupt()
+
+    env.process(attacker(env))
+    env.run(until=2.0)
+    sched = env.scheduler
+    # Compaction swept the cancelled entries and their buckets.
+    assert len(sched) < 250
+    assert len(sched._buckets) < 250
+    assert len(sched._times) == len(sched._buckets)
+    # And the survivors still drain cleanly.
+    env.run()
+    assert all(not v.is_alive for v in victims)
+    assert len(sched._buckets) == 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_compaction_preserves_revived_events(backend):
+    """An event cancelled and then re-awaited (revived) must still fire
+    at its original time even though compaction ran in between."""
+    env = Environment(scheduler=backend)
+    shared = env.timeout(50.0, value="late")
+
+    def victim(env):
+        try:
+            yield shared
+        except Interrupt:
+            pass
+
+    v = env.process(victim(env))
+    fired = []
+
+    def attacker(env):
+        yield env.timeout(1.0)
+        v.interrupt()
+        # shared is now cancelled; re-subscribe before compaction.
+        value = yield shared
+        fired.append((env.now, value))
+
+    env.process(attacker(env))
+    env.run()
+    assert fired == [(50.0, "late")]
+
+
+# ---------------------------------------------------------------------------
+# Same-instant cohort semantics (calendar batched dispatch)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_same_instant_cohort_fifo(backend):
+    """All events at one timestamp dispatch in creation (seq) order,
+    including events appended to the instant *while it is draining*."""
+    env = Environment(scheduler=backend)
+    order = []
+
+    def job(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+        if tag < 3:
+            # Schedule another zero-delay event at the same instant.
+            env.process(tail(env, tag))
+
+    def tail(env, tag):
+        yield env.timeout(0.0)
+        order.append(("tail", tag))
+
+    for tag in range(5):
+        env.process(job(env, tag))
+    env.run()
+    assert order == [0, 1, 2, 3, 4, ("tail", 0), ("tail", 1), ("tail", 2)]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_run_until_event_mid_cohort_then_resume(backend):
+    """run(until=event) may stop in the middle of a same-instant cohort;
+    a subsequent run must finish the rest of the cohort in order."""
+    env = Environment(scheduler=backend)
+    order = []
+
+    def make(tag):
+        ev = env.event()
+        ev._ok = True
+        ev.callbacks.append(lambda e, t=tag: order.append(t))
+        env.schedule(ev, 1.0)
+        return ev
+
+    for tag in range(3):
+        make(tag)
+    sentinel = env.timeout(1.0)
+    for tag in range(3, 6):
+        make(tag)
+    env.run(until=sentinel)
+    # Stopped mid-cohort: 3..5 share the instant but have larger seqs.
+    assert order == [0, 1, 2]
+    assert env.peek() == 1.0
+    env.run()
+    assert order == [0, 1, 2, 3, 4, 5]
+
+
+# ---------------------------------------------------------------------------
+# The scheduler-equivalence oracle (hypothesis property test)
+# ---------------------------------------------------------------------------
+
+_ACTIONS = st.lists(
+    st.tuples(
+        st.sampled_from(["spawn", "interrupt", "chain", "burst"]),
+        st.integers(min_value=0, max_value=9),
+        st.floats(min_value=0.0, max_value=8.0, allow_nan=False,
+                  allow_infinity=False, width=32),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _drive(backend, actions):
+    """Run one deterministic workload built from ``actions`` and return
+    the full (time, seq) dispatch trace plus an observable event log."""
+    env = Environment(scheduler=backend, trace=True)
+    log = []
+    procs = {}
+
+    def sleeper(env, key, delay):
+        try:
+            yield env.timeout(delay)
+            log.append(("woke", key, env.now))
+        except Interrupt:
+            log.append(("interrupted", key, env.now))
+
+    def chained(env, key, delay):
+        # Two sequential waits; same-instant when delay == 0.
+        try:
+            yield env.timeout(delay)
+            yield env.timeout(delay)
+            log.append(("chained", key, env.now))
+        except Interrupt:
+            log.append(("interrupted", key, env.now))
+
+    def burst(env, key, delay):
+        # A fan-out of simultaneous events.
+        try:
+            for i in range(3):
+                env.process(sleeper(env, (key, i), delay))
+            yield env.timeout(delay)
+            log.append(("burst", key, env.now))
+        except Interrupt:
+            log.append(("interrupted", key, env.now))
+
+    def driver(env):
+        for kind, slot, delay in actions:
+            if kind == "spawn":
+                procs[slot] = env.process(sleeper(env, slot, delay))
+            elif kind == "chain":
+                procs[slot] = env.process(chained(env, slot, delay))
+            elif kind == "burst":
+                procs[slot] = env.process(burst(env, slot, delay))
+            elif kind == "interrupt":
+                p = procs.get(slot)
+                if p is not None and p.is_alive:
+                    p.interrupt()
+            yield env.timeout(delay * 0.25)
+
+    env.process(driver(env))
+    env.run()
+    return list(env.trace), log
+
+
+@settings(max_examples=60, deadline=None)
+@given(actions=_ACTIONS)
+def test_scheduler_equivalence_oracle(actions):
+    """Random schedule/cancel/interrupt workloads dispatch in an
+    identical (time, seq) order on both backends."""
+    heap_trace, heap_log = _drive("heap", actions)
+    cal_trace, cal_log = _drive("calendar", actions)
+    assert heap_trace == cal_trace
+    assert heap_log == cal_log
+
+
+@settings(max_examples=30, deadline=None)
+@given(actions=_ACTIONS)
+def test_solo_short_circuit_is_observably_equivalent(actions):
+    """The solo-slot inline fire (enabled in production, disabled under
+    trace=True) must not change any observable outcome."""
+
+    def observable(trace_mode):
+        env = Environment(scheduler="calendar", trace=trace_mode)
+        log = []
+
+        def sleeper(env, key, delay):
+            try:
+                yield env.timeout(delay)
+                log.append(("woke", key, env.now))
+            except Interrupt:
+                log.append(("interrupted", key, env.now))
+
+        procs = {}
+
+        def driver(env):
+            for kind, slot, delay in actions:
+                if kind == "interrupt":
+                    p = procs.get(slot)
+                    if p is not None and p.is_alive:
+                        p.interrupt()
+                else:
+                    procs[slot] = env.process(sleeper(env, slot, delay))
+                yield env.timeout(delay * 0.25)
+
+        env.process(driver(env))
+        env.run()
+        return log, env.now
+
+    assert observable(True) == observable(False)
+
+
+# ---------------------------------------------------------------------------
+# Timeout pooling safety
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_pooling_never_recycles_a_referenced_timeout(backend):
+    """A timeout the user still holds must keep its documented final
+    state (processed, value intact) instead of being recycled."""
+    env = Environment(scheduler=backend)
+    held = []
+
+    def proc(env):
+        for i in range(50):
+            t = env.timeout(1.0, value=i)
+            held.append(t)
+            got = yield t
+            assert got == i
+
+    env.process(proc(env))
+    env.run()
+    assert all(t.processed for t in held)
+    assert [t.value for t in held] == list(range(50))
+    assert len(set(map(id, held))) == 50  # no aliasing of held objects
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_pooled_timeouts_are_fresh_per_wait(backend):
+    """Anonymous timeouts may be recycled internally, but each wait
+    observes its own delay and value."""
+    env = Environment(scheduler=backend)
+    seen = []
+
+    def proc(env):
+        for i in range(100):
+            got = yield env.timeout(0.5, value=i * 2)
+            seen.append((env.now, got))
+
+    env.process(proc(env))
+    env.run()
+    assert seen == [(0.5 * (i + 1), i * 2) for i in range(100)]
+
+
+def test_pool_is_type_exact():
+    """Timeout subclasses (fused service events) must never enter the
+    one-slot pool: a later env.timeout() would hand back the subclass."""
+    from repro.sim.resources import Resource
+
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def proc(env):
+        yield res.serve_event(lambda: 1.0)
+        t = env.timeout(1.0)
+        assert type(t) is Timeout
+        yield t
+
+    env.process(proc(env))
+    env.run()
+    assert env.now == 2.0
