@@ -38,7 +38,9 @@ from repro.bench import WORKLOADS, calibration
 #: PR 1 = pre-overhaul kernel; PR 3 = post kernel overhaul, before the
 #: PR 4 reference-pipeline fast path (uncontended grants, fused CPU
 #: bursts, buffer-hit/metrics/prewarm fast paths); PR 5 = before the
-#: PR 6 pluggable calendar-queue scheduler.
+#: PR 6 pluggable calendar-queue scheduler.  ``fig4_1_cached_rerun``
+#: (PR 7, the content-addressed result store) has no earlier reference:
+#: it measures the warm-cache rerun path that did not exist before.
 REFERENCE = {
     "source": "PR 1 / PR 3 / PR 5 measured on the committed baseline machine",
     "pr1": {

@@ -8,6 +8,9 @@ Examples::
     python -m repro experiment run fig4_1 --profile fast
     python -m repro experiment run --all --profile fast --parallel \\
         --json --csv --out artifacts/
+    python -m repro experiment run --all --profile full --cache --resume
+    python -m repro watch
+    python -m repro cache stats
     python -m repro trace-gen --out workload.trace --transactions 2000
     python -m repro trace-run --trace workload.trace --kind nvem --mm 500
 """
@@ -117,6 +120,63 @@ def _build_parser() -> argparse.ArgumentParser:
                               "seeds still derive deterministically), so "
                               "sweeps and crash schedules are reproducible "
                               "from the command line")
+    exp_run.add_argument("--cache", action="store_true",
+                         help="serve unchanged points from the "
+                              "content-addressed result cache and store "
+                              "fresh ones (byte-identical to recomputing; "
+                              "REPRO_CACHE=1 makes this the default)")
+    exp_run.add_argument("--no-cache", action="store_true",
+                         help="disable the result cache even if "
+                              "REPRO_CACHE/--cache-dir enable it")
+    exp_run.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="cache root (implies --cache; default: "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    exp_run.add_argument("--resume", action="store_true",
+                         help="reload completed points from this run's "
+                              "checkpoint journal (an interrupted run "
+                              "continues where it left off)")
+    exp_run.add_argument("--journal", metavar="PATH", default=None,
+                         help="checkpoint-journal path (default: auto "
+                              "under <cache>/runs/ whenever caching or "
+                              "--resume is active)")
+    exp_run.add_argument("--cache-stats", metavar="PATH", default=None,
+                         help="write run cache statistics (hits/misses/"
+                              "elapsed) as JSON to PATH")
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or maintain the content-addressed result cache",
+    )
+    cache.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="cache root (default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro)")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry count, size and session traffic")
+    cache_stats.add_argument("--json", action="store_true",
+                             help="print machine-readable JSON")
+    cache_gc = cache_sub.add_parser(
+        "gc", help="evict old entries and/or cap the cache size")
+    cache_gc.add_argument("--max-age-days", type=float, default=None,
+                          help="drop entries older than this many days")
+    cache_gc.add_argument("--max-bytes", type=int, default=None,
+                          help="evict oldest-first until the cache fits")
+    cache_sub.add_parser("clear", help="remove every cached point result")
+
+    watch = sub.add_parser(
+        "watch",
+        help="tail an in-flight experiment run's checkpoint journal and "
+             "render live per-figure progress",
+    )
+    watch.add_argument("journal", nargs="?", default=None, metavar="JOURNAL",
+                       help="journal file to follow (default: the run "
+                            "most recently started under <cache>/runs/)")
+    watch.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="cache root to look for journals in")
+    watch.add_argument("--interval", type=float, default=1.0,
+                       help="refresh period in seconds (default: 1)")
+    watch.add_argument("--once", action="store_true",
+                       help="render one frame and exit (scripting/CI)")
 
     rec = sub.add_parser(
         "recovery",
@@ -241,11 +301,31 @@ def _cmd_experiment_run(args) -> int:
         print(f"error: --workers must be >= 1, got {args.workers}",
               file=sys.stderr)
         return 2
+    if args.cache and args.no_cache:
+        print("error: --cache and --no-cache conflict", file=sys.stderr)
+        return 2
+
+    env_cache = os.environ.get("REPRO_CACHE", "").lower() in \
+        ("1", "true", "yes", "on")
+    cache_enabled = (args.cache or args.resume or env_cache
+                     or args.cache_dir is not None) and not args.no_cache
+    store = None
+    if cache_enabled:
+        from repro.experiments.store import ResultStore
+
+        store = ResultStore(args.cache_dir)
+    # A journal is kept whenever it has a consumer: an explicit path,
+    # a --resume, or an active cache (so `repro watch` always works).
+    journal = args.journal if args.journal is not None else \
+        bool(cache_enabled or args.resume)
 
     parallel = args.parallel or args.workers is not None
     runner = api.ExperimentRunner(parallel=parallel,
                                   max_workers=args.workers,
-                                  seed=args.seed)
+                                  seed=args.seed,
+                                  store=store,
+                                  journal=journal,
+                                  resume=args.resume)
     results = runner.run(ids, profile=args.profile)
 
     exported = []
@@ -269,6 +349,22 @@ def _cmd_experiment_run(args) -> int:
             exported.append(path)
     for path in exported:
         print(f"wrote {path}")
+
+    stats = runner.last_stats
+    if stats is not None:
+        print(f"cache: {stats.hits} hit(s), {stats.misses} miss(es), "
+              f"{stats.resumed} resumed, {stats.deduped} deduped "
+              f"({stats.hit_rate * 100:.1f}% hit rate, "
+              f"{stats.elapsed_s:.2f} s)", file=sys.stderr)
+        if runner.last_journal_path:
+            print(f"journal: {runner.last_journal_path}", file=sys.stderr)
+    if args.cache_stats:
+        import json as _json
+
+        payload = stats.to_dict() if stats is not None else {}
+        with open(args.cache_stats, "w", encoding="utf-8") as fh:
+            _json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     return 0
 
 
@@ -278,6 +374,62 @@ def _cmd_experiment(args) -> int:
         "run": _cmd_experiment_run,
     }
     return handlers[args.exp_command](args)
+
+
+def _cmd_cache(args) -> int:
+    """Inspect or maintain the content-addressed result cache."""
+    import json as _json
+
+    from repro.experiments.store import ResultStore
+
+    store = ResultStore(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = store.stats()
+        if args.json:
+            print(_json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            print(f"cache root : {stats['root']}")
+            print(f"entries    : {stats['entries']}")
+            print(f"size       : {stats['bytes'] / 1e6:.2f} MB")
+        return 0
+    if args.cache_command == "gc":
+        if args.max_age_days is None and args.max_bytes is None:
+            print("error: gc needs --max-age-days and/or --max-bytes",
+                  file=sys.stderr)
+            return 2
+        report = store.gc(max_age_days=args.max_age_days,
+                          max_bytes=args.max_bytes)
+        print(f"removed {report['removed']} entries "
+              f"({report['freed_bytes'] / 1e6:.2f} MB); "
+              f"kept {report['kept']}")
+        return 0
+    removed = store.clear()
+    print(f"removed {removed} cached point(s) from {store.root}")
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    """Follow an in-flight run's journal with live progress."""
+    from repro.experiments.journal import find_latest_journal
+    from repro.experiments.store import ResultStore
+    from repro.experiments.watch import watch
+
+    path = args.journal
+    if path is None:
+        runs_dir = str(ResultStore(args.cache_dir).runs_dir)
+        path = find_latest_journal(runs_dir)
+        if path is None:
+            print(f"error: no run journals under {runs_dir} "
+                  "(start one with 'repro experiment run --cache ...')",
+                  file=sys.stderr)
+            return 2
+    elif not os.path.exists(path):
+        print(f"error: no journal at {path}", file=sys.stderr)
+        return 2
+    try:
+        return watch(path, interval=args.interval, once=args.once)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 130
 
 
 def _cmd_recovery(args) -> int:
@@ -478,6 +630,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "run": _cmd_run,
         "experiment": _cmd_experiment,
+        "cache": _cmd_cache,
+        "watch": _cmd_watch,
         "recovery": _cmd_recovery,
         "registry": _cmd_registry,
         "bench": _cmd_bench,

@@ -15,6 +15,8 @@ Sub-modules:
   :class:`~repro.core.model.TransactionSystem`.
 * :mod:`repro.core.metrics` — simulation output (response times,
   throughput, hit ratios, utilizations, lock statistics).
+* :mod:`repro.core.fingerprint` — canonical content hashes of configs
+  and workloads (the point-cache keys of incremental experiment runs).
 """
 
 from repro.core.config import (

@@ -588,3 +588,16 @@ class SystemConfig:
     def theoretical_mips(self) -> float:
         """Aggregate CPU capacity in MIPS."""
         return self.cm.num_cpus * self.cm.mips
+
+    def fingerprint(self) -> str:
+        """Canonical content hash of this configuration.
+
+        A recursive dataclass walk (:mod:`repro.core.fingerprint`)
+        normalized to JSON and hashed — the configuration half of the
+        point-cache key used by :mod:`repro.experiments.store`.  Two
+        configs with equal field values fingerprint identically no
+        matter how they were constructed.
+        """
+        from repro.core.fingerprint import fingerprint
+
+        return fingerprint(self)

@@ -16,7 +16,12 @@ module makes that family first-class:
   parallel mode it schedules *all points of all curves of all selected
   experiments* through a single work queue, so ``--all --parallel``
   saturates every core across figure boundaries instead of
-  parallelizing one series at a time.
+  parallelizing one series at a time.  Given a
+  :class:`~repro.experiments.store.ResultStore` it becomes incremental:
+  points are fingerprinted, served from the content-addressed cache
+  when their inputs are unchanged, streamed into a per-run checkpoint
+  journal (:mod:`~repro.experiments.journal`) as they complete, and
+  resumable after interruption (``resume=True``).
 
 Determinism: every point gets the same :func:`~repro.experiments.runner.point_seed`
 as the historical serial :func:`~repro.experiments.runner.sweep` path,
@@ -27,8 +32,13 @@ parallel runs produce byte-identical :class:`ExperimentResult`\\ s.
 from __future__ import annotations
 
 import importlib
+import os
+import pickle
 import pkgutil
+import time
 import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -57,6 +67,7 @@ __all__ = [
     "CurveSpec",
     "ExperimentRunner",
     "ExperimentSpec",
+    "RunStats",
     "SweepProfile",
     "all_experiments",
     "experiment",
@@ -285,6 +296,59 @@ class _Plan:
     tasks: List[List[Tuple]] = field(default_factory=list)
 
 
+@dataclass
+class RunStats:
+    """Cache accounting of one :meth:`ExperimentRunner.run`.
+
+    ``hits`` came from the content-addressed store, ``resumed`` from the
+    run's own checkpoint journal, ``misses`` were computed (and written
+    back), ``uncacheable`` points carried inputs that cannot be
+    fingerprinted and are always recomputed.  A warm re-run of an
+    unchanged sweep therefore shows ``hits == total, misses == 0``.
+    """
+
+    total: int = 0
+    hits: int = 0
+    misses: int = 0
+    resumed: int = 0
+    #: Points sharing a fingerprint with another point of the same run:
+    #: evaluated once, filled from the sibling (not a store hit).
+    deduped: int = 0
+    uncacheable: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "total": self.total, "hits": self.hits,
+            "misses": self.misses, "resumed": self.resumed,
+            "deduped": self.deduped,
+            "uncacheable": self.uncacheable,
+            "hit_rate": self.hit_rate,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+@dataclass
+class _PointTask:
+    """One sweep point with provenance, fingerprint and lifecycle."""
+
+    task: Tuple
+    plan: _Plan
+    curve_index: int
+    point_index: int
+    fingerprint: Optional[str] = None
+    results: Optional[Results] = None
+    #: "computed" | "cache" | "resume" (dedup siblings stay "computed").
+    source: str = "computed"
+    #: Other points of this run with the same fingerprint: evaluated
+    #: once, filled together (identical inputs give identical results).
+    dups: List["_PointTask"] = field(default_factory=list)
+
+
 class ExperimentRunner:
     """Evaluate registered experiments serially or figure-wide parallel.
 
@@ -295,15 +359,37 @@ class ExperimentRunner:
     truncation happens post-hoc per curve, making the output
     byte-identical to the serial path (which stops evaluating a curve
     at its first saturated point).
+
+    With a ``store`` (and/or a ``journal``) the runner becomes
+    *incremental and resumable*: every point is fingerprinted
+    (:func:`repro.core.fingerprint.point_fingerprint`), looked up in
+    the content-addressed store before being scheduled, streamed into
+    both the store and a per-run checkpoint journal as it completes,
+    and — under ``resume=True`` — reloaded from an interrupted run's
+    journal instead of recomputed.  Cached results are byte-identical
+    to recomputation (the golden-checksum tests pin this), so caching
+    can never change a figure, only its cost.  Cache-enabled runs
+    evaluate all planned points eagerly (like ``parallel``), relying on
+    the same post-hoc truncation for identical output.
     """
 
     def __init__(self, parallel: bool = False,
                  max_workers: Optional[int] = None,
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None,
+                 store: Optional[object] = None,
+                 journal: Union[bool, str] = False,
+                 resume: bool = False):
         """``seed`` overrides every spec's base seed (each sweep point
         still gets its own :func:`point_seed` derived from it), so one
         CLI flag reruns any experiment — crash schedules included — on
-        a different deterministic trajectory."""
+        a different deterministic trajectory.
+
+        ``store`` is a :class:`repro.experiments.store.ResultStore` (or
+        None for no caching).  ``journal`` is ``True`` for an
+        auto-named checkpoint journal under the cache's ``runs/``
+        directory, or an explicit path; ``resume=True`` implies a
+        journal and reloads completed points from a matching one.
+        """
         if max_workers is not None and max_workers < 1:
             raise ValueError(
                 f"max_workers must be >= 1, got {max_workers}"
@@ -311,6 +397,14 @@ class ExperimentRunner:
         self.parallel = parallel
         self.max_workers = max_workers
         self.seed = seed
+        self.store = store
+        self.journal = journal
+        self.resume = resume
+        #: Cache accounting of the most recent :meth:`run` (None until
+        #: a cache- or journal-enabled run happened).
+        self.last_stats: Optional[RunStats] = None
+        #: Journal file written by the most recent :meth:`run`.
+        self.last_journal_path: Optional[str] = None
 
     # -- public API --------------------------------------------------------
     def run_one(self, spec: Union[str, ExperimentSpec],
@@ -328,6 +422,12 @@ class ExperimentRunner:
         (legacy ``run(duration=...)`` compatibility)."""
         plans = [self._plan(self._resolve(s), profile, duration)
                  for s in specs]
+        if self.store is None and not self.journal and not self.resume:
+            return self._run_direct(plans)
+        return self._run_cached(plans, profile, duration)
+
+    def _run_direct(self, plans: List[_Plan]) -> Dict[str, ExperimentResult]:
+        """The historical evaluation path: no fingerprints, no files."""
         tasks = [task for plan in plans
                  for curve_tasks in plan.tasks
                  for task in curve_tasks]
@@ -343,6 +443,214 @@ class ExperimentRunner:
         for plan in plans:
             self._collect(plan, evaluate)
         return {plan.spec.id: plan.result for plan in plans}
+
+    # -- cached / journaled evaluation ------------------------------------
+    def _run_cached(self, plans: List[_Plan], profile: str,
+                    duration: Optional[float]
+                    ) -> Dict[str, ExperimentResult]:
+        from repro.core.fingerprint import (
+            FingerprintError,
+            code_version_salt,
+            fingerprint,
+            point_fingerprint,
+        )
+        from repro.experiments.export import results_from_dict
+
+        t_start = time.perf_counter()
+        entries: List[_PointTask] = []
+        for plan in plans:
+            for ci, curve_tasks in enumerate(plan.tasks):
+                for pi, task in enumerate(curve_tasks):
+                    entries.append(_PointTask(task, plan, ci, pi))
+        stats = RunStats(total=len(entries))
+
+        warned_uncacheable = False
+        for entry in entries:
+            _x, config, workload, warmup, dur, seed = entry.task
+            try:
+                entry.fingerprint = point_fingerprint(
+                    config, workload, warmup, dur, seed)
+            except FingerprintError as exc:
+                stats.uncacheable += 1
+                if not warned_uncacheable:
+                    warnings.warn(
+                        f"sweep point is not cacheable and will always "
+                        f"be recomputed: {exc}", RuntimeWarning,
+                        stacklevel=4,
+                    )
+                    warned_uncacheable = True
+
+        salt = code_version_salt()
+        run_key = fingerprint({
+            "journal_schema": 1,
+            "ids": [plan.spec.id for plan in plans],
+            "profile": profile,
+            "seed": self.seed,
+            "duration": duration,
+            "salt": salt,
+        })
+        journal = self._open_journal(run_key)
+
+        # Resume overlay: completed points of an interrupted run with
+        # the SAME run key (same ids/profile/seed/duration/code).
+        overlay: Dict[str, Results] = {}
+        append = False
+        if journal is not None and self.resume:
+            view = journal.load_for_resume(run_key)
+            if view is not None:
+                append = True
+                for record in view.points:
+                    fp = record.get("fingerprint")
+                    if not fp:
+                        continue
+                    try:
+                        overlay[fp] = results_from_dict(record["results"])
+                    except (KeyError, TypeError):
+                        continue
+
+        for entry in entries:
+            fp = entry.fingerprint
+            if fp is None:
+                continue
+            if fp in overlay:
+                entry.results = overlay[fp]
+                entry.source = "resume"
+                stats.resumed += 1
+            elif self.store is not None:
+                cached = self.store.get(fp)
+                if cached is not None:
+                    entry.results = cached
+                    entry.source = "cache"
+                    stats.hits += 1
+
+        if journal is not None:
+            journal.start({
+                "run_key": run_key,
+                "ids": [plan.spec.id for plan in plans],
+                "profile": profile,
+                "seed": self.seed,
+                "duration": duration,
+                "salt": salt,
+                "parallel": self.parallel,
+                "total_points": len(entries),
+                "per_experiment": {
+                    plan.spec.id: sum(len(t) for t in plan.tasks)
+                    for plan in plans
+                },
+            }, append=append)
+            # A fresh journal records store hits up front, so it is a
+            # complete checkpoint on its own; on resume-append the
+            # resumed points are already in the file.
+            for entry in entries:
+                if entry.results is not None and entry.source == "cache":
+                    journal.record_point(self._journal_record(entry))
+
+        # Points still owed a simulation, evaluated once per distinct
+        # fingerprint (identical inputs are deterministic duplicates).
+        pending = [e for e in entries if e.results is None]
+        primaries: Dict[str, _PointTask] = {}
+        unique: List[_PointTask] = []
+        for entry in pending:
+            fp = entry.fingerprint
+            if fp is not None and fp in primaries:
+                primaries[fp].dups.append(entry)
+            else:
+                if fp is not None:
+                    primaries[fp] = entry
+                unique.append(entry)
+
+        def complete(entry: _PointTask, results: Results) -> None:
+            entry.results = results
+            stats.misses += 1
+            if self.store is not None and entry.fingerprint is not None:
+                self.store.put(entry.fingerprint, results)
+            if journal is not None:
+                journal.record_point(self._journal_record(entry))
+            for dup in entry.dups:
+                dup.results = results
+                stats.deduped += 1
+                if journal is not None:
+                    journal.record_point(self._journal_record(dup))
+
+        try:
+            self._evaluate_pending(unique, complete)
+        finally:
+            stats.elapsed_s = time.perf_counter() - t_start
+            self.last_stats = stats
+            if journal is not None:
+                journal.finish(stats.to_dict())
+
+        by_task = {id(entry.task): entry.results for entry in entries}
+        evaluate = lambda task: by_task[id(task)]  # noqa: E731
+        for plan in plans:
+            self._collect(plan, evaluate)
+        return {plan.spec.id: plan.result for plan in plans}
+
+    def _open_journal(self, run_key: str):
+        from repro.experiments.journal import RunJournal
+
+        if not self.journal and not self.resume:
+            return None
+        if isinstance(self.journal, str):
+            path = self.journal
+        else:
+            if self.store is not None:
+                runs_dir = self.store.runs_dir
+            else:
+                from pathlib import Path
+
+                from repro.experiments.store import default_cache_dir
+
+                runs_dir = Path(default_cache_dir()) / "runs"
+            path = str(runs_dir / f"{run_key[:16]}.jsonl")
+        self.last_journal_path = path
+        return RunJournal(path)
+
+    def _journal_record(self, entry: _PointTask) -> Dict:
+        from repro.experiments.export import results_to_dict
+
+        results = entry.results
+        return {
+            "experiment": entry.plan.spec.id,
+            "series": entry.plan.result.series[entry.curve_index].label,
+            "x": entry.task[0],
+            "curve": entry.curve_index,
+            "index": entry.point_index,
+            "fingerprint": entry.fingerprint,
+            "source": entry.source,
+            "response_ms": results.response_time_ms,
+            "throughput": results.throughput,
+            "saturated": results.saturated,
+            "results": results_to_dict(results),
+        }
+
+    def _evaluate_pending(self, pending: List[_PointTask],
+                          complete: Callable[[_PointTask, Results], None]
+                          ) -> None:
+        """Evaluate entries, calling ``complete`` as each one finishes
+        (streaming: the journal and store see points the moment they
+        exist, which is what makes interruption cheap and ``repro
+        watch`` live).  Parallel evaluation degrades to serial exactly
+        like :func:`evaluate_points_parallel`."""
+        remaining = pending
+        if self.parallel and len(pending) > 1:
+            workers = self.max_workers or min(len(pending),
+                                              os.cpu_count() or 1)
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {pool.submit(_evaluate_point, e.task): e
+                               for e in pending}
+                    for future in as_completed(futures):
+                        complete(futures[future], future.result())
+            except (OSError, pickle.PicklingError, AttributeError,
+                    TypeError, BrokenProcessPool) as exc:
+                warnings.warn(
+                    f"parallel cached run fell back to serial "
+                    f"evaluation: {exc!r}", RuntimeWarning, stacklevel=5,
+                )
+            remaining = [e for e in pending if e.results is None]
+        for entry in remaining:
+            complete(entry, _evaluate_point(entry.task))
 
     # -- internals ---------------------------------------------------------
     @staticmethod

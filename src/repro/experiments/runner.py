@@ -1,19 +1,33 @@
-"""Experiment harness: sweeps, series collection and result containers.
+"""Experiment harness primitives: result containers and point evaluation.
 
-Every figure/table module under :mod:`repro.experiments` exposes::
+This module holds the layer *below* the declarative experiment API of
+:mod:`repro.experiments.api`:
 
-    run(fast=False) -> ExperimentResult
+* :class:`ExperimentResult` / :class:`Series` / :class:`SeriesPoint` —
+  the result containers every registered experiment produces, plus the
+  aligned ASCII table renderer.
+* :func:`point_seed` — the deterministic per-point seed derivation
+  every evaluation path shares (serial, parallel, cached), which is
+  what makes their outputs byte-identical.
+* :func:`_evaluate_point` / :func:`evaluate_points_parallel` — one
+  sweep point as a picklable task ``(x, config, workload, warmup,
+  duration, seed)`` and its process-pool evaluation with a serial
+  fallback.
+* :func:`sweep` — the historical single-curve driver, still used by
+  ad-hoc studies (``examples/``) and property tests.
 
-``fast=True`` trims sweep points and run lengths for use in benchmarks
-and CI; the default settings regenerate the full curves reported in
-EXPERIMENTS.md.
-
-Sweeps evaluate their points either serially or across worker
-processes (``parallel=True``): each point is an independent simulation
-with a deterministic per-point seed, so the two paths produce identical
-:class:`Series` and the parallel path cuts figure wall-clock roughly by
-the core count.  Figure modules keep the serial path for ``fast=True``
-runs, whose few short points do not amortize worker start-up.
+Figure modules no longer expose ``run(fast=...)``; they register
+:class:`~repro.experiments.api.ExperimentSpec` factories under stable
+ids (``@experiment("fig4_1")``) and are discovered through the
+registry.  The :class:`~repro.experiments.api.ExperimentRunner`
+evaluates specs with figure-wide parallelism and, when given a
+:class:`~repro.experiments.store.ResultStore`, consults the
+content-addressed point cache before scheduling a task here: a task's
+fingerprint (config + workload + run window + seed + code-version
+salt) either hits a stored :class:`~repro.core.metrics.Results` —
+byte-identical to recomputation — or is evaluated by the functions in
+this module and streamed back into the store and the run's checkpoint
+journal.
 """
 
 from __future__ import annotations

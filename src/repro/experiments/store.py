@@ -1,0 +1,204 @@
+"""Content-addressed on-disk store for simulated sweep-point results.
+
+The store is a plain directory of JSON files keyed by
+:func:`repro.core.fingerprint.point_fingerprint` — the hash of exactly
+the inputs one simulation point depends on (config, workload, run
+window, per-point seed, code-version salt).  The
+:class:`~repro.experiments.api.ExperimentRunner` consults it before
+scheduling a point into the process pool and writes every freshly
+computed result back, so re-running a sweep costs only the points whose
+inputs changed.
+
+Guarantees:
+
+* **Byte-identical replay** — stored payloads are
+  :func:`~repro.experiments.export.results_to_dict` dictionaries;
+  :func:`~repro.experiments.export.results_from_dict` reconstructs a
+  :class:`~repro.core.metrics.Results` whose export (JSON/CSV, golden
+  checksums) is identical to recomputation.  JSON floats round-trip
+  exactly (shortest-repr), so a cache hit can never perturb a figure.
+* **Atomic writes** — entries are written to a temp file in the same
+  directory and ``os.replace``\\ d into place; a crashed or concurrent
+  writer can never leave a torn entry.
+* **Versioned** — every entry records :data:`STORE_FORMAT`; entries of
+  another format (or whose embedded fingerprint mismatches their file
+  name) read as misses.
+* **Evictable** — :meth:`ResultStore.gc` removes entries by age and/or
+  caps total size (oldest-first); :meth:`ResultStore.clear` drops
+  everything.
+
+Default location: ``$REPRO_CACHE_DIR``, else
+``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``.  Layout::
+
+    <root>/points/<fp[:2]>/<fp>.json    one entry per point fingerprint
+    <root>/runs/<run_key>.jsonl         per-run checkpoint journals
+    <root>/runs/LATEST                  name of the journal written last
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.core.metrics import Results
+from repro.experiments.export import results_from_dict, results_to_dict
+
+__all__ = ["ResultStore", "STORE_FORMAT", "default_cache_dir"]
+
+#: On-disk entry format; bump on incompatible payload changes so stale
+#: entries read as misses instead of mis-parsing.
+STORE_FORMAT = 1
+
+
+def default_cache_dir() -> str:
+    """Resolve the cache root: ``$REPRO_CACHE_DIR`` >
+    ``$XDG_CACHE_HOME/repro`` > ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return str(base / "repro")
+
+
+class ResultStore:
+    """Content-addressed point-result cache rooted at ``root``.
+
+    ``hits``/``misses``/``writes`` count this instance's traffic (the
+    runner aggregates its own per-run stats; these are for ``repro
+    cache stats`` style introspection and tests).
+    """
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = Path(root if root is not None else default_cache_dir())
+        self.points_dir = self.root / "points"
+        self.runs_dir = self.root / "runs"
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.root)!r})"
+
+    # -- point entries -----------------------------------------------------
+    def _path(self, fp: str) -> Path:
+        return self.points_dir / fp[:2] / f"{fp}.json"
+
+    def get(self, fp: str) -> Optional[Results]:
+        """The cached :class:`Results` for ``fp``, or ``None`` on miss.
+
+        Any unreadable, torn, mismatched or differently-versioned entry
+        is a miss — the caller recomputes and overwrites it.
+        """
+        try:
+            with open(self._path(fp), encoding="utf-8") as fh:
+                entry = json.load(fh)
+            if entry.get("format") != STORE_FORMAT:
+                raise ValueError("incompatible store format")
+            if entry.get("fingerprint") != fp:
+                raise ValueError("entry/fingerprint mismatch")
+            results = results_from_dict(entry["results"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return results
+
+    def put(self, fp: str, results: Results) -> None:
+        """Atomically store ``results`` under ``fp``."""
+        path = self._path(fp)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": STORE_FORMAT,
+            "fingerprint": fp,
+            "created": time.time(),
+            "results": results_to_dict(results),
+        }
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    def __contains__(self, fp: str) -> bool:
+        return self._path(fp).is_file()
+
+    # -- maintenance -------------------------------------------------------
+    def _entries(self):
+        if not self.points_dir.is_dir():
+            return
+        for path in self.points_dir.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            yield path, stat
+
+    def stats(self) -> Dict:
+        """Entry count and byte totals (plus this instance's traffic)."""
+        count = 0
+        total_bytes = 0
+        oldest = newest = None
+        for _path, stat in self._entries():
+            count += 1
+            total_bytes += stat.st_size
+            mtime = stat.st_mtime
+            oldest = mtime if oldest is None else min(oldest, mtime)
+            newest = mtime if newest is None else max(newest, mtime)
+        return {
+            "root": str(self.root),
+            "entries": count,
+            "bytes": total_bytes,
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+            "session": {"hits": self.hits, "misses": self.misses,
+                        "writes": self.writes},
+        }
+
+    def gc(self, max_age_days: Optional[float] = None,
+           max_bytes: Optional[int] = None) -> Dict:
+        """Evict entries older than ``max_age_days`` and/or oldest-first
+        until the store fits in ``max_bytes``.  Returns removal counts.
+        """
+        entries = sorted(self._entries(), key=lambda e: e[1].st_mtime)
+        now = time.time()
+        total = sum(stat.st_size for _p, stat in entries)
+        removed = 0
+        freed = 0
+        for path, stat in entries:
+            too_old = (max_age_days is not None and
+                       now - stat.st_mtime > max_age_days * 86400.0)
+            too_big = max_bytes is not None and total - freed > max_bytes
+            if not (too_old or too_big):
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += stat.st_size
+        return {"removed": removed, "freed_bytes": freed,
+                "kept": len(entries) - removed,
+                "kept_bytes": total - freed}
+
+    def clear(self) -> int:
+        """Remove every point entry; returns the number removed."""
+        removed = 0
+        for path, _stat in list(self._entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

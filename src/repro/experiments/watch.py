@@ -1,0 +1,123 @@
+"""Live progress rendering for in-flight experiment runs (`repro watch`).
+
+A cache-enabled ``repro experiment run`` streams every completed point
+into its checkpoint journal (:mod:`repro.experiments.journal`).  This
+module tails that journal and renders per-figure progress bars and the
+latest point metrics to a terminal — a second shell gets a live view of
+a multi-figure sweep without touching the run itself::
+
+    $ repro experiment run --all --profile full --parallel --cache &
+    $ repro watch
+
+The renderer is pure (journal view in, string out) so tests can assert
+frames without terminals or timing.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, List, Optional, TextIO
+
+from repro.experiments.journal import JournalView, read_run
+
+__all__ = ["render", "watch"]
+
+_BAR_WIDTH = 24
+
+
+def _bar(done: int, total: int) -> str:
+    if total <= 0:
+        return "·" * _BAR_WIDTH
+    filled = int(round(_BAR_WIDTH * min(done, total) / total))
+    return "#" * filled + "·" * (_BAR_WIDTH - filled)
+
+
+def render(view: JournalView) -> str:
+    """One progress frame for a journal view.
+
+    Per experiment: completed/planned points, a bar, and the most
+    recent point's x / response time / provenance.  A final line totals
+    the run and its cache economics.
+    """
+    if view.header is None:
+        return f"waiting for a run to start ({view.path})"
+    header = view.header
+    per_exp: Dict[str, int] = dict(header.get("per_experiment", {}))
+    done_by_exp: Dict[str, int] = {exp_id: 0 for exp_id in per_exp}
+    last_by_exp: Dict[str, Dict] = {}
+    sources = {"computed": 0, "cache": 0, "resume": 0}
+    for point in view.points:
+        exp_id = point.get("experiment", "?")
+        done_by_exp[exp_id] = done_by_exp.get(exp_id, 0) + 1
+        last_by_exp[exp_id] = point
+        source = point.get("source", "computed")
+        sources[source] = sources.get(source, 0) + 1
+
+    ids: List[str] = list(per_exp) or sorted(done_by_exp)
+    width = max((len(i) for i in ids), default=8)
+    lines = [
+        "run {} — profile={} seed={} {} experiment(s), {} point(s)".format(
+            str(header.get("run_key", "?"))[:12],
+            header.get("profile", "?"),
+            header.get("seed") if header.get("seed") is not None else "-",
+            len(ids), view.total_points,
+        )
+    ]
+    for exp_id in ids:
+        total = per_exp.get(exp_id, 0)
+        done = done_by_exp.get(exp_id, 0)
+        last = last_by_exp.get(exp_id)
+        tail = ""
+        if last is not None:
+            tail = "  last x={:g} {:.2f} ms [{}]{}".format(
+                last.get("x", float("nan")),
+                last.get("response_ms", float("nan")),
+                last.get("source", "computed"),
+                " *saturated" if last.get("saturated") else "",
+            )
+        lines.append(f"{exp_id:<{width}} [{_bar(done, total)}] "
+                     f"{done:>3}/{total:<3}{tail}")
+    total_done = len(view.points)
+    pct = (100.0 * total_done / view.total_points) if view.total_points \
+        else 0.0
+    lines.append(
+        f"total {total_done}/{view.total_points} ({pct:.0f}%) — "
+        f"{sources['computed']} computed, {sources['cache']} cached, "
+        f"{sources['resume']} resumed"
+    )
+    if view.done is not None:
+        lines.append(
+            "run finished: {} hit(s), {} miss(es) in {:.1f} s".format(
+                view.done.get("hits", 0), view.done.get("misses", 0),
+                view.done.get("elapsed_s", 0.0),
+            )
+        )
+    return "\n".join(lines)
+
+
+def watch(path: str, interval: float = 1.0, once: bool = False,
+          stream: Optional[TextIO] = None,
+          max_frames: Optional[int] = None) -> int:
+    """Tail ``path`` and re-render until the run records ``done``.
+
+    ``once`` renders a single frame (scripting/CI); ``max_frames``
+    bounds the loop for tests.  Returns 0 when the run completed, 1
+    when watching stopped without a completed run.
+    """
+    out = stream if stream is not None else sys.stdout
+    frames = 0
+    last_frame = None
+    while True:
+        view = read_run(path)
+        frame = render(view)
+        if frame != last_frame:
+            out.write(frame + "\n\n")
+            out.flush()
+            last_frame = frame
+        frames += 1
+        if view.done is not None:
+            return 0
+        if once or (max_frames is not None and frames >= max_frames):
+            return 1
+        time.sleep(interval)

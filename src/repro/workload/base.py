@@ -18,7 +18,18 @@ __all__ = ["PoissonArrivals", "Workload"]
 
 @runtime_checkable
 class Workload(Protocol):
-    """Protocol for SOURCE components."""
+    """Protocol for SOURCE components.
+
+    A workload that wants its sweep points to be cacheable by the
+    incremental experiment store should additionally expose
+    ``fingerprint_data() -> dict`` returning exactly its
+    simulation-determining parameters (constructor arguments, not
+    mutable generation counters); see :mod:`repro.core.fingerprint`.
+    Workloads without it fall back to a walk of their public attributes,
+    and workloads that cannot be fingerprinted at all are simply
+    recomputed on every run (never cached) — caching is strictly
+    opt-in-by-representation, never wrong.
+    """
 
     def start(self, system) -> None:
         """Spawn arrival processes on ``system`` (a TransactionSystem)."""

@@ -115,6 +115,23 @@ class DebitCreditWorkload:
         self._history_objects = 10_000_000
         self._tx_counter = 0
 
+    def fingerprint_data(self) -> dict:
+        """Simulation-determining parameters for the point cache.
+
+        Only constructor parameters: the mutable generation state
+        (history cursor, transaction counter) is reset per run and must
+        not distinguish a fresh workload from a used one.
+        """
+        return {
+            "arrival_rate": self.arrival_rate,
+            "num_branches": self.num_branches,
+            "tellers_per_branch": self.tellers_per_branch,
+            "accounts_per_branch": self.accounts_per_branch,
+            "account_block_factor": self.account_block_factor,
+            "history_block_factor": self.history_block_factor,
+            "home_account_probability": self.home_account_probability,
+        }
+
     # -- record selection ------------------------------------------------
     def _pick_account(self, streams, branch: int) -> int:
         if streams.bernoulli("dc-home", self.home_account_probability) or \

@@ -89,6 +89,12 @@ class SyntheticWorkload:
         }
         self._tx_counter = 0
 
+    def fingerprint_data(self) -> dict:
+        """Point-cache identity: the config fully describes this source
+        (partitions, tx types, rates); samplers and counters derive
+        from it."""
+        return {"config": self.config}
+
     # -- transaction construction ------------------------------------------
     def _tx_size(self, streams, tx_type: TransactionTypeConfig) -> int:
         if tx_type.var_size:

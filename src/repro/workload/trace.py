@@ -107,6 +107,23 @@ class Trace:
         return cls(files, type_names, tx_types, offsets, file_ids, pages,
                    writes)
 
+    def fingerprint_data(self) -> dict:
+        """Point-cache identity: file table, type table and content
+        digests of the columnar arrays (hashing the raw column bytes is
+        exact and avoids materializing a million-access trace as JSON).
+        """
+        return {
+            "files": self.files,
+            "type_names": list(self.type_names),
+            "columns": {
+                "tx_types": self.tx_types,
+                "offsets": self.offsets,
+                "file_ids": self.file_ids,
+                "pages": self.pages,
+                "writes": self.writes,
+            },
+        }
+
     # -- access ------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.tx_types)
@@ -266,6 +283,17 @@ class TraceWorkload:
         self.loop = loop
         self.submitted = 0
         self._tx_counter = 0
+
+    def fingerprint_data(self) -> dict:
+        """Point-cache identity: replay parameters plus the trace
+        content (``submitted``/counters are per-run state)."""
+        return {
+            "trace": self.trace,
+            "arrival_rate": self.arrival_rate,
+            "per_type_rates": self.per_type_rates,
+            "limit": self.limit,
+            "loop": self.loop,
+        }
 
     def _to_transaction(self, ttx: TraceTransaction) -> Transaction:
         refs = [

@@ -1,0 +1,160 @@
+"""Canonical fingerprint tests: stability, sensitivity, and the
+uncacheable contract.
+
+The cache's whole safety argument rests on two properties of
+:mod:`repro.core.fingerprint`: equal simulation inputs hash equal
+(stability — otherwise the cache is useless) and different simulation
+inputs hash different (sensitivity — otherwise the cache is *wrong*).
+These tests pin both, plus the escape hatch: anything without a stable
+representation raises :class:`FingerprintError` instead of guessing.
+"""
+
+import dataclasses
+import enum
+
+import pytest
+
+from repro.core import fingerprint as fp
+from repro.core.fingerprint import (
+    FingerprintError,
+    canonical_data,
+    canonical_json,
+    code_version_salt,
+    point_fingerprint,
+)
+from repro.workload.debit_credit import DebitCreditWorkload
+from tests.experiments.conftest import tiny_config
+
+
+class Color(enum.Enum):
+    RED = 1
+    BLUE = 2
+
+
+@dataclasses.dataclass
+class Leaf:
+    name: str
+    value: float
+
+
+class TestStability:
+    def test_equal_inputs_equal_fingerprints(self):
+        a = {"config": Leaf("x", 1.5), "seed": 3, "mode": Color.RED}
+        b = {"config": Leaf("x", 1.5), "seed": 3, "mode": Color.RED}
+        assert fp.fingerprint(a) == fp.fingerprint(b)
+
+    def test_mapping_insertion_order_irrelevant(self):
+        assert fp.fingerprint({"a": 1, "b": 2}) == \
+            fp.fingerprint({"b": 2, "a": 1})
+
+    def test_set_iteration_order_irrelevant(self):
+        assert fp.fingerprint({"s": {3, 1, 2}}) == \
+            fp.fingerprint({"s": {2, 3, 1}})
+
+    def test_list_order_significant(self):
+        assert fp.fingerprint([1, 2]) != fp.fingerprint([2, 1])
+
+    def test_system_config_fingerprint_stable(self):
+        assert tiny_config().fingerprint() == tiny_config().fingerprint()
+
+    def test_workload_counters_excluded(self):
+        """A half-used workload fingerprints like a fresh one: only
+        constructor parameters are simulation inputs."""
+        fresh = DebitCreditWorkload(arrival_rate=50)
+        used = DebitCreditWorkload(arrival_rate=50)
+        used._tx_counter = 999
+        used._history_cursor = 17
+        assert fp.fingerprint(fresh) == fp.fingerprint(used)
+
+    def test_no_repr_or_id_leakage(self):
+        """Two structurally equal objects at different addresses hash
+        equal — the canonical form never uses id()/repr()."""
+        assert canonical_json(Leaf("n", 2.0)) == canonical_json(Leaf("n", 2.0))
+
+
+class TestSensitivity:
+    def test_dataclass_field_change(self):
+        assert fp.fingerprint(Leaf("x", 1.0)) != fp.fingerprint(Leaf("x", 2.0))
+
+    def test_enum_member_change(self):
+        assert fp.fingerprint(Color.RED) != fp.fingerprint(Color.BLUE)
+
+    def test_config_change_changes_system_fingerprint(self):
+        a = tiny_config()
+        b = tiny_config()
+        b.cm.mpl += 1
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_workload_parameter_change(self):
+        assert fp.fingerprint(DebitCreditWorkload(arrival_rate=50)) != \
+            fp.fingerprint(DebitCreditWorkload(arrival_rate=60))
+
+    def test_point_seed_in_key(self):
+        """--seed N must never be served a default-seed cache entry."""
+        config = tiny_config()
+        workload = DebitCreditWorkload(arrival_rate=50)
+        assert point_fingerprint(config, workload, 0.5, 1.0, seed=1) != \
+            point_fingerprint(config, workload, 0.5, 1.0, seed=7)
+
+    def test_run_window_in_key(self):
+        config = tiny_config()
+        workload = DebitCreditWorkload(arrival_rate=50)
+        base = point_fingerprint(config, workload, 0.5, 1.0, seed=1)
+        assert point_fingerprint(config, workload, 0.5, 2.0, seed=1) != base
+        assert point_fingerprint(config, workload, 0.2, 1.0, seed=1) != base
+
+    def test_salt_in_key(self, monkeypatch):
+        config = tiny_config()
+        workload = DebitCreditWorkload(arrival_rate=50)
+        base = point_fingerprint(config, workload, 0.5, 1.0, seed=1)
+        monkeypatch.setenv("REPRO_CACHE_SALT", "other-code-version")
+        assert point_fingerprint(config, workload, 0.5, 1.0, seed=1) != base
+
+    def test_bool_and_int_keys_distinct(self):
+        """JSON-normalized mapping keys must not merge 1 and True."""
+        assert fp.fingerprint({1: "a"}) != fp.fingerprint({True: "a"})
+
+
+class TestSalt:
+    def test_salt_cached_and_hexlike(self):
+        salt = code_version_salt()
+        assert salt == code_version_salt()
+        assert len(salt) == 64
+        int(salt, 16)
+
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_SALT", "pinned")
+        assert code_version_salt() == "pinned"
+
+
+class TestUncacheable:
+    def test_callable_attribute_rejected(self):
+        class Holder:
+            def __init__(self):
+                self.fn = lambda: 1
+
+        with pytest.raises(FingerprintError):
+            canonical_data(Holder())
+
+    def test_unrepresentable_object_rejected(self):
+        with pytest.raises(FingerprintError):
+            canonical_data(object())
+
+    def test_non_scalar_mapping_key_rejected(self):
+        with pytest.raises(FingerprintError):
+            canonical_data({(1, 2): "tuple key"})
+
+    def test_key_collision_after_normalization_rejected(self):
+        with pytest.raises(FingerprintError):
+            canonical_data({"1": "str", 1: "int"})
+
+    def test_fingerprint_data_hook_wins_over_attrs(self):
+        class Hooked:
+            def __init__(self):
+                self.fn = lambda: 1  # would be rejected by the fallback
+
+            def fingerprint_data(self):
+                return {"stable": 42}
+
+        data = canonical_data(Hooked())
+        assert data["data"] == {"stable": 42}

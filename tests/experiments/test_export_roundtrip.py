@@ -102,11 +102,54 @@ class TestResultsRoundTrip:
         assert restored.restart_time_mean == 12.5
 
 
+def recovery_experiment() -> ExperimentResult:
+    """A mixed experiment: one recovery-enabled point, one without."""
+    enabled = fake_results(0.02)
+    enabled.recovery = {"crashes": 2.0, "downtime": 7.5,
+                        "availability": 0.925,
+                        "restart_time_mean": 3.75}
+    result = ExperimentResult("FigR", "restart", "interval", "s")
+    result.series = [Series("disk", points=[SeriesPoint(5, enabled),
+                                            SeriesPoint(10, fake_results())])]
+    return result
+
+
 class TestExperimentRoundTrip:
     def test_dict_round_trip_equal(self):
         original = sample_experiment()
         restored = experiment_from_dict(experiment_to_dict(original))
         assert restored == original
+
+    def test_recovery_dict_round_trips_through_experiment_json(self):
+        """The optional Results.recovery block survives the full
+        experiment_to_dict -> JSON -> experiment_from_dict trip (the
+        path every cached/exported fig_restart point takes)."""
+        original = recovery_experiment()
+        restored = experiment_from_dict(
+            json.loads(json.dumps(experiment_to_dict(original)))
+        )
+        assert restored == original
+        first, second = restored.series[0].points
+        assert first.results.recovery == {"crashes": 2.0, "downtime": 7.5,
+                                          "availability": 0.925,
+                                          "restart_time_mean": 3.75}
+        assert first.results.availability == 0.925
+        assert second.results.recovery is None
+
+    def test_recovery_dict_round_trips_through_files(self, tmp_path):
+        original = recovery_experiment()
+        json_path = str(tmp_path / "r.json")
+        write_json(original, json_path)
+        assert read_json(json_path) == original
+        csv_path = str(tmp_path / "r.csv")
+        write_csv(original, csv_path)
+        with open(csv_path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert float(rows[0]["availability"]) == 0.925
+        assert float(rows[0]["restart_time_s"]) == 3.75
+        # Recovery-disabled row: perfect uptime, zero restart.
+        assert float(rows[1]["availability"]) == 1.0
+        assert float(rows[1]["restart_time_s"]) == 0.0
 
     def test_json_file_round_trip(self, tmp_path):
         path = str(tmp_path / "out.json")

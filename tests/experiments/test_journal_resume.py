@@ -1,0 +1,181 @@
+"""Checkpoint-journal and --resume tests.
+
+An interrupted run must leave a journal that (a) parses even with a
+torn final line, (b) resumes only under the same run key, and (c)
+yields byte-identical output when the remainder is recomputed.
+``repro watch`` renders the same journal, so its pure renderer is
+covered here too.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.experiments.api import ExperimentRunner
+from repro.experiments.export import experiment_to_dict
+from repro.experiments.journal import (
+    JOURNAL_VERSION,
+    RunJournal,
+    find_latest_journal,
+    read_run,
+)
+from repro.experiments.store import ResultStore
+from repro.experiments.watch import render, watch
+
+
+def canonical(result) -> str:
+    return json.dumps(experiment_to_dict(result), sort_keys=True,
+                      separators=(",", ":"))
+
+
+class TestJournalFile:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        journal = RunJournal(path)
+        journal.start({"run_key": "k", "total_points": 2,
+                       "per_experiment": {"e": 2}})
+        journal.record_point({"experiment": "e", "x": 1.0,
+                              "fingerprint": "f1", "source": "computed"})
+        journal.finish({"hits": 0, "misses": 1})
+        view = read_run(path)
+        assert view.header["run_key"] == "k"
+        assert view.header["version"] == JOURNAL_VERSION
+        assert [p["fingerprint"] for p in view.points] == ["f1"]
+        assert view.done["misses"] == 1
+        assert view.total_points == 2
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(str(path))
+        journal.start({"run_key": "k", "total_points": 3})
+        journal.record_point({"experiment": "e", "fingerprint": "f1"})
+        journal.record_point({"experiment": "e", "fingerprint": "f2"})
+        journal.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "point", "fingerprint": "f3", "resu')
+        view = read_run(str(path))
+        assert [p["fingerprint"] for p in view.points] == ["f1", "f2"]
+        assert view.done is None
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        view = read_run(str(tmp_path / "absent.jsonl"))
+        assert view.header is None
+        assert view.points == []
+
+    def test_resume_requires_matching_run_key(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        journal = RunJournal(path)
+        journal.start({"run_key": "k1", "total_points": 1})
+        journal.close()
+        assert RunJournal(path).load_for_resume("k1") is not None
+        assert RunJournal(path).load_for_resume("k2") is None
+
+    def test_latest_marker(self, tmp_path):
+        journal = RunJournal(str(tmp_path / "a.jsonl"))
+        journal.start({"run_key": "k"})
+        journal.close()
+        assert find_latest_journal(str(tmp_path)) == \
+            str(tmp_path / "a.jsonl")
+        # A stale marker falls back to the newest *.jsonl on disk.
+        (tmp_path / "LATEST").write_text("gone.jsonl\n", encoding="utf-8")
+        assert find_latest_journal(str(tmp_path)) == \
+            str(tmp_path / "a.jsonl")
+
+
+class TestResume:
+    def run_cold(self, spec, tmp_path):
+        store = ResultStore(str(tmp_path))
+        runner = ExperimentRunner(store=store, journal=True)
+        result = runner.run_one(spec, profile="full")
+        return store, runner, result
+
+    def test_resume_reloads_completed_points(self, tiny_spec, tmp_path):
+        store, cold_runner, cold = self.run_cold(tiny_spec, tmp_path)
+        journal_path = cold_runner.last_journal_path
+        assert journal_path is not None
+        # Wipe the point store: resume must work from the journal alone.
+        store.clear()
+        runner = ExperimentRunner(store=ResultStore(str(tmp_path)),
+                                  resume=True)
+        resumed = runner.run_one(tiny_spec, profile="full")
+        assert canonical(resumed) == canonical(cold)
+        stats = runner.last_stats
+        assert stats.resumed == stats.total
+        assert stats.misses == stats.hits == 0
+
+    def test_partial_journal_recomputes_remainder(self, tiny_spec,
+                                                  tmp_path):
+        store, cold_runner, cold = self.run_cold(tiny_spec, tmp_path)
+        journal_path = cold_runner.last_journal_path
+        # Simulate an interrupt: keep header + the first point line only.
+        lines = open(journal_path, encoding="utf-8").read().splitlines()
+        point_lines = [ln for ln in lines
+                       if '"type":"point"' in ln or
+                       '"type": "point"' in ln]
+        header_line = lines[0]
+        with open(journal_path, "w", encoding="utf-8") as fh:
+            fh.write(header_line + "\n" + point_lines[0] + "\n")
+        store.clear()
+        runner = ExperimentRunner(store=ResultStore(str(tmp_path)),
+                                  resume=True)
+        resumed = runner.run_one(tiny_spec, profile="full")
+        assert canonical(resumed) == canonical(cold)
+        stats = runner.last_stats
+        assert stats.resumed >= 1
+        assert stats.resumed < stats.total
+        assert stats.misses >= 1
+
+    def test_mismatched_run_key_starts_fresh(self, tiny_spec, tmp_path):
+        store, cold_runner, cold = self.run_cold(tiny_spec, tmp_path)
+        # A seed override changes the run key: nothing may be resumed
+        # from the default-seed journal (explicit path forces the clash).
+        runner = ExperimentRunner(store=ResultStore(str(tmp_path)),
+                                  journal=cold_runner.last_journal_path,
+                                  resume=True, seed=7)
+        result = runner.run_one(tiny_spec, profile="full")
+        assert runner.last_stats.resumed == 0
+        assert canonical(result) != canonical(cold)
+
+
+class TestWatchRenderer:
+    def journal_view(self, tmp_path, finish=False):
+        path = str(tmp_path / "run.jsonl")
+        journal = RunJournal(path)
+        journal.start({"run_key": "cafebabe" * 8, "profile": "fast",
+                       "seed": None, "total_points": 4,
+                       "per_experiment": {"fig_a": 2, "fig_b": 2}})
+        journal.record_point({"experiment": "fig_a", "x": 50.0,
+                              "source": "computed", "response_ms": 41.5,
+                              "saturated": False, "fingerprint": "f1"})
+        journal.record_point({"experiment": "fig_a", "x": 200.0,
+                              "source": "cache", "response_ms": 97.1,
+                              "saturated": True, "fingerprint": "f2"})
+        if finish:
+            journal.finish({"hits": 1, "misses": 1, "elapsed_s": 2.5})
+        else:
+            journal.close()
+        return path
+
+    def test_render_progress_frame(self, tmp_path):
+        frame = render(read_run(self.journal_view(tmp_path)))
+        assert "profile=fast" in frame
+        assert "fig_a" in frame and "fig_b" in frame
+        assert "2/2" in frame and "0/2" in frame
+        assert "last x=200" in frame
+        assert "[cache]" in frame and "*saturated" in frame
+        assert "total 2/4 (50%)" in frame
+        assert "1 computed, 1 cached, 0 resumed" in frame
+
+    def test_render_headerless_journal(self, tmp_path):
+        frame = render(read_run(str(tmp_path / "absent.jsonl")))
+        assert "waiting for a run" in frame
+
+    def test_watch_once_exit_codes(self, tmp_path):
+        unfinished = self.journal_view(tmp_path)
+        out = io.StringIO()
+        assert watch(unfinished, once=True, stream=out) == 1
+        finished = self.journal_view(tmp_path, finish=True)
+        out = io.StringIO()
+        assert watch(finished, once=True, stream=out) == 0
+        assert "run finished: 1 hit(s)" in out.getvalue()

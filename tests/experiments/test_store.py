@@ -1,0 +1,146 @@
+"""ResultStore tests: exact round-trips, corruption tolerance, and
+maintenance (stats/gc/clear).
+
+The store may only ever do two things: return *exactly* what was put
+under a fingerprint, or miss.  Every failure mode (torn file, foreign
+format, renamed entry) must land on the miss side.
+"""
+
+import json
+import os
+
+from repro.experiments.store import STORE_FORMAT, ResultStore, \
+    default_cache_dir
+from tests.experiments.test_harness import fake_results
+
+FP_A = "aa" + "0" * 62
+FP_B = "bb" + "1" * 62
+
+
+def rich_results():
+    r = fake_results(0.02)
+    r.response_by_type = {"debit": 0.02, "query": 0.05}
+    r.recovery = {"crashes": 2.0, "downtime": 3.5, "availability": 0.9,
+                  "restart_time_mean": 1.75}
+    return r
+
+
+class TestRoundTrip:
+    def test_put_get_equal(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        original = rich_results()
+        store.put(FP_A, original)
+        assert store.get(FP_A) == original
+
+    def test_recovery_dict_survives(self, tmp_path):
+        """The optional recovery block (fig_restart/ablation points)
+        round-trips through the store like every other field."""
+        store = ResultStore(str(tmp_path))
+        store.put(FP_A, rich_results())
+        restored = store.get(FP_A)
+        assert restored.recovery == {"crashes": 2.0, "downtime": 3.5,
+                                     "availability": 0.9,
+                                     "restart_time_mean": 1.75}
+        assert restored.availability == 0.9
+
+    def test_float_exactness(self, tmp_path):
+        """JSON shortest-repr round-trip: stored floats are bit-equal,
+        which is what keeps cached figures byte-identical."""
+        store = ResultStore(str(tmp_path))
+        original = fake_results(0.1 + 0.2)  # 0.30000000000000004
+        store.put(FP_A, original)
+        restored = store.get(FP_A)
+        assert restored.response_time_mean == original.response_time_mean
+        assert restored == original
+
+    def test_contains_and_counters(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        assert FP_A not in store
+        assert store.get(FP_A) is None
+        store.put(FP_A, fake_results())
+        assert FP_A in store
+        assert store.get(FP_A) is not None
+        assert (store.hits, store.misses, store.writes) == (1, 1, 1)
+
+
+class TestMissSemantics:
+    def test_torn_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put(FP_A, fake_results())
+        path = store._path(FP_A)
+        path.write_text(path.read_text()[:20], encoding="utf-8")
+        assert store.get(FP_A) is None
+
+    def test_foreign_format_is_a_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put(FP_A, fake_results())
+        path = store._path(FP_A)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["format"] = STORE_FORMAT + 1
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert store.get(FP_A) is None
+
+    def test_renamed_entry_is_a_miss(self, tmp_path):
+        """An entry whose embedded fingerprint mismatches its file name
+        (manual copy, collision) is never served."""
+        store = ResultStore(str(tmp_path))
+        store.put(FP_A, fake_results())
+        dst = store._path(FP_B)
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(store._path(FP_A), dst)
+        assert store.get(FP_B) is None
+
+    def test_no_tmp_droppings_after_put(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put(FP_A, fake_results())
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
+
+
+class TestMaintenance:
+    def test_stats(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put(FP_A, fake_results())
+        store.put(FP_B, fake_results())
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["bytes"] > 0
+        assert stats["session"]["writes"] == 2
+
+    def test_gc_by_age(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put(FP_A, fake_results())
+        store.put(FP_B, fake_results())
+        old = store._path(FP_A)
+        os.utime(old, (0, 0))  # epoch: ancient
+        report = store.gc(max_age_days=1)
+        assert report["removed"] == 1
+        assert store.get(FP_A) is None
+        assert store.get(FP_B) is not None
+
+    def test_gc_by_size_evicts_oldest_first(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put(FP_A, fake_results())
+        store.put(FP_B, fake_results())
+        os.utime(store._path(FP_A), (0, 0))
+        report = store.gc(max_bytes=store.stats()["bytes"] // 2)
+        assert report["removed"] >= 1
+        assert store.get(FP_A) is None  # oldest went first
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put(FP_A, fake_results())
+        store.put(FP_B, fake_results())
+        assert store.clear() == 2
+        assert store.stats()["entries"] == 0
+
+
+class TestDefaultLocation:
+    def test_env_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/explicit")
+        monkeypatch.setenv("XDG_CACHE_HOME", "/xdg")
+        assert default_cache_dir() == "/explicit"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert default_cache_dir() == os.path.join("/xdg", "repro")
+        monkeypatch.delenv("XDG_CACHE_HOME")
+        assert default_cache_dir().endswith(os.path.join(".cache", "repro"))

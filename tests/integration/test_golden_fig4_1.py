@@ -28,17 +28,54 @@ GOLDEN_SHA256 = \
     "ed08aabf3ec4573163644e1c7e86790698ab027a3edcf72b151411475537272c"
 
 
+def _digest(result) -> str:
+    payload = json.dumps(experiment_to_dict(result), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+GOLDEN_MESSAGE = (
+    "fig4_1 fast output changed: the simulation trajectory is no "
+    "longer bit-identical to the pinned baseline. If this change "
+    "is intentional (a behavioural fix, a new model feature), "
+    "update GOLDEN_SHA256; if it comes from a performance "
+    "refactor, the refactor broke the determinism contract."
+)
+
+
 @pytest.mark.slow
 def test_fig4_1_fast_output_checksum_is_pinned():
     result = ExperimentRunner().run_one(get_experiment("fig4_1"),
                                         profile="fast")
-    payload = json.dumps(experiment_to_dict(result), sort_keys=True,
-                         separators=(",", ":"))
-    digest = hashlib.sha256(payload.encode()).hexdigest()
-    assert digest == GOLDEN_SHA256, (
-        "fig4_1 fast output changed: the simulation trajectory is no "
-        "longer bit-identical to the pinned baseline. If this change "
-        "is intentional (a behavioural fix, a new model feature), "
-        "update GOLDEN_SHA256; if it comes from a performance "
-        "refactor, the refactor broke the determinism contract."
-    )
+    assert _digest(result) == GOLDEN_SHA256, GOLDEN_MESSAGE
+
+
+@pytest.mark.slow
+def test_fig4_1_checksum_pinned_under_cache_and_resume(tmp_path):
+    """The result cache may never perturb a figure: the pinned golden
+    checksum must hold on the cache-miss (cold), cache-hit (warm) and
+    --resume paths exactly as on the plain serial path."""
+    from repro.experiments.store import ResultStore
+
+    store = ResultStore(str(tmp_path))
+    spec = get_experiment("fig4_1")
+
+    cold_runner = ExperimentRunner(store=store, journal=True)
+    cold = cold_runner.run_one(spec, profile="fast")
+    assert _digest(cold) == GOLDEN_SHA256, "cache-miss: " + GOLDEN_MESSAGE
+    assert cold_runner.last_stats.hits == 0
+
+    warm_runner = ExperimentRunner(store=store)
+    warm = warm_runner.run_one(spec, profile="fast")
+    assert _digest(warm) == GOLDEN_SHA256, "cache-hit: " + GOLDEN_MESSAGE
+    assert warm_runner.last_stats.hits == warm_runner.last_stats.total
+
+    # Resume from the cold run's journal with the point store wiped:
+    # every point reloads from the checkpoint, none recompute.
+    store.clear()
+    resume_runner = ExperimentRunner(store=ResultStore(str(tmp_path)),
+                                     resume=True)
+    resumed = resume_runner.run_one(spec, profile="fast")
+    assert _digest(resumed) == GOLDEN_SHA256, "--resume: " + GOLDEN_MESSAGE
+    assert resume_runner.last_stats.resumed == \
+        resume_runner.last_stats.total

@@ -198,6 +198,140 @@ class TestExperimentSeedOverride:
         assert explicit == default
 
 
+class TestExperimentCacheFlags:
+    def _run(self, capsys, *extra):
+        code = main(["experiment", "run", "_cli_tiny",
+                     "--profile", "fast", *extra])
+        assert code == 0
+        return capsys.readouterr()
+
+    def test_cache_cold_then_warm(self, tiny_registered, tmp_path,
+                                  capsys):
+        cache = str(tmp_path / "cache")
+        cold = self._run(capsys, "--cache", "--cache-dir", cache)
+        assert "miss(es)" in cold.err
+        assert "0 hit(s)" in cold.err
+        warm = self._run(capsys, "--cache", "--cache-dir", cache)
+        assert "100.0% hit rate" in warm.err
+        assert warm.out == cold.out
+
+    def test_cache_dir_implies_cache(self, tiny_registered, tmp_path,
+                                     capsys):
+        cache = str(tmp_path / "cache")
+        first = self._run(capsys, "--cache-dir", cache)
+        assert "cache:" in first.err
+        assert os.path.isdir(os.path.join(cache, "points"))
+
+    def test_no_cache_conflicts_with_cache(self, tiny_registered,
+                                           capsys):
+        code = main(["experiment", "run", "_cli_tiny",
+                     "--profile", "fast", "--cache", "--no-cache"])
+        assert code == 2
+        assert "--no-cache" in capsys.readouterr().err
+
+    def test_no_cache_overrides_env_default(self, tiny_registered,
+                                            tmp_path, capsys,
+                                            monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        out = self._run(capsys, "--no-cache")
+        assert "cache:" not in out.err
+        assert not os.path.exists(str(tmp_path / "cache"))
+
+    def test_cache_stats_file(self, tiny_registered, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        stats_path = str(tmp_path / "stats.json")
+        self._run(capsys, "--cache", "--cache-dir", cache,
+                  "--cache-stats", stats_path)
+        with open(stats_path) as fh:
+            stats = json.load(fh)
+        assert stats["total"] > 0
+        assert stats["hits"] == 0
+        assert stats["misses"] >= 1
+
+    def test_resume_reports_resumed_points(self, tiny_registered,
+                                           tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        first = self._run(capsys, "--cache", "--cache-dir", cache)
+        # The resume overlay is consulted before the point store, so
+        # the rerun reports resumed points rather than cache hits.
+        resumed = self._run(capsys, "--resume", "--cache-dir", cache)
+        assert "2 resumed" in resumed.err
+        assert resumed.out == first.out
+
+    def test_explicit_journal_path(self, tiny_registered, tmp_path,
+                                   capsys):
+        cache = str(tmp_path / "cache")
+        journal = str(tmp_path / "my-run.jsonl")
+        run = self._run(capsys, "--cache", "--cache-dir", cache,
+                        "--journal", journal)
+        assert os.path.exists(journal)
+        assert f"journal: {journal}" in run.err
+
+
+class TestCacheCommand:
+    def warmed_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["experiment", "run", "_cli_tiny", "--profile",
+                     "fast", "--cache", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        return cache
+
+    def test_stats(self, tiny_registered, tmp_path, capsys):
+        cache = self.warmed_cache(tmp_path, capsys)
+        code = main(["cache", "--cache-dir", cache, "stats"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "entries    : 1" in out
+
+    def test_stats_json(self, tiny_registered, tmp_path, capsys):
+        cache = self.warmed_cache(tmp_path, capsys)
+        code = main(["cache", "--cache-dir", cache, "stats", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["entries"] == 1
+
+    def test_gc_and_clear(self, tiny_registered, tmp_path, capsys):
+        cache = self.warmed_cache(tmp_path, capsys)
+        code = main(["cache", "--cache-dir", cache, "gc",
+                     "--max-age-days", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "kept 1" in out
+        code = main(["cache", "--cache-dir", cache, "clear"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "removed 1" in out
+
+    def test_stats_on_empty_cache(self, tmp_path, capsys):
+        code = main(["cache", "--cache-dir",
+                     str(tmp_path / "nothing"), "stats"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "entries    : 0" in out
+
+
+class TestWatchCommand:
+    def test_watch_once_after_run(self, tiny_registered, tmp_path,
+                                  capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["experiment", "run", "_cli_tiny", "--profile",
+                     "fast", "--cache", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        code = main(["watch", "--once", "--cache-dir", cache])
+        out = capsys.readouterr().out
+        assert code == 0  # run finished -> exit 0
+        assert "_cli_tiny" in out
+        assert "run finished" in out
+
+    def test_watch_no_journal(self, tmp_path, capsys):
+        code = main(["watch", "--once", "--cache-dir",
+                     str(tmp_path / "empty")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no run journals" in captured.err
+
+
 class TestRecoveryCommand:
     def test_runs_and_compares_with_analytic_model(self, capsys):
         code = main(["recovery", "--rate", "20", "--interval", "4",
