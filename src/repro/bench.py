@@ -247,6 +247,28 @@ def bench_restart_replay(redo_pages: int = 1200,
     return redo_pages + log_pages
 
 
+def bench_cluster_2pc_commit() -> int:
+    """A 2-node sharded cluster committing through presumed-abort 2PC.
+
+    Half the transactions touch a remote account, so every timed call
+    exercises the full distributed path: work shipping over the
+    message bus, participant prepare forces, GEM decision mirroring
+    and the decision/commit fan-out — on top of the per-node
+    single-system stack the other benchmarks cover.
+    """
+    from repro.cluster import cluster_config, node_scheme
+    from repro.cluster.workload import ShardedDebitCreditWorkload
+
+    config = cluster_config(scheme=node_scheme(log="nvem"), num_nodes=2)
+    workload = ShardedDebitCreditWorkload.for_cluster(
+        config, arrival_rate_per_node=100.0, distributed_fraction=0.5)
+    system = config.build_system(workload, seed=1)
+    results = system.run(warmup=0.5, duration=1.0)
+    assert results.committed > 100
+    assert results.cluster["distributed_commits"] > 20
+    return results.committed
+
+
 def bench_fig4_1_fast_sweep() -> int:
     """The registry-driven fig4_1 fast sweep, serial, end to end."""
     from repro.experiments.api import ExperimentRunner, get_experiment
@@ -317,6 +339,9 @@ WORKLOADS = {
     "restart_replay": (
         bench_restart_replay,
         "crash restart: 600-page log scan + 1200-page redo on disks"),
+    "cluster_2pc_commit": (
+        bench_cluster_2pc_commit,
+        "1 s of 2-node sharded Debit-Credit, 50% distributed via 2PC"),
     "fig4_1_fast_sweep": (
         bench_fig4_1_fast_sweep,
         "fig4_1 fast profile through the experiment registry"),

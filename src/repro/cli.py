@@ -201,6 +201,38 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="use the FORCE update strategy")
     rec.add_argument("--seed", type=int, default=1)
 
+    clu = sub.add_parser(
+        "cluster",
+        help="run one sharded multi-node Debit-Credit simulation with "
+             "two-phase commit (optionally crashing a node)",
+    )
+    clu.add_argument("--nodes", type=int, default=4,
+                     help="number of computing modules (default: 4)")
+    clu.add_argument("--log", choices=("nvem", "disk"), default="nvem",
+                     help="per-node log placement (default: nvem)")
+    clu.add_argument("--rate", type=float, default=50.0,
+                     help="arrival rate per node in TPS (default: 50)")
+    clu.add_argument("--dist", type=float, default=0.15,
+                     help="fraction of transactions touching a remote "
+                          "account, committed via 2PC (default: 0.15)")
+    clu.add_argument("--mpl", type=int, default=60,
+                     help="multiprogramming level per node (default: 60)")
+    clu.add_argument("--crash-at", type=float, default=None,
+                     help="crash a node at this simulated instant "
+                          "(in-doubt pieces resolve via GEM failover)")
+    clu.add_argument("--crash-node", type=int, default=0,
+                     help="node crashed by --crash-at (default: 0)")
+    clu.add_argument("--failover-delay", type=float, default=0.25,
+                     help="GEM failover delay in s (default: 0.25)")
+    clu.add_argument("--interval", type=float, default=10.0,
+                     help="per-node fuzzy-checkpoint interval in s "
+                          "(default: 10)")
+    clu.add_argument("--duration", type=float, default=10.0,
+                     help="measured simulated seconds (default: 10)")
+    clu.add_argument("--warmup", type=float, default=3.0,
+                     help="warm-up simulated seconds (default: 3)")
+    clu.add_argument("--seed", type=int, default=1)
+
     sub.add_parser("registry",
                    help="list registered device kinds and replacement "
                         "policies")
@@ -494,6 +526,62 @@ def _cmd_recovery(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    """Run one cluster simulation and report the 2PC/cost numbers."""
+    from repro.cluster import cluster_config, node_scheme
+    from repro.cluster.workload import ShardedDebitCreditWorkload
+
+    if args.nodes < 1:
+        print(f"error: --nodes must be >= 1, got {args.nodes}",
+              file=sys.stderr)
+        return 2
+    if not 0.0 <= args.dist <= 1.0:
+        print(f"error: --dist must be in [0, 1], got {args.dist:g}",
+              file=sys.stderr)
+        return 2
+    crash_schedule = ()
+    if args.crash_at is not None:
+        if args.crash_at <= args.warmup:
+            print("error: the crash must fall inside the measured "
+                  f"window (crash at {args.crash_at:g} s <= warmup "
+                  f"{args.warmup:g} s)", file=sys.stderr)
+            return 2
+        if not 0 <= args.crash_node < args.nodes:
+            print(f"error: --crash-node {args.crash_node} out of range "
+                  f"for {args.nodes} node(s)", file=sys.stderr)
+            return 2
+        crash_schedule = ((args.crash_node, args.crash_at),)
+    config = cluster_config(
+        scheme=node_scheme(log=args.log),
+        num_nodes=args.nodes,
+        mpl=args.mpl,
+        gem_failover_delay=args.failover_delay,
+        crash_schedule=crash_schedule,
+        checkpoint_interval=args.interval,
+        seed=args.seed,
+    )
+    workload = ShardedDebitCreditWorkload.for_cluster(
+        config, arrival_rate_per_node=args.rate,
+        distributed_fraction=args.dist,
+    )
+    system = config.build_system(workload, seed=args.seed)
+    results = system.run(warmup=args.warmup, duration=args.duration)
+    print(f"nodes={args.nodes} log={args.log} rate={args.rate:g} "
+          f"TPS/node dist={args.dist:g}")
+    print(results.summary())
+    for share in system.node_results():
+        print(f"  node {share.node_id}: {share.committed} committed, "
+              f"cpu {share.cpu_utilization * 100:5.1f} %")
+    messages = system.message_stats()
+    if messages.get("messages"):
+        pairs = ", ".join(f"{kind}={count}" for kind, count in
+                          sorted(messages.items()) if kind != "messages")
+        print(f"  messages: {messages['messages']} ({pairs})")
+    for node_id, stats in system.faults.restarts:
+        print(f"  node {node_id} " + stats.summary())
+    return 0
+
+
 def _cmd_trace_gen(args) -> int:
     from repro.workload.trace import write_trace
     from repro.workload.tracegen import RealWorkloadProfile, generate_trace
@@ -633,6 +721,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cache": _cmd_cache,
         "watch": _cmd_watch,
         "recovery": _cmd_recovery,
+        "cluster": _cmd_cluster,
         "registry": _cmd_registry,
         "bench": _cmd_bench,
         "trace-gen": _cmd_trace_gen,

@@ -1,0 +1,39 @@
+"""Sharded multi-node transaction processing (§2, [Ra91]/[Ra92]).
+
+The paper's workload-allocation argument assumes the Debit-Credit
+database can be sharded across loosely coupled computing modules with
+distributed transactions committing via two-phase commit.  This
+package simulates exactly that: ``num_nodes`` complete single-node
+TPSIM stacks (own devices, buffer, lock table, log) over disjoint
+branch shards, presumed-abort 2PC with per-phase log forces through
+each node's real log device, per-node crash injection with GEM
+failover for in-doubt pieces, and a price-performance model for
+``$/tps`` comparisons.
+
+Import note: this module stays import-light (config, partitioning,
+workload).  Build a runnable cluster through
+:meth:`ClusterConfig.build_system` or import
+:class:`repro.cluster.system.ClusterSystem` directly — the system
+module pulls in the recovery and distributed layers.
+"""
+
+from repro.cluster.config import (
+    DEFAULT_NODE_PRICE,
+    ClusterConfig,
+    cluster_config,
+    node_scheme,
+)
+from repro.cluster.cost import cluster_cost, node_cost
+from repro.cluster.partition import PartitionMap
+from repro.cluster.workload import ShardedDebitCreditWorkload
+
+__all__ = [
+    "DEFAULT_NODE_PRICE",
+    "ClusterConfig",
+    "PartitionMap",
+    "ShardedDebitCreditWorkload",
+    "cluster_config",
+    "cluster_cost",
+    "node_cost",
+    "node_scheme",
+]

@@ -1,0 +1,85 @@
+"""Price-performance model: dollars per cluster, dollars per tps.
+
+"A Measure of Transaction Processing Power" and its 20-years-later
+retrospective insist configurations are compared on *price*
+performance, not raw TPS.  This module prices a cluster from the 1990
+storage price list (:mod:`repro.analysis.cost`) plus a per-node CM
+price: every node pays for its main-memory buffer, the pages of each
+partition at its allocation target's store, its NVEM cache/write
+buffer, a log window, and the node itself.  The experiment runner
+divides the total by measured throughput for the ``$/tps`` column.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.cost import configuration_cost
+from repro.core.config import (
+    DiskUnitType,
+    MEMORY,
+    NVEM,
+    SystemConfig,
+)
+
+__all__ = ["LOG_WINDOW_PAGES", "cluster_cost", "node_cost"]
+
+#: Pages of log capacity priced per node (a retained on-line window;
+#: the log itself grows without bound during a run).
+LOG_WINDOW_PAGES = 5_000
+
+#: Device-registry kinds beyond the classic unit table, mapped to the
+#: closest 1990 store for pricing.
+_DEVICE_KIND_STORES = {
+    "flash_ssd": "ssd",
+    "battery_dram": "nvem",
+}
+
+
+def _store_of_unit(config: SystemConfig, unit_name: str) -> str:
+    """Price store backing a disk-interface device name."""
+    for unit in config.disk_units:
+        if unit.name == unit_name:
+            return "ssd" if unit.unit_type == DiskUnitType.SSD else "disk"
+    for spec in config.devices:
+        if spec.name == unit_name:
+            return _DEVICE_KIND_STORES.get(spec.kind, "disk")
+    raise KeyError(f"unknown allocation target {unit_name!r}")
+
+
+def _store_of(config: SystemConfig, allocation: str) -> str:
+    if allocation == MEMORY:
+        return "main_memory"
+    if allocation == NVEM:
+        return "nvem"
+    return _store_of_unit(config, allocation)
+
+
+def node_allocations(config: SystemConfig) -> List[Tuple[str, int]]:
+    """``(store, pages)`` pairs pricing one node's storage."""
+    allocations: List[Tuple[str, int]] = [
+        ("main_memory", config.cm.buffer_size),
+    ]
+    for part in config.partitions:
+        allocations.append((_store_of(config, part.allocation),
+                            part.num_pages))
+    for unit in config.disk_units:
+        if unit.cache_size > 0:
+            allocations.append(("disk_cache", unit.cache_size))
+    if config.cm.nvem_cache_size > 0:
+        allocations.append(("nvem", config.cm.nvem_cache_size))
+    if config.cm.nvem_write_buffer_size > 0:
+        allocations.append(("nvem", config.cm.nvem_write_buffer_size))
+    allocations.append((_store_of(config, config.log.device),
+                        LOG_WINDOW_PAGES))
+    return allocations
+
+
+def node_cost(config: SystemConfig, node_price: float) -> float:
+    """Price of one node: CM price plus its storage allocations."""
+    return node_price + configuration_cost(node_allocations(config))
+
+
+def cluster_cost(config) -> float:
+    """Total price of a :class:`~repro.cluster.config.ClusterConfig`."""
+    return config.num_nodes * node_cost(config.node, config.node_price)

@@ -1,0 +1,67 @@
+"""One computing module of the cluster.
+
+A node is a complete single-node TPSIM stack — its own device
+registry, CPU complex, lock table, buffer and transaction manager —
+sharing only the simulation clock, the random streams and the metrics
+collector with its siblings.  This is the paper's *shared-nothing*
+node model: the sole inter-node channels are the message bus and the
+GEM-mirrored commit decisions.
+
+The node duck-types :class:`~repro.core.model.TransactionSystem`
+closely enough (``env`` / ``config`` / ``cpu`` / ``storage`` / ``bm``
+/ ``tm`` / ``metrics``) that the recovery subsystem's checkpointer and
+restart replayer run against it unchanged — per-node crash recovery
+reuses the exact machinery of the central case.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.twopc import ClusterTransactionManager
+from repro.core.bm import BufferManager
+from repro.core.cc import LockManager
+from repro.core.cpu import CPUPool
+from repro.recovery.checkpoint import Checkpointer
+from repro.recovery.crash import RestartReplayer
+from repro.recovery.tracker import RecoveryTracker
+from repro.storage.hierarchy import StorageSubsystem
+
+__all__ = ["ClusterNode"]
+
+
+class ClusterNode:
+    """Full per-node stack over one shard of the database."""
+
+    def __init__(self, node_id: int, cluster):
+        self.node_id = node_id
+        self.cluster = cluster
+        self.env = cluster.env
+        self.config = cluster.config.node
+        self.metrics = cluster.metrics
+        self.streams = cluster.streams
+        self.storage = StorageSubsystem(self.env, self.streams, self.config)
+        self.cpu = CPUPool(self.env, self.streams, self.config.cm)
+        self.locks = LockManager(self.env, self.metrics)
+        self.bm = BufferManager(self.env, self.streams, self.config,
+                                self.cpu, self.storage, self.metrics)
+        self.tm = ClusterTransactionManager(self, cluster)
+        self.tracker = None
+        self.checkpointer = None
+        self.replayer = None
+
+    def enable_recovery(self) -> None:
+        """Wire per-node crash-recovery state (tracker, fuzzy
+        checkpointer, restart replayer).  Called by the fault injector
+        only when the cluster has a crash schedule — an unwired node
+        skips all DPT bookkeeping on the hot path."""
+        tracker = RecoveryTracker(
+            now=lambda: self.env.now,
+            log_tail=lambda: self.storage.log_page_count,
+        )
+        self.tracker = tracker
+        self.bm.recovery_tracker = tracker
+        self.checkpointer = Checkpointer(self, tracker)
+        self.replayer = RestartReplayer(self, tracker)
+
+    def start_recovery(self) -> None:
+        if self.checkpointer is not None:
+            self.checkpointer.start()

@@ -1,0 +1,52 @@
+"""The shared warm-up/measure loop for multi-node systems.
+
+:meth:`repro.core.model.TransactionSystem.run` established the
+measurement discipline every results-producing system follows: warm
+up, reset the collectors, then advance the clock in twenty slices,
+sampling the input queue each slice and cutting the run short once the
+queue diverges (an open system past capacity has unbounded response
+times; the paper simply does not plot such points).
+
+:func:`measured_run` is that discipline extracted once, so the cluster
+and the shared-disk distributed system produce Results under exactly
+the same rules as the central case.  The host system supplies
+``start_workload`` / ``_reset_measurements`` / ``snapshot`` plus an
+admission queue via ``tm.input_queue_length``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.metrics import Results
+
+__all__ = ["measured_run"]
+
+#: Queue samples per measurement window (one per slice).
+SLICES = 20
+
+
+def measured_run(system, warmup: float, duration: float,
+                 saturation_queue_limit: Optional[int],
+                 default_queue_limit: int) -> Results:
+    """Warm up, measure in slices with a saturation guard, snapshot."""
+    if warmup < 0 or duration <= 0:
+        raise ValueError("warmup must be >= 0 and duration > 0")
+    if saturation_queue_limit is None:
+        saturation_queue_limit = default_queue_limit
+    system.start_workload()
+    env = system.env
+    if warmup > 0:
+        env.run(until=env.now + warmup)
+    system._reset_measurements()
+
+    end_time = env.now + duration
+    slice_len = duration / SLICES
+    for _ in range(SLICES):
+        env.run(until=min(env.now + slice_len, end_time))
+        queue = system.tm.input_queue_length
+        system.metrics.note_input_queue(queue)
+        if queue > saturation_queue_limit:
+            system.metrics.saturated = True
+            break
+    return system.snapshot()

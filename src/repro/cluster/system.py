@@ -1,0 +1,196 @@
+"""The sharded cluster: N shared-nothing nodes plus 2PC glue.
+
+:class:`ClusterSystem` wires ``num_nodes`` complete per-node stacks
+(:class:`~repro.cluster.node.ClusterNode`) onto one simulation
+environment, routes every transaction to the home node of its branch,
+and holds the little shared state two-phase commit needs:
+
+* the **message bus** (send/receive CPU bursts + wire latency, the
+  same :class:`~repro.distributed.messages.MessageBus` the shared-disk
+  system uses),
+* the **GEM decision table** — commit decisions mirrored into global
+  extended memory at decision-force time, which is what lets a
+  survivor resolve a crashed coordinator's in-doubt participants
+  (presumed abort for everything not in the table),
+* the **pending-piece registry** the GEM failover walks.
+
+The public surface mirrors
+:class:`~repro.core.model.TransactionSystem` (``run`` / ``snapshot`` /
+``tm.submit``), so the experiment runner and exporters treat a cluster
+point exactly like a central one — plus a populated ``cluster`` block
+in its Results (nodes, $ cost, 2PC counters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.cost import cluster_cost
+from repro.cluster.faults import ClusterFaultInjector
+from repro.cluster.node import ClusterNode
+from repro.cluster.partition import PartitionMap
+from repro.cluster.runloop import measured_run
+from repro.cluster.twopc import RemotePiece
+from repro.core.metrics import MetricsCollector, Results
+from repro.core.transaction import Transaction
+from repro.distributed.messages import MessageBus
+from repro.sim import Environment, RandomStreams
+
+__all__ = ["ClusterNodeResults", "ClusterRouter", "ClusterSystem"]
+
+
+@dataclass
+class ClusterNodeResults:
+    """One node's share of the measurement window (committed only)."""
+
+    node_id: int
+    committed: int
+    cpu_utilization: float
+
+
+class ClusterRouter:
+    """The system's ``tm``: submits to the home node, aggregates queues."""
+
+    def __init__(self, system: "ClusterSystem"):
+        self.system = system
+
+    def submit(self, tx: Transaction) -> None:
+        home = getattr(tx, "home_node", 0)
+        self.system.nodes[home].tm.submit(tx)
+
+    @property
+    def input_queue_length(self) -> int:
+        # The saturation guard trips on the *worst* node: one diverging
+        # shard makes the whole cluster's response times unbounded.
+        return max(node.tm.input_queue_length
+                   for node in self.system.nodes)
+
+    @property
+    def submitted(self) -> int:
+        return sum(node.tm.submitted for node in self.system.nodes)
+
+
+class ClusterSystem:
+    """N-node shared-nothing cluster with presumed-abort 2PC."""
+
+    def __init__(self, config: ClusterConfig, workload,
+                 seed: Optional[int] = None):
+        config.validate()
+        self.config = config
+        self.env = Environment()
+        self.streams = RandomStreams(seed if seed is not None
+                                     else config.seed)
+        self.metrics = MetricsCollector(self.env)
+        self.metrics.cluster_enabled = True
+        self.metrics.cluster_nodes = config.num_nodes
+        self.metrics.cluster_cost = cluster_cost(config)
+        self.partition_map = PartitionMap(config.num_nodes)
+        self.bus = MessageBus(self.env, config.coupling)
+        self.nodes: List[ClusterNode] = [
+            ClusterNode(i, self) for i in range(config.num_nodes)
+        ]
+        self.tm = ClusterRouter(self)
+        self.faults = ClusterFaultInjector(self)
+        #: GEM-mirrored commit decisions (tx_id -> True), written at
+        #: decision-force time, dropped once every participant learned
+        #: the outcome.
+        self.decisions: Dict[int, bool] = {}
+        #: Live distributed transactions: tx_id -> (home, pieces).
+        self._pending: Dict[int, Tuple[int, List[RemotePiece]]] = {}
+        self._branch_counter = 0
+        self._node_completed_base = [0] * config.num_nodes
+        self.workload = workload
+        self._started = False
+
+    # -- 2PC shared state ------------------------------------------------
+    def next_branch_id(self) -> int:
+        """Unique id for a branch transaction.  Negative, so branch ids
+        can never collide with workload tx ids in a node's lock table."""
+        self._branch_counter += 1
+        return -self._branch_counter
+
+    def register_pieces(self, tx, pieces: List[RemotePiece]) -> None:
+        self._pending[tx.tx_id] = (tx.home_node, pieces)
+
+    def clear_pieces(self, tx) -> None:
+        self._pending.pop(tx.tx_id, None)
+        self.decisions.pop(tx.tx_id, None)
+
+    def record_decision(self, tx_id: int) -> None:
+        """Mirror a forced commit decision into GEM."""
+        self.decisions[tx_id] = True
+
+    def resolve_in_doubt(self, node_id: int) -> None:
+        """GEM failover for a crashed coordinator: every piece it left
+        pending commits if its decision is mirrored, else aborts
+        (presumed abort)."""
+        orphaned = [tx_id for tx_id, (home, _) in self._pending.items()
+                    if home == node_id]
+        resolved = 0
+        for tx_id in orphaned:
+            _, pieces = self._pending.pop(tx_id)
+            outcome = "commit" if self.decisions.pop(tx_id, False) \
+                else "abort"
+            for piece in pieces:
+                if not piece.decision.triggered:
+                    piece.decision.succeed(outcome)
+                    resolved += 1
+        if resolved:
+            self.metrics.record_failover(resolved)
+
+    # -- lifecycle (mirrors TransactionSystem) ---------------------------
+    def start_workload(self) -> None:
+        if not self._started:
+            prewarm = getattr(self.workload, "prewarm", None)
+            if prewarm is not None:
+                prewarm(self)
+            self.faults.start()
+            self.workload.start(self)
+            self._started = True
+
+    def _reset_measurements(self) -> None:
+        self.metrics.reset()
+        for node in self.nodes:
+            node.cpu.reset_stats()
+            node.storage.reset_stats()
+        self.bus.stats.reset()
+        self._node_completed_base = [node.tm.completed
+                                     for node in self.nodes]
+
+    def run(self, warmup: float = 5.0, duration: float = 30.0,
+            saturation_queue_limit: Optional[int] = None) -> Results:
+        return measured_run(
+            self, warmup, duration, saturation_queue_limit,
+            default_queue_limit=4 * self.config.node.cm.mpl,
+        )
+
+    def snapshot(self) -> Results:
+        devices = {}
+        for node in self.nodes:
+            for name, report in node.storage.utilization_report().items():
+                devices[f"n{node.node_id}:{name}"] = report
+        cpu_util = sum(n.cpu.utilization for n in self.nodes) / \
+            len(self.nodes)
+        return self.metrics.finalize(
+            cpu_utilization=cpu_util,
+            device_utilization=devices,
+        )
+
+    def node_results(self) -> List[ClusterNodeResults]:
+        """Per-node committed counts for the measurement window only
+        (deltas against the post-warm-up baseline, matching the
+        committed-only rule of the shared metrics)."""
+        return [
+            ClusterNodeResults(
+                node_id=node.node_id,
+                committed=node.tm.completed -
+                self._node_completed_base[node.node_id],
+                cpu_utilization=node.cpu.utilization,
+            )
+            for node in self.nodes
+        ]
+
+    def message_stats(self) -> Dict[str, int]:
+        return self.bus.stats.as_dict()

@@ -623,6 +623,20 @@ class BufferManager:
         page_no = yield from self._log_write_once(None)
         return page_no
 
+    def force_log_record(self, tx: Optional[Transaction]) -> Generator:
+        """Force one log record for ``tx`` through the configured log
+        path, returning its page number.
+
+        The two-phase commit protocol (:mod:`repro.cluster.twopc`) pays
+        this once per phase: the participant's prepare record and the
+        coordinator's decision record must both hit non-volatile
+        storage before the protocol advances, so the log device's
+        latency (NVEM vs disk) enters commit time once per phase —
+        exactly the placement effect of the paper's §4.
+        """
+        page_no = yield from self._log_write_once(tx)
+        return page_no
+
     def _async_log_write(self, page_no: int) -> Generator:
         """Background flush of a log page absorbed by the NVEM buffer."""
         burst = self.cpu.execute_event(None, self.cm.instr_io,

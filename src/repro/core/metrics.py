@@ -69,6 +69,10 @@ class Results:
     #: the recovery subsystem enabled (keeps recovery-disabled exports
     #: bit-identical to builds without the subsystem).
     recovery: Optional[Dict[str, float]] = None
+    #: Cluster / two-phase-commit counters; ``None`` unless the run was
+    #: a multi-node cluster (keeps single-node exports bit-identical to
+    #: builds without the cluster subsystem).
+    cluster: Optional[Dict[str, float]] = None
 
     @property
     def response_time_ms(self) -> float:
@@ -87,6 +91,46 @@ class Results:
         if self.recovery is None:
             return 0.0
         return self.recovery.get("restart_time_mean", 0.0)
+
+    @property
+    def nodes(self) -> int:
+        """Computing modules the run used (1 for the central case)."""
+        if self.cluster is None:
+            return 1
+        return int(self.cluster.get("nodes", 1))
+
+    @property
+    def dist_fraction(self) -> float:
+        """Measured fraction of commits that ran two-phase commit."""
+        if self.cluster is None or self.committed == 0:
+            return 0.0
+        return self.cluster.get("distributed_commits", 0.0) / self.committed
+
+    @property
+    def commit_phase_ms(self) -> float:
+        """Mean commit-phase (EOT to lock release) time per commit."""
+        if self.cluster is None or self.committed == 0:
+            return 0.0
+        return self.cluster.get("commit_phase_total", 0.0) \
+            / self.committed * 1000.0
+
+    @property
+    def in_doubt_time(self) -> float:
+        """Mean seconds a prepared 2PC participant spent in doubt
+        (vote sent, decision not yet known — locks held throughout)."""
+        if self.cluster is None:
+            return 0.0
+        prepared = self.cluster.get("prepared_pieces", 0.0)
+        if prepared <= 0:
+            return 0.0
+        return self.cluster.get("in_doubt_total", 0.0) / prepared
+
+    @property
+    def dollars_per_tps(self) -> float:
+        """Price-performance: configuration dollars per measured TPS."""
+        if self.cluster is None or self.throughput <= 0:
+            return 0.0
+        return self.cluster.get("cost_dollars", 0.0) / self.throughput
 
     def normalized_response_time(self, mean_tx_size: float) -> float:
         """Response time of an "artificial transaction performing the
@@ -135,6 +179,14 @@ class Results:
                 f"({int(self.recovery.get('crashes', 0))} crash(es), "
                 f"MTTR {self.restart_time_mean:.2f} s, "
                 f"{int(self.recovery.get('checkpoints', 0))} checkpoint(s))"
+            )
+        if self.cluster is not None:
+            lines.append(
+                f"cluster             : {self.nodes} node(s), "
+                f"{self.dist_fraction * 100:.1f} % distributed, "
+                f"commit phase {self.commit_phase_ms:.2f} ms, "
+                f"in-doubt {self.in_doubt_time * 1000:.2f} ms, "
+                f"{self.dollars_per_tps:,.0f} $/tps"
             )
         if self.saturated:
             lines.append("WARNING             : input queue diverged (saturated)")
@@ -199,6 +251,17 @@ class MetricsCollector:
         #: yet; finalize charges its elapsed downtime so a window that
         #: ends mid-restart still reports the availability loss.
         self._outage_since: Optional[float] = None
+        #: Set by the cluster layer; makes finalize emit the cluster
+        #: block (per-phase 2PC counters + price-performance inputs).
+        self.cluster_enabled = False
+        self.cluster_nodes = 1
+        self.cluster_cost = 0.0
+        self.local_commits = 0
+        self.distributed_commits = 0
+        self.commit_phase_total = 0.0
+        self.prepared_pieces = 0
+        self.in_doubt_total = 0.0
+        self.failover_resolved = 0
 
     @classmethod
     def lite(cls, env: Environment) -> "MetricsCollector":
@@ -283,6 +346,32 @@ class MetricsCollector:
     def record_checkpoint(self) -> None:
         self.checkpoint_count += 1
 
+    def record_cluster_commit(self, distributed: bool,
+                              commit_phase: float) -> None:
+        """Commit-phase accounting for one committed transaction:
+        ``distributed`` marks two-phase commits, ``commit_phase`` is
+        the EOT-to-lock-release duration in seconds."""
+        if not self.active:
+            return
+        if distributed:
+            self.distributed_commits += 1
+        else:
+            self.local_commits += 1
+        self.commit_phase_total += commit_phase
+
+    def record_in_doubt(self, duration: float) -> None:
+        """A prepared participant's vote-to-decision window closed."""
+        if not self.active:
+            return
+        self.prepared_pieces += 1
+        self.in_doubt_total += duration
+
+    def record_failover(self, pieces: int) -> None:
+        """GEM failover resolved ``pieces`` in-doubt participants of a
+        crashed coordinator (presumed abort unless a mirrored commit
+        decision was found)."""
+        self.failover_resolved += pieces
+
     def note_outage_start(self) -> None:
         """The CM just crashed; the restart is now in progress."""
         self._outage_since = self.env.now
@@ -332,6 +421,12 @@ class MetricsCollector:
         self.restart_redo_pages = 0
         self.restart_log_scan_total = 0.0
         self.restart_redo_total = 0.0
+        self.local_commits = 0
+        self.distributed_commits = 0
+        self.commit_phase_total = 0.0
+        self.prepared_pieces = 0
+        self.in_doubt_total = 0.0
+        self.failover_resolved = 0
 
     # -- finalization ------------------------------------------------------
     def finalize(self, cpu_utilization: float,
@@ -396,6 +491,18 @@ class MetricsCollector:
                 "restart_log_pages": float(self.restart_log_pages),
                 "restart_redo_pages": float(self.restart_redo_pages),
             }
+        cluster = None
+        if self.cluster_enabled:
+            cluster = {
+                "nodes": float(self.cluster_nodes),
+                "cost_dollars": self.cluster_cost,
+                "local_commits": float(self.local_commits),
+                "distributed_commits": float(self.distributed_commits),
+                "commit_phase_total": self.commit_phase_total,
+                "prepared_pieces": float(self.prepared_pieces),
+                "in_doubt_total": self.in_doubt_total,
+                "failover_resolved": float(self.failover_resolved),
+            }
         return Results(
             simulated_time=span,
             committed=self.committed,
@@ -419,4 +526,5 @@ class MetricsCollector:
             saturated=self.saturated,
             input_queue_peak=self.input_queue_peak,
             recovery=recovery,
+            cluster=cluster,
         )

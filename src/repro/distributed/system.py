@@ -360,6 +360,7 @@ class DistributedSystem:
         self.tm = _Router(self)
         self.bm = _PrewarmFanout(self)
         self.workload = workload
+        self._node_completed_base = [0] * dconfig.num_nodes
         self._started = False
 
     # -- coherency broadcast ------------------------------------------------
@@ -392,28 +393,20 @@ class DistributedSystem:
         self.storage.reset_stats()
         self.bus.stats.reset()
         self.invalidation_stats.reset()
+        # Post-warm-up baselines, so node_results reports only the
+        # measurement window (committed-only, like the shared metrics).
+        self._node_completed_base = [n.tm.completed for n in self.nodes]
 
     def run(self, warmup: float = 5.0, duration: float = 30.0,
             saturation_queue_limit: Optional[int] = None) -> Results:
-        if warmup < 0 or duration <= 0:
-            raise ValueError("warmup must be >= 0 and duration > 0")
-        if saturation_queue_limit is None:
-            saturation_queue_limit = 4 * self.config.cm.mpl
-        self.start_workload()
-        if warmup > 0:
-            self.env.run(until=self.env.now + warmup)
-        self._reset_measurements()
-        end_time = self.env.now + duration
-        slices = 20
-        for _ in range(slices):
-            self.env.run(until=min(self.env.now + duration / slices,
-                                   end_time))
-            queue = self.tm.input_queue_length
-            self.metrics.note_input_queue(queue)
-            if queue > saturation_queue_limit:
-                self.metrics.saturated = True
-                break
-        return self.snapshot()
+        # Imported lazily: repro.cluster builds on the distributed
+        # message layer, so a top-level import would be circular.
+        from repro.cluster.runloop import measured_run
+
+        return measured_run(
+            self, warmup, duration, saturation_queue_limit,
+            default_queue_limit=4 * self.config.cm.mpl,
+        )
 
     def snapshot(self) -> Results:
         cpu_util = sum(n.cpu.utilization for n in self.nodes) / \
@@ -424,8 +417,17 @@ class DistributedSystem:
         )
 
     def node_results(self) -> List[NodeResults]:
+        """Per-node committed counts for the measurement window only.
+
+        ``tm.completed`` is a lifetime counter that keeps growing
+        through warm-up; reporting it raw would disagree with the
+        committed-only shared metrics (which reset after warm-up), so
+        each node's post-warm-up baseline is subtracted.
+        """
         return [
-            NodeResults(node_id=n.node_id, committed=n.tm.completed,
+            NodeResults(node_id=n.node_id,
+                        committed=n.tm.completed -
+                        self._node_completed_base[n.node_id],
                         cpu_utilization=n.cpu.utilization)
             for n in self.nodes
         ]

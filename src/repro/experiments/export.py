@@ -66,6 +66,8 @@ def results_to_dict(results: Results) -> Dict:
     }
     if results.recovery is not None:
         payload["recovery"] = dict(results.recovery)
+    if results.cluster is not None:
+        payload["cluster"] = dict(results.cluster)
     return payload
 
 
@@ -75,12 +77,16 @@ def results_from_dict(payload: Dict) -> Results:
 
 
 #: Flat columns exported per sweep point.  ``availability`` and
-#: ``restart_time_s`` report 1.0 / 0.0 for recovery-disabled runs.
+#: ``restart_time_s`` report 1.0 / 0.0 for recovery-disabled runs; the
+#: cluster columns report single-node identities (nodes=1, fractions
+#: and durations 0) for non-cluster runs.
 CSV_FIELDS = [
     "experiment", "series", "x", "response_time_ms", "response_p95_ms",
     "throughput_tps", "committed", "aborted", "cpu_utilization",
     "mm_hit", "nvem_cache_hit", "disk_cache_hit", "saturated",
     "availability", "restart_time_s",
+    "nodes", "dist_fraction", "commit_phase_ms", "in_doubt_time",
+    "dollars_per_tps",
 ]
 
 
@@ -107,6 +113,11 @@ def experiment_to_rows(result: ExperimentResult) -> List[Dict]:
                 "saturated": r.saturated,
                 "availability": r.availability,
                 "restart_time_s": r.restart_time_mean,
+                "nodes": r.nodes,
+                "dist_fraction": r.dist_fraction,
+                "commit_phase_ms": r.commit_phase_ms,
+                "in_doubt_time": r.in_doubt_time,
+                "dollars_per_tps": r.dollars_per_tps,
             })
     return rows
 

@@ -160,7 +160,13 @@ def point_seed(seed: int, index: int) -> int:
 def _evaluate_point(task: Tuple) -> Results:
     """Run one sweep point; module-level so worker processes can call it."""
     x, config, workload, warmup, duration, seed = task
-    system = TransactionSystem(config, workload, seed=seed)
+    builder = getattr(config, "build_system", None)
+    if builder is not None:
+        # Configs owning system construction (e.g. ClusterConfig)
+        # build their own runnable system for the point.
+        system = builder(workload, seed=seed)
+    else:
+        system = TransactionSystem(config, workload, seed=seed)
     return system.run(warmup=warmup, duration=duration)
 
 

@@ -209,3 +209,16 @@ class TestDistributedSystem:
                                    SyntheticWorkload(config), seed=2)
         results = system.run(warmup=2.0, duration=4.0)
         assert results.committed > 100
+
+    def test_node_results_report_measured_window_only(self):
+        """Regression: node shares are committed-count deltas over the
+        measured window, consistent with the committed-only reporting
+        rule of core/tm.py — the lifetime ``tm.completed`` counters
+        also include warmup transactions and used to leak into the
+        per-node shares, overcounting ``results.committed``."""
+        results, system = run_distributed(nodes=2, rate=200.0)
+        per_node = [n.committed for n in system.node_results()]
+        assert sum(per_node) == results.committed
+        # The lifetime counters really are larger (warmup committed
+        # something), so the delta is doing actual work here.
+        assert sum(n.tm.completed for n in system.nodes) > results.committed

@@ -89,6 +89,60 @@ class TestResultsRoundTrip:
         assert rows[1]["availability"] == 1.0
         assert rows[1]["restart_time_s"] == 0.0
 
+    def test_cluster_block_absent_when_single_node(self):
+        """Non-cluster exports carry no cluster key, so pinned outputs
+        (the fig4_1 golden sha) are unchanged by the subsystem."""
+        payload = results_to_dict(fake_results())
+        assert "cluster" not in payload
+
+    def test_csv_rows_carry_cluster_columns(self):
+        from repro.experiments.export import experiment_to_rows
+
+        for column in ("nodes", "dist_fraction", "commit_phase_ms",
+                       "in_doubt_time", "dollars_per_tps"):
+            assert column in CSV_FIELDS
+        clustered = fake_results()  # committed=100, throughput=10
+        clustered.cluster = {"nodes": 4.0, "cost_dollars": 2_000_000.0,
+                             "local_commits": 80.0,
+                             "distributed_commits": 20.0,
+                             "commit_phase_total": 0.5,
+                             "prepared_pieces": 20.0,
+                             "in_doubt_total": 0.1,
+                             "failover_resolved": 0.0}
+        result = ExperimentResult(experiment_id="t", title="t",
+                                  x_label="x", y_label="y")
+        result.series = [Series(label="s",
+                                points=[SeriesPoint(1, clustered),
+                                        SeriesPoint(2, fake_results())])]
+        rows = experiment_to_rows(result)
+        assert rows[0]["nodes"] == 4
+        assert rows[0]["dist_fraction"] == pytest.approx(0.2)
+        assert rows[0]["commit_phase_ms"] == pytest.approx(5.0)
+        assert rows[0]["in_doubt_time"] == pytest.approx(0.005)
+        assert rows[0]["dollars_per_tps"] == pytest.approx(200_000.0)
+        # Non-cluster points report single-node identities, not blanks.
+        assert rows[1]["nodes"] == 1
+        assert rows[1]["dist_fraction"] == 0.0
+        assert rows[1]["commit_phase_ms"] == 0.0
+        assert rows[1]["in_doubt_time"] == 0.0
+        assert rows[1]["dollars_per_tps"] == 0.0
+
+    def test_cluster_block_round_trips(self):
+        original = fake_results()
+        original.cluster = {"nodes": 2.0, "cost_dollars": 750_000.0,
+                            "local_commits": 90.0,
+                            "distributed_commits": 10.0,
+                            "commit_phase_total": 0.2,
+                            "prepared_pieces": 10.0,
+                            "in_doubt_total": 0.05,
+                            "failover_resolved": 1.0}
+        restored = results_from_dict(
+            json.loads(json.dumps(results_to_dict(original)))
+        )
+        assert restored == original
+        assert restored.nodes == 2
+        assert restored.dist_fraction == pytest.approx(0.1)
+
     def test_recovery_block_round_trips(self):
         original = fake_results()
         original.recovery = {"crashes": 1.0, "downtime": 12.5,

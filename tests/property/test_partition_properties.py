@@ -1,0 +1,54 @@
+"""Property-based tests for cluster partitioning (hypothesis).
+
+The documented contract of :class:`repro.cluster.PartitionMap`: the
+account/branch → node mapping is deterministic, total over every
+non-negative global index, invertible, and balanced — for any prefix
+``[0, M)`` of the index space the per-node shard sizes differ by at
+most one, for any node count ``N >= 1``.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import PartitionMap
+
+nodes_strategy = st.integers(min_value=1, max_value=64)
+index_strategy = st.integers(min_value=0, max_value=100_000)
+
+
+@given(num_nodes=nodes_strategy, index=index_strategy)
+@settings(max_examples=200, deadline=None)
+def test_mapping_total_and_deterministic(num_nodes, index):
+    """Every index maps to exactly one in-range node, and two
+    independently built maps (different processes, different sweep
+    points) agree on it."""
+    a = PartitionMap(num_nodes)
+    b = PartitionMap(num_nodes)
+    node = a.node_of(index)
+    assert 0 <= node < num_nodes
+    assert b.node_of(index) == node
+    assert b.local_index(index) == a.local_index(index)
+
+
+@given(num_nodes=nodes_strategy, index=index_strategy)
+@settings(max_examples=200, deadline=None)
+def test_mapping_invertible(num_nodes, index):
+    """(node_of, local_index) loses nothing: global_index round-trips."""
+    pmap = PartitionMap(num_nodes)
+    assert pmap.global_index(pmap.node_of(index),
+                             pmap.local_index(index)) == index
+
+
+@given(num_nodes=nodes_strategy,
+       total=st.integers(min_value=0, max_value=5_000))
+@settings(max_examples=200, deadline=None)
+def test_shards_balanced_within_one(num_nodes, total):
+    """For any prefix [0, total), per-node counts differ by <= 1, they
+    sum to the total, and shard_size agrees with brute-force counting."""
+    pmap = PartitionMap(num_nodes)
+    counts = [0] * num_nodes
+    for index in range(total):
+        counts[pmap.node_of(index)] += 1
+    assert sum(counts) == total
+    assert max(counts) - min(counts) <= 1
+    for node in range(num_nodes):
+        assert pmap.shard_size(node, total) == counts[node]
