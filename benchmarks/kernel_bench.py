@@ -69,13 +69,17 @@ REFERENCE = {
 #: itself slowed down, so the gate is deliberately tight.
 TOLERANCE_OVERRIDES: Dict[str, float] = {
     "event_chain": 0.15,
+    # Seconds-long and capped at 2 repeats, so min-of-N smooths less of
+    # the shared-runner noise than for the millisecond benchmarks.
+    "media_redo": 0.60,
 }
 
 #: (name, workload, description, max_repeats).  ``max_repeats`` caps the
 #: timing repetitions for benchmarks whose single run is seconds long
 #: (the end-to-end sweep), so the suite stays CI-friendly.
 BENCHMARKS: List[Tuple[str, Callable[[], int], str, Optional[int]]] = [
-    (name, fn, desc, 2 if name == "fig4_1_fast_sweep" else None)
+    (name, fn, desc,
+     2 if name in ("fig4_1_fast_sweep", "media_redo") else None)
     for name, (fn, desc) in WORKLOADS.items()
 ]
 

@@ -200,6 +200,22 @@ def _build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--force", action="store_true",
                      help="use the FORCE update strategy")
     rec.add_argument("--seed", type=int, default=1)
+    rec.add_argument("--media", action="store_true",
+                     help="media-failure mode: lose a device mid-run and "
+                          "rebuild it from the archive copy + log scan "
+                          "while transactions keep running degraded")
+    rec.add_argument("--lose", default="db0", metavar="DEVICE",
+                     help="device lost in --media mode: a unit name, "
+                          "'nvem', or a mirrored log copy 'log:0'/'log:1' "
+                          "(default: db0)")
+    rec.add_argument("--lose-at", type=float, default=8.0,
+                     help="loss instant in s for --media (default: 8)")
+    rec.add_argument("--archive-interval", type=float, default=6.0,
+                     help="incremental-archive period in s for --media "
+                          "(default: 6)")
+    rec.add_argument("--mirror", action="store_true",
+                     help="dual-copy NVEM log mirroring (requires an "
+                          "NVEM log placement, e.g. --scheme nvem)")
 
     clu = sub.add_parser(
         "cluster",
@@ -464,11 +480,58 @@ def _cmd_watch(args) -> int:
         return 130
 
 
+def _cmd_recovery_media(args) -> int:
+    """Lose a device mid-run and rebuild it through the real devices."""
+    from repro.core.config import DeviceFault
+
+    if args.lose_at <= args.warmup:
+        print("error: the loss must fall inside the measured window "
+              f"(loss at {args.lose_at:g} s <= warmup {args.warmup:g} s)",
+              file=sys.stderr)
+        return 2
+    config = debit_credit_config(SCHEMES[args.scheme]())
+    config.media.enabled = True
+    config.media.faults = (
+        DeviceFault(device=args.lose, time=args.lose_at, kind="loss"),
+    )
+    config.media.archive_interval = args.archive_interval
+    # Coarser restore extents keep the multi-million-page rebuild
+    # inside a short smoke window without changing its shape.
+    config.media.archive_batch_pages = 4096
+    config.recovery.log_mirror = args.mirror
+    try:
+        config.validate()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    duration = args.duration if args.duration is not None \
+        else max(40.0, 4.0 * args.lose_at)
+    system = TransactionSystem(
+        config, DebitCreditWorkload(arrival_rate=args.rate),
+        seed=args.seed,
+    )
+    results = system.run(warmup=args.warmup, duration=duration)
+    print(f"scheme={args.scheme} rate={args.rate:g} TPS "
+          f"lose {args.lose} at {args.lose_at:g} s "
+          f"(archive every {args.archive_interval:g} s"
+          f"{', mirrored log' if args.mirror else ''})")
+    print(results.summary())
+    for stats in system.media.recoveries:
+        print(stats.summary())
+    if not system.media.recoveries or results.media_mttr_mean <= 0:
+        print("error: no media recovery completed inside the window "
+              "(raise --duration)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_recovery(args) -> int:
     """Run one crashed simulation and the analytic model side by side."""
     from repro.analysis.recovery import RecoveryModel  # noqa: F401 (doc)
     from repro.recovery import matched_recovery_model
 
+    if args.media:
+        return _cmd_recovery_media(args)
     strategy = UpdateStrategy.FORCE if args.force else \
         UpdateStrategy.NOFORCE
     if args.interval <= 0:

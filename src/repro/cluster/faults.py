@@ -54,12 +54,17 @@ class ClusterFaultInjector:
     def _run(self) -> Generator:
         for node_id, instant in self.cluster.config.crash_schedule:
             delay = instant - self.env.now
-            if delay <= 0:
-                # The scheduled crash fell inside a previous restart:
-                # treat the node as already covered by that outage.
+            if delay > 0:
+                yield self.env.timeout(delay)
+            node = self.cluster.nodes[node_id]
+            if not node.tm.is_online:
+                # This node is already down (its restart is still
+                # replaying): the scheduled crash adds nothing.
                 continue
-            yield self.env.timeout(delay)
-            yield from self._crash_and_restart(self.cluster.nodes[node_id])
+            # Restarts run as their own processes so a second node can
+            # crash while the first is still replaying — the metrics
+            # charge the *union* of the overlapping down-intervals.
+            self.env.process(self._crash_and_restart(node))
 
     def _crash_and_restart(self, node) -> Generator:
         cluster = self.cluster

@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Generator, List, Optional, Set, Tuple
 
 from repro.core.config import (
+    NVEM,
     AccessMode,
     NVEMCachingMode,
     PartitionConfig,
@@ -134,6 +135,12 @@ class BufferManager:
         #: (:mod:`repro.recovery`); ``None`` unless recovery is enabled,
         #: so the per-reference hooks below cost one ``is None`` test.
         self.recovery_tracker = None
+        #: Per-page admission gate during online redo
+        #: (:class:`repro.recovery.crash.RedoGate`); ``None`` outside
+        #: the redo window.
+        self.redo_gate = None
+        #: Dual-copy NVEM log mirroring: every commit forces both copies.
+        self._log_mirror = config.recovery.log_mirror
         #: Diagnostics.
         self.eviction_stalls = 0
 
@@ -153,6 +160,11 @@ class BufferManager:
         """
         idx = ref.partition_index
         if self._part_mem_resident[idx]:
+            if self.redo_gate is not None and \
+                    (idx, ref.page_no) in self.redo_gate.pending:
+                # Online redo has not reached this page yet: fall into
+                # the miss path, which waits on the gate.
+                return None
             # 100% hit; NOFORCE propagation assumed (§3.2) — nothing to
             # track for commit beyond logging.
             self.metrics.record_page_access(
@@ -202,6 +214,18 @@ class BufferManager:
         part = self.partitions[ref.partition_index]
         tag = ref.tag or part.name
         key = ref.page_key
+
+        gate = self.redo_gate
+        if gate is not None and key in gate.pending:
+            wait_start = self.env.now
+            yield from gate.wait(key)
+            if tx is not None:
+                tx.wait_sync_io += self.env.now - wait_start
+        if gate is not None and self._part_mem_resident[ref.partition_index]:
+            # Memory-resident references only reach the miss path while
+            # gated; once released they are plain residency hits.
+            self.metrics.record_page_access(tag, LEVEL_MEMORY_RESIDENT)
+            return LEVEL_MEMORY_RESIDENT
 
         source = None
         carried_dirty = False
@@ -273,27 +297,47 @@ class BufferManager:
                 return LEVEL_NVEM_CACHE, carried_dirty
         return "unit", False
 
+    def _sync_nvem(self, tx: Optional[Transaction],
+                   kind: str) -> Generator:
+        """One synchronous NVEM page transfer with the CPU held.
+
+        When the NVEM bank is behind a media-fault gate, the loss wait
+        happens here, CPU-free, *before* the CPU is acquired: a blocked
+        transfer must not pin a CPU server for the whole rebuild (the
+        rebuild needs those CPUs to make progress).
+        """
+        device = self.storage.nvem_device
+        wait = getattr(device, "loss_wait", None)
+        if wait is not None:
+            yield from wait(kind)
+        yield from self.cpu.execute_with_sync_access(
+            tx, self.cm.instr_nvem, device.access(kind))
+
+    def _sync_unit_loss_wait(self, part: PartitionConfig,
+                             key) -> Generator:
+        """CPU-free loss wait before a SYNC-mode disk access (the gate's
+        own per-page block would otherwise run with the CPU held)."""
+        unit = self.storage.unit_of(part.name)
+        wait = getattr(unit, "loss_wait", None)
+        if wait is not None:
+            yield from wait(key)
+
     def _pay_fetch(self, tx: Transaction, part: PartitionConfig, key,
                    source: str) -> Generator:
         """Pay the latency of a page fetch decided by _claim_source."""
         if source == LEVEL_NVEM_RESIDENT:
-            yield from self.cpu.execute_with_sync_access(
-                tx, self.cm.instr_nvem,
-                self.storage.nvem_device.access("read"),
-            )
+            yield from self._sync_nvem(tx, "read")
             self.metrics.record_io("nvem_read")
             return LEVEL_NVEM_RESIDENT
         if source == LEVEL_NVEM_CACHE:
-            yield from self.cpu.execute_with_sync_access(
-                tx, self.cm.instr_nvem,
-                self.storage.nvem_device.access("read"),
-            )
+            yield from self._sync_nvem(tx, "read")
             self.metrics.record_io("nvem_cache_read")
             return LEVEL_NVEM_CACHE
 
         # Read from the partition's home disk unit.
         pidx = key[0]
         if part.access_mode is AccessMode.SYNC:
+            yield from self._sync_unit_loss_wait(part, key)
             result = yield from self.cpu.execute_with_sync_access(
                 tx, self.cm.instr_io,
                 self.storage.read_page(pidx, part.name, key[1]),
@@ -390,10 +434,9 @@ class BufferManager:
             self.recovery_tracker.note_clean(key)
 
         if self.storage.is_nvem_resident(part.name):
-            yield from self.cpu.execute_with_sync_access(
-                tx, self.cm.instr_nvem,
-                self.storage.nvem_device.access("write"),
-            )
+            if self.storage.media_tracker is not None:
+                self.storage.media_tracker.note_write(NVEM, key)
+            yield from self._sync_nvem(tx, "write")
             self.metrics.record_io("nvem_write")
             return
 
@@ -404,10 +447,7 @@ class BufferManager:
         if part.nvem_write_buffer and \
                 self._wb_pending < self.cm.nvem_write_buffer_size:
             self._wb_pending += 1
-            yield from self.cpu.execute_with_sync_access(
-                tx, self.cm.instr_nvem,
-                self.storage.nvem_device.access("write"),
-            )
+            yield from self._sync_nvem(tx, "write")
             self.metrics.record_io("db_write_buffered")
             self.env.process(self._async_disk_write(key, part,
                                                     wb_slot=True))
@@ -427,6 +467,7 @@ class BufferManager:
                     part: PartitionConfig) -> Generator:
         pidx = key[0]
         if part.access_mode is AccessMode.SYNC:
+            yield from self._sync_unit_loss_wait(part, key)
             result = yield from self.cpu.execute_with_sync_access(
                 tx, self.cm.instr_io,
                 self.storage.write_page(pidx, part.name, key[1]),
@@ -498,10 +539,7 @@ class BufferManager:
                                                    wb_slot=False,
                                                    nvem_entry=existing)
                         )
-                yield from self.cpu.execute_with_sync_access(
-                    tx, self.cm.instr_nvem,
-                    self.storage.nvem_device.access("migrate"),
-                )
+                yield from self._sync_nvem(tx, "migrate")
                 self.metrics.record_io("nvem_cache_write")
                 return
             if not cache.is_full:
@@ -523,10 +561,7 @@ class BufferManager:
             # NVEM and writes it to disk synchronously (§3.2's noted
             # "extra overhead").
             vpart = self.partitions[victim.key[0]]
-            yield from self.cpu.execute_with_sync_access(
-                tx, self.cm.instr_nvem,
-                self.storage.nvem_device.access("read"),
-            )
+            yield from self._sync_nvem(tx, "read")
             yield from self._unit_write(tx, victim.key, vpart)
             victim.dirty = False
             if victim.key in cache:
@@ -540,10 +575,7 @@ class BufferManager:
                 self._async_disk_write(key, part, wb_slot=False,
                                        nvem_entry=entry)
             )
-        yield from self.cpu.execute_with_sync_access(
-            tx, self.cm.instr_nvem,
-            self.storage.nvem_device.access("migrate"),
-        )
+        yield from self._sync_nvem(tx, "migrate")
         self.metrics.record_io("nvem_cache_write")
 
     # ------------------------------------------------------------------
@@ -579,14 +611,41 @@ class BufferManager:
         yield from self._log_write_once(tx)
 
     def _log_write_once(self, tx: Optional[Transaction]) -> Generator:
-        """Write one log page; returns its page number (the LSN)."""
+        """Write one log page; returns its page number (the LSN).
+
+        With dual-copy mirroring both NVEM copies are forced
+        sequentially before the commit proceeds — the second force *is*
+        the commit-latency penalty the ``ablation_mirroring`` experiment
+        measures.  A lost copy is skipped (the survivor carries the
+        log); losing every copy is unrecoverable.
+        """
         page_no = self.storage.next_log_page()
         if self.storage.log_on_nvem:
-            yield from self.cpu.execute_with_sync_access(
-                tx, self.cm.instr_nvem,
-                self.storage.nvem_device.access("log"),
-            )
-            self.metrics.record_io("log_nvem")
+            state = self.storage.media_state
+            if not self._log_mirror and (
+                    state is None or not state.lost_log_copies):
+                yield from self.cpu.execute_with_sync_access(
+                    tx, self.cm.instr_nvem,
+                    self.storage.nvem_device.access("log"),
+                )
+                self.metrics.record_io("log_nvem")
+                return page_no
+            lost = state.lost_log_copies if state is not None else ()
+            wrote = False
+            for copy in ((0, 1) if self._log_mirror else (0,)):
+                if copy in lost:
+                    continue
+                yield from self.cpu.execute_with_sync_access(
+                    tx, self.cm.instr_nvem,
+                    self.storage.nvem_device.access("log"),
+                )
+                self.metrics.record_io(
+                    "log_nvem" if copy == 0 else "log_nvem_mirror")
+                wrote = True
+            if not wrote:
+                from repro.storage.faults import MediaUnrecoverableError
+                raise MediaUnrecoverableError(
+                    "every copy of the NVEM log is lost")
             return page_no
         if self.config.log.nvem_write_buffer and \
                 self._wb_pending < self.cm.nvem_write_buffer_size:
@@ -700,6 +759,25 @@ class BufferManager:
                     not group.flush_proc.triggered:
                 group.flush_proc.interrupt("crash")
             self._group = None
+
+    def drop_volatile_caches(self):
+        """Clear every *volatile* disk-controller cache and return the
+        database page keys they held, in deterministic order.
+
+        Called at a crash when ``RecoveryConfig.volatile_cache_loss`` is
+        on: a volatile controller cache dies with the power, so its read
+        copies are gone (post-restart reads miss) and its pages
+        conservatively re-enter the redo set.  Log pages (partition
+        index -1) have no redo entry and are skipped.
+        """
+        keys = []
+        for unit in self.storage.units.values():
+            cache = unit.cache
+            if cache is None or cache.nonvolatile:
+                continue
+            keys.extend(k for k in cache.lru.keys() if k[0] >= 0)
+            cache.lru.clear()
+        return sorted(keys)
 
     # ------------------------------------------------------------------
     # Warm start

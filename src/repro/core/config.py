@@ -20,18 +20,22 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "AccessMode",
     "CCMode",
     "CMConfig",
+    "DeviceFault",
     "DeviceSpec",
     "DiskUnitConfig",
     "DiskUnitType",
     "Distribution",
+    "LOG_COPY_PRIMARY",
+    "LOG_COPY_MIRROR",
     "LogAllocation",
     "MEMORY",
+    "MediaConfig",
     "NVEM",
     "NVEMCachingMode",
     "NVEMConfig",
@@ -48,6 +52,9 @@ __all__ = [
 MEMORY = "memory"
 #: Allocation target meaning "resident in non-volatile extended memory".
 NVEM = "nvem"
+#: Logical fault targets for the two copies of an NVEM-resident log.
+LOG_COPY_PRIMARY = "log:0"
+LOG_COPY_MIRROR = "log:1"
 
 
 class UpdateStrategy(Enum):
@@ -410,6 +417,112 @@ class CMConfig:
         return instructions / self.instructions_per_second
 
 
+@dataclass(frozen=True)
+class DeviceFault:
+    """One scheduled media fault on a storage device (§4.4 media half).
+
+    ``device`` names a disk unit / registered device, the NVEM bank
+    (``"nvem"``), or one logical copy of an NVEM-resident log
+    (:data:`LOG_COPY_PRIMARY` / :data:`LOG_COPY_MIRROR`).  ``kind`` is
+    ``"transient"`` (I/O errors for ``duration`` seconds, survived by
+    retry/backoff at the device access path) or ``"loss"`` (permanent
+    media loss at ``time``; the device contents must be rebuilt from the
+    archive copy plus a log scan before blocked pages become readable
+    again).
+    """
+
+    device: str
+    time: float
+    kind: str = "loss"
+    duration: float = 0.0
+
+    def validate(self) -> None:
+        if not self.device:
+            raise ValueError("device fault: empty device name")
+        if self.time <= 0:
+            raise ValueError(
+                f"device fault on {self.device!r}: time must be positive"
+            )
+        if self.kind not in ("loss", "transient"):
+            raise ValueError(
+                f"device fault on {self.device!r}: unknown kind {self.kind!r}"
+            )
+        if self.kind == "transient" and self.duration <= 0:
+            raise ValueError(
+                f"transient fault on {self.device!r}: needs duration > 0"
+            )
+        if self.kind == "loss" and self.duration != 0.0:
+            raise ValueError(
+                f"loss fault on {self.device!r}: duration is meaningless"
+            )
+
+
+@dataclass
+class MediaConfig:
+    """Media-failure injection and archive-based media recovery (§4.4).
+
+    All defaults keep the subsystem off; with ``enabled`` and an empty
+    fault schedule the run is bit-identical to a build without it (the
+    fault gates delegate without touching the event queue or any RNG
+    stream).  Retry timing is fully deterministic: a failed attempt
+    costs ``error_latency`` to detect plus an exponential backoff
+    (``retry_backoff`` doubling by ``retry_backoff_factor`` up to
+    ``retry_backoff_max``) and is retried until the transient window
+    passes — no randomness, no attempt cap.
+
+    Archive copies model incremental online backups: every
+    ``archive_interval`` seconds the archive horizon advances to the
+    current log position and the per-device written-page sets reset.
+    Rebuilding a lost device restores its pages from the archive device
+    in ``archive_batch_pages`` sequential batches (``archive_workers``
+    concurrent restore streams) and then redoes every page written
+    since the archive horizon from a log scan.
+    """
+
+    enabled: bool = False
+    faults: Tuple[DeviceFault, ...] = ()
+    retry_backoff: float = 0.002
+    retry_backoff_factor: float = 2.0
+    retry_backoff_max: float = 0.05
+    error_latency: float = 0.001
+    archive_interval: float = 30.0
+    archive_batch_pages: int = 512
+    archive_workers: int = 8
+    #: Device holding the archive copy; ``None`` means a default
+    #: 8-spindle sequential-restore disk unit named ``"archive0"``.
+    archive_device: Optional[DeviceSpec] = None
+    #: CPU instructions to re-apply one logged page during media redo.
+    redo_instr: float = 5_000
+
+    def validate(self) -> None:
+        if not self.enabled:
+            if self.faults:
+                raise ValueError(
+                    "media faults configured but media.enabled is False"
+                )
+            return
+        if self.retry_backoff <= 0:
+            raise ValueError("retry_backoff must be positive")
+        if self.retry_backoff_factor < 1.0:
+            raise ValueError("retry_backoff_factor must be >= 1")
+        if self.retry_backoff_max < self.retry_backoff:
+            raise ValueError("retry_backoff_max must be >= retry_backoff")
+        if self.error_latency < 0:
+            raise ValueError("error_latency must be >= 0")
+        if self.archive_interval <= 0:
+            raise ValueError("archive_interval must be positive")
+        if self.archive_batch_pages < 1:
+            raise ValueError("archive_batch_pages must be >= 1")
+        if self.archive_workers < 1:
+            raise ValueError("archive_workers must be >= 1")
+        if self.redo_instr < 0:
+            raise ValueError("media redo_instr must be >= 0")
+        if self.archive_device is not None:
+            self.archive_device.validate()
+        for fault in self.faults:
+            fault.validate()
+
+
 @dataclass
 class RecoveryConfig:
     """Crash-recovery and availability simulation (§4.4, [HR83]).
@@ -437,6 +550,20 @@ class RecoveryConfig:
     crash_times: Tuple[float, ...] = ()
     #: CPU instructions to apply one redone page during restart.
     redo_instr: float = 5_000
+    #: Force every commit log write to two NVEM copies (dual-copy log
+    #: mirroring, §4.4): the commit pays a second sequential NVEM force,
+    #: and the log survives loss of either single copy.  Requires an
+    #: NVEM-resident log.
+    log_mirror: bool = False
+    #: ARIES-style online redo: after a crash, reopen admission as soon
+    #: as the log scan completes and gate page access per-page while the
+    #: redo pass runs, instead of holding all transactions until the
+    #: full restart finishes.
+    online_redo: bool = False
+    #: On a crash, volatile disk-controller caches lose their contents;
+    #: the pages they held re-enter the redo set (the restart cannot
+    #: trust a volatile controller's copies) and post-restart reads miss.
+    volatile_cache_loss: bool = True
 
     def validate(self) -> None:
         if not self.enabled:
@@ -469,6 +596,7 @@ class SystemConfig:
     cm: CMConfig = field(default_factory=CMConfig)
     log: LogAllocation = field(default_factory=LogAllocation)
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
+    media: MediaConfig = field(default_factory=MediaConfig)
     tx_types: List[TransactionTypeConfig] = field(default_factory=list)
     seed: int = 0
 
@@ -522,6 +650,7 @@ class SystemConfig:
         self.nvem.validate()
         self.log.validate()
         self.recovery.validate()
+        self.media.validate()
         for unit in self.disk_units:
             unit.validate()
         for spec in self.devices:
@@ -580,6 +709,48 @@ class SystemConfig:
             raise ValueError(
                 f"log allocation target {self.log.device!r} unknown"
             )
+        if self.recovery.log_mirror and self.log.device != NVEM:
+            raise ValueError(
+                "log_mirror requires an NVEM-resident log "
+                f"(log device is {self.log.device!r})"
+            )
+
+        if self.media.enabled:
+            fault_targets = set(unit_names) | {
+                NVEM, LOG_COPY_PRIMARY, LOG_COPY_MIRROR,
+            }
+            archive_name = (
+                self.media.archive_device.name
+                if self.media.archive_device is not None else "archive0"
+            )
+            if archive_name in set(unit_names) | {NVEM, MEMORY}:
+                raise ValueError(
+                    f"archive device name {archive_name!r} collides with a "
+                    "configured device"
+                )
+            for fault in self.media.faults:
+                if fault.device not in fault_targets:
+                    raise ValueError(
+                        f"media fault targets unknown device "
+                        f"{fault.device!r}"
+                    )
+                if fault.device in (LOG_COPY_PRIMARY, LOG_COPY_MIRROR):
+                    if fault.kind != "loss":
+                        raise ValueError(
+                            "transient faults target devices, not log "
+                            f"copies ({fault.device!r})"
+                        )
+                    if self.log.device != NVEM:
+                        raise ValueError(
+                            f"log-copy fault {fault.device!r} requires an "
+                            "NVEM-resident log"
+                        )
+                    if (fault.device == LOG_COPY_MIRROR
+                            and not self.recovery.log_mirror):
+                        raise ValueError(
+                            f"fault on {LOG_COPY_MIRROR!r} requires "
+                            "recovery.log_mirror"
+                        )
 
         for tx_type in self.tx_types:
             tx_type.validate(names)

@@ -73,6 +73,11 @@ class Results:
     #: a multi-node cluster (keeps single-node exports bit-identical to
     #: builds without the cluster subsystem).
     cluster: Optional[Dict[str, float]] = None
+    #: Degraded-mode / media-failure counters (degraded-window TPS, I/O
+    #: retries, media-recovery MTTR distribution); ``None`` unless the
+    #: run enabled media faults or online redo (keeps default-off
+    #: exports bit-identical to builds without the subsystem).
+    degraded: Optional[Dict[str, float]] = None
 
     @property
     def response_time_ms(self) -> float:
@@ -91,6 +96,28 @@ class Results:
         if self.recovery is None:
             return 0.0
         return self.recovery.get("restart_time_mean", 0.0)
+
+    @property
+    def degraded_tps(self) -> float:
+        """Delivered throughput while the system ran degraded (media
+        rebuild in progress or online redo admitting transactions)."""
+        if self.degraded is None:
+            return 0.0
+        return self.degraded.get("degraded_tps", 0.0)
+
+    @property
+    def media_mttr_mean(self) -> float:
+        """Mean media-recovery time (loss to fully rebuilt) in seconds."""
+        if self.degraded is None:
+            return 0.0
+        return self.degraded.get("media_mttr_mean", 0.0)
+
+    @property
+    def io_retries(self) -> float:
+        """Transient-fault I/O retries survived during measurement."""
+        if self.degraded is None:
+            return 0.0
+        return self.degraded.get("io_retries", 0.0)
 
     @property
     def nodes(self) -> int:
@@ -180,6 +207,15 @@ class Results:
                 f"MTTR {self.restart_time_mean:.2f} s, "
                 f"{int(self.recovery.get('checkpoints', 0))} checkpoint(s))"
             )
+        if self.degraded is not None:
+            lines.append(
+                f"degraded mode       : "
+                f"{self.degraded.get('degraded_window', 0.0):.2f} s window, "
+                f"{self.degraded_tps:.1f} TPS degraded, "
+                f"{int(self.io_retries)} retry(ies), "
+                f"{int(self.degraded.get('media_recoveries', 0))} media "
+                f"recovery(ies), MTTR {self.media_mttr_mean:.2f} s"
+            )
         if self.cluster is not None:
             lines.append(
                 f"cluster             : {self.nodes} node(s), "
@@ -247,10 +283,30 @@ class MetricsCollector:
         self.restart_redo_pages = 0
         self.restart_log_scan_total = 0.0
         self.restart_redo_total = 0.0
-        #: Crash instant of an outage whose restart has not finished
-        #: yet; finalize charges its elapsed downtime so a window that
-        #: ends mid-restart still reports the availability loss.
-        self._outage_since: Optional[float] = None
+        #: Outage accounting as a *union* of down-intervals: overlapping
+        #: outages (two nodes down at once, or a media rebuild spanning
+        #: a crash) charge the wall-clock once.  ``_outages_open`` counts
+        #: concurrently open outages; ``_outage_union_since`` marks when
+        #: the union interval opened, so finalize can charge a window
+        #: that ends mid-outage.
+        self._outages_open = 0
+        self._outage_union_since: Optional[float] = None
+        #: Set by the media/online-redo wiring; makes finalize emit the
+        #: degraded block even for fault-free windows.
+        self.media_enabled = False
+        self.io_retry_count = 0
+        self.media_recovery_count = 0
+        self.media_mttr_total = 0.0
+        self.media_mttr_max = 0.0
+        self.media_restore_pages = 0
+        self.media_redo_pages = 0
+        self.media_log_pages = 0
+        #: Degraded windows (media rebuild in progress or online redo
+        #: admitting transactions), unioned like outages.
+        self._degraded_open = 0
+        self._degraded_since: Optional[float] = None
+        self.degraded_window = 0.0
+        self.degraded_commits = 0
         #: Set by the cluster layer; makes finalize emit the cluster
         #: block (per-phase 2PC counters + price-performance inputs).
         self.cluster_enabled = False
@@ -293,6 +349,8 @@ class MetricsCollector:
         totals["sync_io"] += tx.wait_sync_io
         totals["async_io"] += tx.wait_async_io
         totals["nvem"] += tx.wait_nvem
+        if self._degraded_open:
+            self.degraded_commits += 1
 
     def record_abort(self, tx: Transaction, restarted: bool = True) -> None:
         """Count an abort; ``restarted=False`` for external aborts that
@@ -373,26 +431,72 @@ class MetricsCollector:
         self.failover_resolved += pieces
 
     def note_outage_start(self) -> None:
-        """The CM just crashed; the restart is now in progress."""
-        self._outage_since = self.env.now
+        """A node just went down; its restart is now in progress."""
+        if self._outages_open == 0:
+            self._outage_union_since = self.env.now
+        self._outages_open += 1
 
-    def record_crash(self, downtime: float, stats) -> None:
+    def note_outage_end(self) -> None:
+        """One outage closed; when it was the last open one, charge the
+        union interval (clipped to the measured window) to downtime."""
+        self._outages_open = max(0, self._outages_open - 1)
+        if self._outages_open == 0 and self._outage_union_since is not None:
+            start = max(self._outage_union_since, self.measure_start)
+            self.window_downtime += max(0.0, self.env.now - start)
+            self._outage_union_since = None
+
+    def record_crash(self, downtime: float, stats,
+                     outage_open: bool = True) -> None:
         """One crash/restart cycle finished; ``stats`` is a
         :class:`repro.recovery.crash.RestartStats`.
 
         ``downtime`` is the full crash-to-admission duration (the MTTR
-        numerator); the availability charge is clipped to the measured
-        window for restarts that began before the warm-up boundary.
+        numerator).  The availability charge comes from the union of
+        down-intervals (:meth:`note_outage_end`), so overlapping
+        multi-node outages count the wall-clock once; pass
+        ``outage_open=False`` when the caller already closed the outage
+        (online redo reopens admission before the redo pass finishes).
         """
-        self._outage_since = None
+        if outage_open:
+            self.note_outage_end()
         self.crash_count += 1
         self.downtime_total += downtime
-        self.window_downtime += min(downtime,
-                                    self.env.now - self.measure_start)
         self.restart_log_pages += stats.log_pages
         self.restart_redo_pages += stats.redo_pages
         self.restart_log_scan_total += stats.log_scan_time
         self.restart_redo_total += stats.redo_time
+
+    # -- degraded mode / media failures ------------------------------------
+    def note_degraded_start(self) -> None:
+        """The system keeps running but degraded (media rebuild under
+        way, or online redo gating pages while admitting work)."""
+        if self._degraded_open == 0:
+            self._degraded_since = self.env.now
+        self._degraded_open += 1
+
+    def note_degraded_end(self) -> None:
+        self._degraded_open = max(0, self._degraded_open - 1)
+        if self._degraded_open == 0 and self._degraded_since is not None:
+            start = max(self._degraded_since, self.measure_start)
+            self.degraded_window += max(0.0, self.env.now - start)
+            self._degraded_since = None
+
+    def record_io_retry(self) -> None:
+        """One transient-fault I/O attempt failed and was retried."""
+        if not self.active:
+            return
+        self.io_retry_count += 1
+
+    def record_media_recovery(self, duration: float, stats) -> None:
+        """A lost device finished rebuilding; ``stats`` is a
+        :class:`repro.recovery.media.MediaRecoveryStats`."""
+        self.media_recovery_count += 1
+        self.media_mttr_total += duration
+        if duration > self.media_mttr_max:
+            self.media_mttr_max = duration
+        self.media_restore_pages += stats.restore_pages
+        self.media_redo_pages += stats.redo_pages
+        self.media_log_pages += stats.log_pages
 
     # -- warm-up ------------------------------------------------------------
     def reset(self) -> None:
@@ -421,6 +525,15 @@ class MetricsCollector:
         self.restart_redo_pages = 0
         self.restart_log_scan_total = 0.0
         self.restart_redo_total = 0.0
+        self.io_retry_count = 0
+        self.media_recovery_count = 0
+        self.media_mttr_total = 0.0
+        self.media_mttr_max = 0.0
+        self.media_restore_pages = 0
+        self.media_redo_pages = 0
+        self.media_log_pages = 0
+        self.degraded_window = 0.0
+        self.degraded_commits = 0
         self.local_commits = 0
         self.distributed_commits = 0
         self.commit_phase_total = 0.0
@@ -469,10 +582,10 @@ class MetricsCollector:
         recovery = None
         if self.recovery_enabled:
             downtime = self.window_downtime
-            if self._outage_since is not None:
+            if self._outage_union_since is not None:
                 # A restart is still in progress at the window's end:
                 # charge its elapsed downtime (clipped to the window).
-                downtime += self.env.now - max(self._outage_since,
+                downtime += self.env.now - max(self._outage_union_since,
                                                self.measure_start)
             availability = 1.0
             if span > 0:
@@ -490,6 +603,31 @@ class MetricsCollector:
                 "restart_redo_time": self.restart_redo_total,
                 "restart_log_pages": float(self.restart_log_pages),
                 "restart_redo_pages": float(self.restart_redo_pages),
+            }
+        degraded = None
+        if self.media_enabled:
+            window = self.degraded_window
+            if self._degraded_since is not None:
+                # The window ends while still degraded: charge the open
+                # interval (clipped to the measured window).
+                window += self.env.now - max(self._degraded_since,
+                                             self.measure_start)
+            degraded = {
+                "degraded_window": window,
+                "degraded_commits": float(self.degraded_commits),
+                "degraded_tps": (
+                    self.degraded_commits / window if window > 0 else 0.0
+                ),
+                "io_retries": float(self.io_retry_count),
+                "media_recoveries": float(self.media_recovery_count),
+                "media_mttr_mean": (
+                    self.media_mttr_total / self.media_recovery_count
+                    if self.media_recovery_count else 0.0
+                ),
+                "media_mttr_max": self.media_mttr_max,
+                "media_restore_pages": float(self.media_restore_pages),
+                "media_redo_pages": float(self.media_redo_pages),
+                "media_log_pages": float(self.media_log_pages),
             }
         cluster = None
         if self.cluster_enabled:
@@ -527,4 +665,5 @@ class MetricsCollector:
             input_queue_peak=self.input_queue_peak,
             recovery=recovery,
             cluster=cluster,
+            degraded=degraded,
         )

@@ -55,6 +55,11 @@ class TransactionSystem:
             from repro.recovery import RecoveryManager
 
             self.recovery = RecoveryManager(self)
+        self.media = None
+        if config.media.enabled:
+            from repro.recovery.media import MediaManager
+
+            self.media = MediaManager(self)
         self.workload = workload
         self._started = False
 
@@ -66,6 +71,8 @@ class TransactionSystem:
                 prewarm(self)
             if self.recovery is not None:
                 self.recovery.start()
+            if self.media is not None:
+                self.media.start()
             self.workload.start(self)
             self._started = True
 

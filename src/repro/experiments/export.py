@@ -68,6 +68,8 @@ def results_to_dict(results: Results) -> Dict:
         payload["recovery"] = dict(results.recovery)
     if results.cluster is not None:
         payload["cluster"] = dict(results.cluster)
+    if results.degraded is not None:
+        payload["degraded"] = dict(results.degraded)
     return payload
 
 
@@ -78,6 +80,7 @@ def results_from_dict(payload: Dict) -> Results:
 
 #: Flat columns exported per sweep point.  ``availability`` and
 #: ``restart_time_s`` report 1.0 / 0.0 for recovery-disabled runs; the
+#: degraded-mode columns report 0.0 for media-disabled runs; the
 #: cluster columns report single-node identities (nodes=1, fractions
 #: and durations 0) for non-cluster runs.
 CSV_FIELDS = [
@@ -85,6 +88,7 @@ CSV_FIELDS = [
     "throughput_tps", "committed", "aborted", "cpu_utilization",
     "mm_hit", "nvem_cache_hit", "disk_cache_hit", "saturated",
     "availability", "restart_time_s",
+    "degraded_tps", "media_mttr_s", "io_retries",
     "nodes", "dist_fraction", "commit_phase_ms", "in_doubt_time",
     "dollars_per_tps",
 ]
@@ -113,6 +117,9 @@ def experiment_to_rows(result: ExperimentResult) -> List[Dict]:
                 "saturated": r.saturated,
                 "availability": r.availability,
                 "restart_time_s": r.restart_time_mean,
+                "degraded_tps": r.degraded_tps,
+                "media_mttr_s": r.media_mttr_mean,
+                "io_retries": r.io_retries,
                 "nodes": r.nodes,
                 "dist_fraction": r.dist_fraction,
                 "commit_phase_ms": r.commit_phase_ms,

@@ -32,15 +32,31 @@ from __future__ import annotations
 
 from repro.recovery.analytic import matched_recovery_model, page_time_estimates
 from repro.recovery.checkpoint import Checkpointer
-from repro.recovery.crash import CrashController, RestartReplayer, RestartStats
+from repro.recovery.crash import (
+    CrashController,
+    RedoGate,
+    RestartReplayer,
+    RestartStats,
+)
+from repro.recovery.media import (
+    MediaManager,
+    MediaRecoverer,
+    MediaRecoveryStats,
+    MediaTracker,
+)
 from repro.recovery.tracker import CrashSnapshot, RecoveryTracker
 
 __all__ = [
     "Checkpointer",
     "CrashController",
     "CrashSnapshot",
+    "MediaManager",
+    "MediaRecoverer",
+    "MediaRecoveryStats",
+    "MediaTracker",
     "RecoveryManager",
     "RecoveryTracker",
+    "RedoGate",
     "RestartReplayer",
     "RestartStats",
     "matched_recovery_model",
@@ -64,6 +80,10 @@ class RecoveryManager:
         # metrics collector to report availability counters.
         system.bm.recovery_tracker = self.tracker
         system.metrics.recovery_enabled = True
+        if system.config.recovery.online_redo:
+            # Online redo runs degraded windows even without media
+            # faults; make finalize emit the degraded block.
+            system.metrics.media_enabled = True
         self._started = False
 
     def start(self) -> None:

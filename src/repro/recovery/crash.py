@@ -36,8 +36,45 @@ from typing import Generator
 
 from repro.core.config import MEMORY, NVEM, UpdateStrategy
 from repro.recovery.tracker import CrashSnapshot, RecoveryTracker
+from repro.sim.core import Event
 
-__all__ = ["CrashController", "RestartReplayer", "RestartStats"]
+__all__ = ["CrashController", "RedoGate", "RestartReplayer", "RestartStats"]
+
+
+class RedoGate:
+    """Per-page admission gate for online (ARIES-style) redo.
+
+    While the redo pass runs, the buffer manager blocks any access to a
+    page still in ``pending`` until :meth:`page_done` releases it;
+    everything else proceeds at full speed.  Wait events are created
+    lazily per blocked page, so unblocked traffic pays one set lookup.
+    """
+
+    __slots__ = ("env", "pending", "_events")
+
+    def __init__(self, env, pending_keys):
+        self.env = env
+        self.pending = set(pending_keys)
+        self._events = {}
+
+    def wait(self, key) -> Generator:
+        """Block until ``key`` has been redone."""
+        while key in self.pending:
+            event = self._events.get(key)
+            if event is None:
+                event = self._events[key] = Event(self.env)
+            yield event
+
+    def page_done(self, key) -> None:
+        self.pending.discard(key)
+        event = self._events.pop(key, None)
+        if event is not None:
+            event.succeed()
+
+    def close(self) -> None:
+        """Release every remaining page (end of the redo pass)."""
+        for key in list(self.pending):
+            self.page_done(key)
 
 
 class RestartStats:
@@ -122,56 +159,70 @@ class RestartReplayer:
             system.metrics.record_io("restart_log_read")
 
     # -- redo ------------------------------------------------------------
+    def _redo_one(self, key, cm, redo_instr: float) -> Generator:
+        system = self.system
+        pidx = key[0]
+        part = system.config.partitions[pidx]
+        if part.allocation == MEMORY:
+            # No permanent device: the page is rebuilt in memory
+            # from the already-scanned log records.
+            burst = system.cpu.execute_event(None, redo_instr,
+                                             exponential=False)
+            if burst is not None:
+                yield burst
+        elif part.allocation == NVEM:
+            yield from system.cpu.execute_with_sync_access(
+                None, cm.instr_nvem,
+                system.storage.nvem_device.access("read"),
+            )
+            burst = system.cpu.execute_event(None, redo_instr,
+                                             exponential=False)
+            if burst is not None:
+                yield burst
+            yield from system.cpu.execute_with_sync_access(
+                None, cm.instr_nvem,
+                system.storage.nvem_device.access("write"),
+            )
+            system.metrics.record_io("restart_redo_read")
+            system.metrics.record_io("restart_redo_write")
+        else:
+            burst = system.cpu.execute_event(None, cm.instr_io,
+                                             exponential=False)
+            if burst is not None:
+                yield burst
+            yield from system.storage.read_page(pidx, part.name,
+                                                key[1])
+            burst = system.cpu.execute_event(None, redo_instr,
+                                             exponential=False)
+            if burst is not None:
+                yield burst
+            burst = system.cpu.execute_event(None, cm.instr_io,
+                                             exponential=False)
+            if burst is not None:
+                yield burst
+            yield from system.storage.write_page(pidx, part.name,
+                                                 key[1])
+            system.metrics.record_io("restart_redo_read")
+            system.metrics.record_io("restart_redo_write")
+
     def _redo(self, snapshot: CrashSnapshot,
               stats: RestartStats) -> Generator:
-        system = self.system
-        cm = system.config.cm
-        redo_instr = system.config.recovery.redo_instr
+        cm = self.system.config.cm
+        redo_instr = self.system.config.recovery.redo_instr
         for key in snapshot.dirty_pages:
-            pidx = key[0]
-            part = system.config.partitions[pidx]
-            if part.allocation == MEMORY:
-                # No permanent device: the page is rebuilt in memory
-                # from the already-scanned log records.
-                burst = system.cpu.execute_event(None, redo_instr,
-                                                 exponential=False)
-                if burst is not None:
-                    yield burst
-            elif part.allocation == NVEM:
-                yield from system.cpu.execute_with_sync_access(
-                    None, cm.instr_nvem,
-                    system.storage.nvem_device.access("read"),
-                )
-                burst = system.cpu.execute_event(None, redo_instr,
-                                                 exponential=False)
-                if burst is not None:
-                    yield burst
-                yield from system.cpu.execute_with_sync_access(
-                    None, cm.instr_nvem,
-                    system.storage.nvem_device.access("write"),
-                )
-                system.metrics.record_io("restart_redo_read")
-                system.metrics.record_io("restart_redo_write")
-            else:
-                burst = system.cpu.execute_event(None, cm.instr_io,
-                                                 exponential=False)
-                if burst is not None:
-                    yield burst
-                yield from system.storage.read_page(pidx, part.name,
-                                                    key[1])
-                burst = system.cpu.execute_event(None, redo_instr,
-                                                 exponential=False)
-                if burst is not None:
-                    yield burst
-                burst = system.cpu.execute_event(None, cm.instr_io,
-                                                 exponential=False)
-                if burst is not None:
-                    yield burst
-                yield from system.storage.write_page(pidx, part.name,
-                                                     key[1])
-                system.metrics.record_io("restart_redo_read")
-                system.metrics.record_io("restart_redo_write")
+            yield from self._redo_one(key, cm, redo_instr)
             stats.redo_pages += 1
+
+    def redo_online(self, snapshot: CrashSnapshot, stats: RestartStats,
+                    gate: RedoGate) -> Generator:
+        """The redo pass with admission open: each page is released to
+        waiting transactions the moment its records are re-applied."""
+        cm = self.system.config.cm
+        redo_instr = self.system.config.recovery.redo_instr
+        for key in snapshot.dirty_pages:
+            yield from self._redo_one(key, cm, redo_instr)
+            stats.redo_pages += 1
+            gate.page_done(key)
 
 
 class CrashController:
@@ -218,18 +269,52 @@ class CrashController:
         system.tm.interrupt_active("crash")
         if self.checkpointer is not None:
             self.checkpointer.on_crash()
+        recovery_cfg = system.config.recovery
+        extra_redo = ()
+        if recovery_cfg.volatile_cache_loss:
+            # Volatile disk-controller caches die with the power: their
+            # contents are dropped (post-restart reads miss) and their
+            # pages conservatively re-enter the redo set.
+            extra_redo = system.bm.drop_volatile_caches()
         snapshot = self.tracker.on_crash(
             time=crashed_at,
             log_tail=system.storage.log_page_count,
             in_flight=admitted,
+            extra_redo=extra_redo,
         )
         system.bm.crash_reset()
         # Let the interrupt carriers deliver so the victims unwind
         # (returning CPUs, withdrawing lock waits) before replay starts.
         yield self.env.timeout(0.0)
-        # 3. Restart replay through the real devices.
-        stats = yield from self.replayer.replay(snapshot)
-        self.restarts.append(stats)
-        system.metrics.record_crash(self.env.now - crashed_at, stats)
-        # 4. Reopen for business.
+        if not recovery_cfg.online_redo:
+            # 3. Restart replay through the real devices.
+            stats = yield from self.replayer.replay(snapshot)
+            self.restarts.append(stats)
+            system.metrics.record_crash(self.env.now - crashed_at, stats)
+            # 4. Reopen for business.
+            system.tm.go_online()
+            return
+        # 3. Online redo: the log scan still runs offline, but admission
+        #    reopens as soon as it completes — the redo pass runs with
+        #    transactions in flight, gated per page.  Down-time is the
+        #    crash-to-admission window only.
+        stats = RestartStats()
+        scan_start = self.env.now
+        yield from self.replayer._scan_log(snapshot, stats)
+        stats.log_scan_time = self.env.now - scan_start
+        gate = RedoGate(self.env, snapshot.dirty_pages)
+        system.bm.redo_gate = gate
+        system.metrics.note_outage_end()
+        downtime = self.env.now - crashed_at
         system.tm.go_online()
+        system.metrics.note_degraded_start()
+        redo_start = self.env.now
+        try:
+            yield from self.replayer.redo_online(snapshot, stats, gate)
+        finally:
+            system.bm.redo_gate = None
+            gate.close()
+            system.metrics.note_degraded_end()
+        stats.redo_time = self.env.now - redo_start
+        self.restarts.append(stats)
+        system.metrics.record_crash(downtime, stats, outage_open=False)

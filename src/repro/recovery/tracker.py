@@ -128,15 +128,26 @@ class RecoveryTracker:
             scan_from = min(scan_from, oldest_rec - 1)
         return max(0, scan_from)
 
-    def on_crash(self, time: float, log_tail: int,
-                 in_flight: int) -> CrashSnapshot:
-        """Freeze the restart input and drop the (lost) volatile DPT."""
+    def on_crash(self, time: float, log_tail: int, in_flight: int,
+                 extra_redo=()) -> CrashSnapshot:
+        """Freeze the restart input and drop the (lost) volatile DPT.
+
+        ``extra_redo`` adds pages beyond the DPT to the redo set —
+        pages held in *volatile* disk-controller caches at the crash.
+        The restart cannot trust those copies, so it conservatively
+        re-reads and re-applies them; their permanent copies are current
+        (volatile caches are write-through), so the scan start is
+        unaffected.  The redo set is therefore always a superset of the
+        dirty-page table (property-tested).
+        """
+        redo = set(self.dirty_pages)
+        redo.update(extra_redo)
         snapshot = CrashSnapshot(
             time=time,
             log_tail=log_tail,
             checkpoint_lsn=self.checkpoint_lsn,
             scan_from_lsn=self.scan_from_lsn(),
-            dirty_pages=sorted(self.dirty_pages),
+            dirty_pages=sorted(redo),
             in_flight=in_flight,
         )
         self.dirty_pages.clear()

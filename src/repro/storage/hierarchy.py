@@ -23,10 +23,12 @@ from typing import Dict, Generator, Optional
 from repro.core.config import (
     MEMORY,
     NVEM,
+    DeviceSpec,
     SystemConfig,
 )
 from repro.sim import Environment, RandomStreams
 from repro.storage.device import StorageDevice
+from repro.storage.faults import DeviceFaultGate, MediaState, NVEMFaultGate
 from repro.storage.registry import make_device
 
 __all__ = ["StorageSubsystem"]
@@ -48,6 +50,36 @@ class StorageSubsystem:
             spec.name: make_device(spec, env, streams)
             for spec in config.device_specs()
         }
+        #: Media-fault state and archive device (None when media is off).
+        self.media_state: Optional[MediaState] = None
+        self.archive_device: Optional[StorageDevice] = None
+        #: Written-page tracker for archive-based media recovery, attached
+        #: by the MediaManager (stays None otherwise).
+        self.media_tracker = None
+        if config.media.enabled:
+            self.media_state = MediaState(env, config.media)
+            # Gate only the devices the fault schedule names: every other
+            # device keeps its raw object, so an empty schedule leaves
+            # the run bit-identical to a media-disabled build.
+            for name in list(self.units):
+                if self.media_state.is_faulted(name):
+                    self.units[name] = DeviceFaultGate(
+                        self.units[name], self.media_state)
+            if self.media_state.is_faulted(NVEM):
+                self.nvem_device = NVEMFaultGate(
+                    self.nvem_device, self.media_state)
+            # The archive device exists only when a loss is actually
+            # scheduled (or a spec explicitly given): an empty schedule
+            # then differs from a media-disabled run by nothing at all.
+            spec = config.media.archive_device
+            if spec is None and any(fault.kind == "loss"
+                                    for fault in config.media.faults):
+                spec = DeviceSpec(
+                    kind="regular", name="archive0",
+                    params={"num_controllers": 2, "num_disks": 8,
+                            "disk_delay": 0.005})
+            if spec is not None:
+                self.archive_device = make_device(spec, env, streams)
         #: partition name -> allocation target string
         self._alloc: Dict[str, str] = {
             part.name: part.allocation for part in config.partitions
@@ -124,8 +156,22 @@ class StorageSubsystem:
             raise RuntimeError(
                 f"write_page called for resident partition {partition!r}"
             )
+        if self.media_tracker is not None:
+            self.media_tracker.note_write(
+                self._alloc[partition], (partition_index, page_no))
         result = yield from unit.write((partition_index, page_no))
         return result
+
+    def inner_unit(self, name: str) -> StorageDevice:
+        """The raw device behind ``name``, bypassing any fault gate (the
+        media recoverer writes restored pages through this)."""
+        unit = self.units[name]
+        return getattr(unit, "inner", unit)
+
+    @property
+    def inner_nvem(self):
+        """The raw NVEM device, bypassing any fault gate."""
+        return getattr(self.nvem_device, "inner", self.nvem_device)
 
     def write_log_to_unit(self, page_no: int) -> Generator:
         """Write one log page to the log's disk unit."""
@@ -149,6 +195,8 @@ class StorageSubsystem:
         self.nvem_device.reset_stats()
         for unit in self.units.values():
             unit.reset_stats()
+        if self.archive_device is not None:
+            self.archive_device.reset_stats()
 
     def utilization_report(self) -> Dict[str, Dict[str, float]]:
         report: Dict[str, Dict[str, float]] = {
@@ -156,4 +204,7 @@ class StorageSubsystem:
         }
         for name, unit in self.units.items():
             report[name] = unit.utilization_report()
+        if self.archive_device is not None:
+            report[self.archive_device.name] = \
+                self.archive_device.utilization_report()
         return report

@@ -158,3 +158,57 @@ class TestUncacheable:
 
         data = canonical_data(Hooked())
         assert data["data"] == {"stable": 42}
+
+
+class TestMediaFingerprint:
+    """Media-fault knobs are part of the cache key: a cached fault-free
+    point must never be served for a faulted rerun (regression for the
+    content-addressed result cache)."""
+
+    @staticmethod
+    def _key(**kwargs):
+        from repro.workload.synthetic import SyntheticWorkload
+        from tests.recovery.conftest import media_synthetic_config
+
+        config = media_synthetic_config(**kwargs)
+        workload = SyntheticWorkload(config)
+        return point_fingerprint(config, workload, 1.0, 5.0, seed=3)
+
+    def test_fault_schedule_misses_cache(self):
+        from repro.core.config import DeviceFault
+
+        base = self._key()
+        loss = self._key(
+            faults=(DeviceFault(device="db0", time=5.0, kind="loss"),))
+        transient = self._key(
+            faults=(DeviceFault(device="db0", time=5.0, kind="transient",
+                                duration=0.5),))
+        assert len({base, loss, transient}) == 3
+
+    def test_fault_instant_misses_cache(self):
+        from repro.core.config import DeviceFault
+
+        early = self._key(
+            faults=(DeviceFault(device="db0", time=4.0, kind="loss"),))
+        late = self._key(
+            faults=(DeviceFault(device="db0", time=5.0, kind="loss"),))
+        assert early != late
+
+    def test_log_mirror_misses_cache(self):
+        from repro.core.config import NVEM
+
+        single = self._key(log_device=NVEM)
+        dual = self._key(log_device=NVEM, log_mirror=True)
+        assert single != dual
+
+    def test_archive_knobs_miss_cache(self):
+        from repro.core.config import DeviceFault
+
+        fault = (DeviceFault(device="db0", time=5.0, kind="loss"),)
+        base = self._key(faults=fault)
+        assert self._key(faults=fault, archive_interval=9.0) != base
+        assert self._key(faults=fault, archive_batch=4096) != base
+
+    def test_media_toggle_misses_cache(self):
+        assert self._key(media_enabled=True) != \
+            self._key(media_enabled=False)

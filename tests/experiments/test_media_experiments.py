@@ -1,0 +1,188 @@
+"""The registered media experiments and their expected shapes.
+
+Acceptance contract of the media subsystem at figure scale: the lost
+database device is rebuilt inside the sweep window while throughput
+stays positive, mirroring costs a small constant on commit latency,
+and both experiments export/cache byte-identically.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.api import (
+    ExperimentRunner,
+    SweepProfile,
+    experiment_ids,
+    get_experiment,
+)
+from repro.experiments.export import (
+    CSV_FIELDS,
+    experiment_to_dict,
+    experiment_to_rows,
+    read_json,
+    write_csv,
+    write_json,
+)
+from repro.experiments.media import (
+    _media_curves,
+    media_recovery_summary,
+    mirroring_summary,
+)
+from repro.experiments.store import ResultStore
+
+
+def shrunk_media_spec():
+    """fig_media_recovery cut to one curve and one x: every figure
+    mechanism (loss, rebuild, degraded metrics, export) at a fraction
+    of the sweep cost."""
+    spec = get_experiment("fig_media_recovery")
+    profile = SweepProfile(xs=(4.0,), warmup=2.0, duration=40.0)
+    return dataclasses.replace(
+        spec,
+        id="_media_shrunk",
+        curves=lambda _profile: [_media_curves("fast")[1]],
+        profiles={"fast": profile, "full": profile},
+    )
+
+
+@pytest.fixture(scope="module")
+def media_point():
+    return ExperimentRunner().run_one(shrunk_media_spec(),
+                                      profile="fast")
+
+
+@pytest.fixture(scope="module")
+def mirroring_fast():
+    return ExperimentRunner().run_one(get_experiment("ablation_mirroring"),
+                                      profile="fast")
+
+
+class TestRegistration:
+    def test_specs_registered_with_profiles(self):
+        ids = experiment_ids()
+        for exp_id in ("fig_media_recovery", "ablation_mirroring"):
+            assert exp_id in ids
+            spec = get_experiment(exp_id)
+            assert spec.id == exp_id
+            assert set(spec.profiles) == {"fast", "full"}
+            assert not spec.truncate_on_saturation
+
+    def test_fig4_1_stays_media_free(self):
+        """The pinned golden figure must never grow a fault schedule:
+        media stays default-off in its configs."""
+        spec = get_experiment("fig4_1")
+        curves = spec.curves
+        if callable(curves):
+            curves = curves("fast")
+        for curve in curves:
+            config, _workload = curve.build(50.0)
+            assert config.media.enabled is False
+            assert config.media.faults == ()
+
+
+class TestMediaRecoveryShapes:
+    def test_rebuild_completes_with_positive_degraded_tps(self,
+                                                          media_point):
+        summary = media_recovery_summary(media_point)
+        (label, by_x), = summary.items()
+        assert label == "NVEM log"
+        (interval, degraded), = by_x.items()
+        assert interval == 4.0
+        assert degraded["media_recoveries"] == 1
+        assert degraded["media_mttr_mean"] > 0
+        assert degraded["degraded_window"] > 0
+        assert degraded["degraded_tps"] > 0
+        assert degraded["media_restore_pages"] > 0
+        assert degraded["media_redo_pages"] > 0
+
+    def test_renderer_reports_rebuild_and_degraded(self, media_point):
+        text = get_experiment("fig_media_recovery").render(media_point)
+        assert "rebuild" in text
+        assert "TPS degraded" in text
+        assert "restored" in text
+
+
+class TestMirroringShapes:
+    def test_dual_copy_costs_latency_at_every_rate(self, mirroring_fast):
+        summary = mirroring_summary(mirroring_fast)
+        single = summary["single log copy"]
+        dual = summary["dual copy (mirrored)"]
+        assert set(single) == set(dual) == {50.0, 150.0}
+        for rate in single:
+            assert dual[rate] > single[rate]
+            # A second synchronous NVEM force: a fraction of a
+            # millisecond, not a regime change.
+            assert dual[rate] - single[rate] < 1.0
+
+    def test_mirror_force_visible_in_io_accounting(self, mirroring_fast):
+        by_label = {s.label: s for s in mirroring_fast.series}
+        for point in by_label["dual copy (mirrored)"].points:
+            io = point.results.io_per_tx
+            # Both copies are forced in the same commit, but the warm-up
+            # reset can land between the two records of one transaction:
+            # allow a couple of boundary counts, no more.
+            assert io["log_nvem_mirror"] > 0.9
+            boundary = 3.0 / max(point.results.committed, 1)
+            assert abs(io["log_nvem"] - io["log_nvem_mirror"]) <= boundary
+        for point in by_label["single log copy"].points:
+            assert "log_nvem_mirror" not in point.results.io_per_tx
+
+    def test_renderer_prints_penalty(self, mirroring_fast):
+        text = get_experiment("ablation_mirroring").render(mirroring_fast)
+        assert "mirroring penalty" in text
+
+    def test_no_faults_means_no_degraded_block(self, mirroring_fast):
+        for series in mirroring_fast.series:
+            for point in series.points:
+                assert point.results.degraded is None
+
+
+class TestExport:
+    def test_csv_rows_carry_degraded_columns(self, media_point,
+                                             mirroring_fast, tmp_path):
+        for field in ("degraded_tps", "media_mttr_s", "io_retries"):
+            assert field in CSV_FIELDS
+        row = experiment_to_rows(media_point)[0]
+        assert row["media_mttr_s"] > 0
+        assert row["degraded_tps"] > 0
+        # Media-disabled runs export the columns as 0.0, not NaN/missing.
+        row = experiment_to_rows(mirroring_fast)[0]
+        assert row["media_mttr_s"] == 0.0
+        assert row["io_retries"] == 0.0
+        path = tmp_path / "media.csv"
+        write_csv(media_point, str(path))
+        header = path.read_text().splitlines()[0].split(",")
+        assert header == CSV_FIELDS
+
+    def test_degraded_block_round_trips_through_json(self, media_point,
+                                                     tmp_path):
+        path = tmp_path / "media.json"
+        write_json(media_point, str(path))
+        reloaded = read_json(str(path))
+        assert reloaded == media_point
+        payload = json.loads(path.read_text())
+        degraded = payload["series"][0]["points"][0]["results"]["degraded"]
+        assert degraded["media_recoveries"] == 1
+
+
+class TestByteIdenticalAcrossModes:
+    def canonical(self, result) -> str:
+        return json.dumps(experiment_to_dict(result), sort_keys=True,
+                          separators=(",", ":"))
+
+    def test_serial_parallel_and_cached_identical(self, media_point,
+                                                  tmp_path):
+        spec = shrunk_media_spec()
+        parallel = ExperimentRunner(parallel=True).run_one(spec, "fast")
+        store = ResultStore(str(tmp_path))
+        cold_runner = ExperimentRunner(store=store)
+        cold = cold_runner.run_one(spec, "fast")
+        warm_runner = ExperimentRunner(store=store)
+        warm = warm_runner.run_one(spec, "fast")
+        serial_bytes = self.canonical(media_point)
+        assert self.canonical(parallel) == serial_bytes
+        assert self.canonical(cold) == serial_bytes
+        assert self.canonical(warm) == serial_bytes
+        assert warm_runner.last_stats.hits == warm_runner.last_stats.total

@@ -1,6 +1,7 @@
 """Shared builders for the crash-recovery tests."""
 
 from repro.core.config import (
+    NVEM,
     CCMode,
     LogAllocation,
     PartitionConfig,
@@ -77,5 +78,47 @@ def matched_synthetic_config(rate=50.0, interval=10.0, crash_at=15.0,
 
 def matched_synthetic_system(seed=3, **kwargs):
     config = matched_synthetic_config(**kwargs)
+    workload = NoPrewarm(SyntheticWorkload(config))
+    return TransactionSystem(config, workload, seed=seed)
+
+
+def media_synthetic_config(rate=40.0, data_pages=20_000,
+                           allocation="db0", log_device="log0",
+                           faults=(), archive_interval=5.0,
+                           log_mirror=False, archive_batch=512,
+                           media_enabled=True, buffer_size=600):
+    """Small uniform-update config for media-failure tests: the DATA
+    partition is ~20k pages, so a full device rebuild fits in a few
+    simulated seconds instead of the Debit-Credit bank's minutes.  The
+    buffer is small on purpose: replacement starts evicting dirty pages
+    within the first simulated seconds, so a loss finds pages written
+    since the last archive copy (a non-empty log-redo phase)."""
+    partitions = [PartitionConfig("DATA", num_objects=data_pages * 10,
+                                  block_factor=10, cc_mode=CCMode.PAGE,
+                                  allocation=allocation)]
+    tx = TransactionTypeConfig("update", arrival_rate=rate, tx_size=3,
+                               write_prob=1.0,
+                               reference_matrix={"DATA": 1.0})
+    config = SystemConfig(
+        partitions=partitions,
+        disk_units=[db_disk_unit("db0", num_disks=16,
+                                 num_controllers=4),
+                    log_disk_unit("log0", num_disks=8)],
+        nvem=default_nvem(),
+        cm=default_cm(buffer_size=buffer_size),
+        log=LogAllocation(device=log_device),
+        tx_types=[tx],
+    )
+    config.media.enabled = media_enabled
+    config.media.faults = tuple(faults)
+    config.media.archive_interval = archive_interval
+    config.media.archive_batch_pages = archive_batch
+    config.recovery.log_mirror = log_mirror
+    config.validate()
+    return config
+
+
+def media_synthetic_system(seed=3, **kwargs):
+    config = media_synthetic_config(**kwargs)
     workload = NoPrewarm(SyntheticWorkload(config))
     return TransactionSystem(config, workload, seed=seed)

@@ -1,0 +1,142 @@
+"""End-to-end media failure: device loss, archive rebuild, dual-copy
+log survival, and the unrecoverable configurations."""
+
+import pytest
+
+from repro.core.config import (
+    LOG_COPY_MIRROR,
+    LOG_COPY_PRIMARY,
+    NVEM,
+    DeviceFault,
+)
+from repro.experiments.export import results_to_dict
+from repro.storage.faults import MediaUnrecoverableError
+
+from tests.recovery.conftest import media_synthetic_system
+
+DATA_PAGES = 20_000
+
+
+def loss(device, at):
+    return DeviceFault(device=device, time=at, kind="loss")
+
+
+class TestDeviceLoss:
+    def test_disk_loss_rebuilds_and_keeps_committing(self):
+        system = media_synthetic_system(
+            faults=(loss("db0", 6.0),), archive_interval=4.0)
+        results = system.run(warmup=2.0, duration=30.0)
+        assert len(system.media.recoveries) == 1
+        stats = system.media.recoveries[0]
+        assert stats.device == "db0"
+        assert stats.restore_pages == DATA_PAGES
+        assert stats.redo_pages > 0
+        assert stats.duration > 0
+        assert results.media_mttr_mean == pytest.approx(stats.duration)
+        # Fully healed: nothing lost, nothing mid-restore, and the
+        # system committed work both during and after the rebuild.
+        state = system.storage.media_state
+        assert not state.lost and not state.restoring
+        assert results.degraded["degraded_window"] > 0
+        assert results.degraded_tps > 0
+        assert results.committed > 0
+        assert results.degraded["media_restore_pages"] == DATA_PAGES
+
+    def test_loss_run_matches_fault_free_shape(self):
+        """The faulted run heals: it ends with every device current and
+        keeps delivering (its commit count is within the fault-free
+        run's, never higher, and positive through the degraded window)."""
+        faulted = media_synthetic_system(
+            faults=(loss("db0", 6.0),), archive_interval=4.0)
+        clean = media_synthetic_system()
+        r_faulted = faulted.run(warmup=2.0, duration=30.0)
+        r_clean = clean.run(warmup=2.0, duration=30.0)
+        assert r_clean.degraded["media_recoveries"] == 0
+        assert r_faulted.degraded["media_recoveries"] == 1
+        assert 0 < r_faulted.committed <= r_clean.committed
+        # Every arrival is eventually served: the rebuild delays
+        # transactions, it never drops them.
+        assert r_faulted.aborted == 0
+
+    def test_nvem_loss_rebuilds_resident_partitions(self):
+        # Data lives in the NVEM bank, the log on disk: losing the bank
+        # is then recoverable (losing it with an NVEM log would not be).
+        system = media_synthetic_system(
+            allocation=NVEM,
+            faults=(loss(NVEM, 6.0),), archive_interval=4.0)
+        results = system.run(warmup=2.0, duration=30.0)
+        assert len(system.media.recoveries) == 1
+        stats = system.media.recoveries[0]
+        assert stats.device == NVEM
+        assert stats.restore_pages == DATA_PAGES
+        assert results.media_mttr_mean > 0
+        assert results.committed > 0
+        assert not system.storage.media_state.lost
+
+    def test_identical_loss_runs_are_bit_identical(self):
+        dicts = []
+        for _ in range(2):
+            system = media_synthetic_system(
+                faults=(loss("db0", 6.0),), archive_interval=4.0)
+            dicts.append(results_to_dict(
+                system.run(warmup=2.0, duration=30.0)))
+        assert dicts[0] == dicts[1]
+
+    def test_older_archive_means_more_redo(self):
+        """Loss just before an archiver tick: a longer interval leaves
+        an older newest-archive, so more log redo at the rebuild."""
+        redo_pages = {}
+        for interval in (3.0, 9.0):
+            system = media_synthetic_system(
+                faults=(loss("db0", 8.9),), archive_interval=interval)
+            system.run(warmup=2.0, duration=35.0)
+            assert len(system.media.recoveries) == 1
+            redo_pages[interval] = system.media.recoveries[0].redo_pages
+        assert redo_pages[9.0] > redo_pages[3.0]
+
+
+class TestMirroredLog:
+    def test_single_copy_loss_survives_and_resilvers(self):
+        system = media_synthetic_system(
+            log_device=NVEM, log_mirror=True,
+            faults=(loss(LOG_COPY_MIRROR, 6.0),))
+        results = system.run(warmup=2.0, duration=25.0)
+        # Commits ran through the loss on the surviving copy, and the
+        # mirror force shows up in the I/O accounting.
+        assert results.committed > 0
+        assert results.io_per_tx["log_nvem"] > 0
+        assert results.io_per_tx["log_nvem_mirror"] > 0
+        assert len(system.media.recoveries) == 1
+        stats = system.media.recoveries[0]
+        assert stats.device == LOG_COPY_MIRROR
+        assert stats.log_pages > 0
+        assert not system.storage.media_state.lost_log_copies
+
+    def test_mirroring_costs_commit_latency(self):
+        single = media_synthetic_system(log_device=NVEM)
+        dual = media_synthetic_system(log_device=NVEM, log_mirror=True)
+        r_single = single.run(warmup=2.0, duration=15.0)
+        r_dual = dual.run(warmup=2.0, duration=15.0)
+        assert r_dual.response_time_mean > r_single.response_time_mean
+        assert r_dual.io_per_tx["log_nvem_mirror"] == pytest.approx(
+            r_dual.io_per_tx["log_nvem"])
+
+    def test_unmirrored_copy_loss_is_unrecoverable(self):
+        system = media_synthetic_system(
+            log_device=NVEM,
+            faults=(loss(LOG_COPY_PRIMARY, 4.0),))
+        with pytest.raises(MediaUnrecoverableError):
+            system.run(warmup=2.0, duration=15.0)
+
+    def test_both_copies_lost_is_unrecoverable(self):
+        system = media_synthetic_system(
+            log_device=NVEM, log_mirror=True,
+            faults=(loss(LOG_COPY_PRIMARY, 4.0),
+                    loss(LOG_COPY_MIRROR, 4.01)))
+        with pytest.raises(MediaUnrecoverableError):
+            system.run(warmup=2.0, duration=15.0)
+
+    def test_disk_log_unit_loss_is_unrecoverable(self):
+        system = media_synthetic_system(faults=(loss("log0", 4.0),))
+        with pytest.raises(MediaUnrecoverableError):
+            system.run(warmup=2.0, duration=15.0)

@@ -1,0 +1,213 @@
+"""Device-fault gates: schedule validation, deterministic retry/backoff,
+loss blocking, and the empty-schedule purity contract."""
+
+import pytest
+
+from repro.core.config import (
+    LOG_COPY_MIRROR,
+    DeviceFault,
+    MediaConfig,
+)
+from repro.sim import Environment
+from repro.storage.faults import DeviceFaultGate, MediaState
+
+from tests.recovery.conftest import (
+    media_synthetic_config,
+    media_synthetic_system,
+)
+
+
+class FakeDevice:
+    """Minimal inner device: fixed-latency read/write, call counting."""
+
+    def __init__(self, env, name="db0", latency=0.001):
+        self.env = env
+        self.name = name
+        self.latency = latency
+        self.cache = None
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, key):
+        self.reads += 1
+        yield self.env.timeout(self.latency)
+        return None
+
+    def write(self, key):
+        self.writes += 1
+        yield self.env.timeout(self.latency)
+        return None
+
+    def reset_stats(self):
+        pass
+
+    def utilization_report(self):
+        return {}
+
+
+def gated_device(faults, **cfg_kwargs):
+    env = Environment()
+    cfg = MediaConfig(enabled=True, faults=tuple(faults), **cfg_kwargs)
+    state = MediaState(env, cfg)
+    inner = FakeDevice(env)
+    return env, state, inner, DeviceFaultGate(inner, state)
+
+
+class TestConfigValidation:
+    def test_fault_kinds_validated(self):
+        with pytest.raises(ValueError):
+            DeviceFault(device="db0", time=1.0, kind="bogus").validate()
+        with pytest.raises(ValueError):
+            DeviceFault(device="db0", time=1.0, kind="transient",
+                        duration=0.0).validate()
+        with pytest.raises(ValueError):
+            DeviceFault(device="db0", time=1.0, kind="loss",
+                        duration=2.0).validate()
+        with pytest.raises(ValueError):
+            DeviceFault(device="", time=1.0).validate()
+
+    def test_faults_require_enabled_subsystem(self):
+        with pytest.raises(ValueError):
+            media_synthetic_config(
+                media_enabled=False,
+                faults=(DeviceFault(device="db0", time=1.0),))
+
+    def test_unknown_fault_target_rejected(self):
+        with pytest.raises(ValueError):
+            media_synthetic_config(
+                faults=(DeviceFault(device="nosuch", time=1.0),))
+
+    def test_mirror_copy_fault_requires_mirroring(self):
+        with pytest.raises(ValueError):
+            media_synthetic_config(
+                log_device="nvem",
+                faults=(DeviceFault(device=LOG_COPY_MIRROR, time=1.0),))
+
+    def test_log_mirror_requires_nvem_log(self):
+        with pytest.raises(ValueError):
+            media_synthetic_config(log_mirror=True)
+
+
+class TestRetryBackoff:
+    def test_no_window_is_pure_delegation(self):
+        env, state, inner, gate = gated_device(
+            [DeviceFault(device="db0", time=5.0, kind="transient",
+                         duration=1.0)])
+        done = env.process(gate.read((0, 1)))
+        env.run(until=done)
+        assert inner.reads == 1
+        assert state.io_retries == 0
+        assert env.now == pytest.approx(inner.latency)
+
+    def test_retries_until_window_closes_deterministically(self):
+        env, state, inner, gate = gated_device(
+            [DeviceFault(device="db0", time=1.0, kind="transient",
+                         duration=0.2)],
+            error_latency=0.01, retry_backoff=0.02,
+            retry_backoff_factor=2.0, retry_backoff_max=0.05)
+
+        def driver():
+            yield env.timeout(1.0)
+            yield from gate.read((0, 7))
+
+        done = env.process(driver())
+        env.run(until=done)
+        # Attempts at 1.00, 1.03, 1.08, 1.14, 1.20 (backoff 0.02,
+        # 0.04, 0.05, 0.05 after the 0.01 error latency each): the
+        # fourth retry lands exactly at the window edge and succeeds.
+        assert state.io_retries == 4
+        assert state.retries_by_device == {"db0": 4}
+        assert env.now == pytest.approx(1.20 + inner.latency)
+        assert inner.reads == 1
+
+    def test_identical_schedules_replay_identically(self):
+        times = []
+        for _ in range(2):
+            env, state, inner, gate = gated_device(
+                [DeviceFault(device="db0", time=0.5, kind="transient",
+                             duration=0.3)])
+
+            def driver():
+                yield env.timeout(0.6)
+                yield from gate.write((1, 2))
+
+            done = env.process(driver())
+            env.run(until=done)
+            times.append((env.now, state.io_retries))
+        assert times[0] == times[1]
+
+
+class TestLossBlocking:
+    def test_access_blocks_until_page_restored(self):
+        env, state, inner, gate = gated_device(
+            [DeviceFault(device="db0", time=1.0, kind="loss")])
+        state.mark_lost("db0")
+        finished = []
+
+        def reader():
+            yield from gate.read((0, 3))
+            finished.append(env.now)
+
+        env.process(reader())
+        env.run(until=2.0)
+        assert not finished  # blocked: page not yet restored
+        state.begin_restore("db0")
+        state.page_restored("db0", (0, 3))
+        env.run(until=3.0)
+        assert finished and finished[0] == pytest.approx(
+            2.0 + inner.latency)
+
+    def test_finish_restore_releases_everything(self):
+        env, state, inner, gate = gated_device(
+            [DeviceFault(device="db0", time=1.0, kind="loss")])
+        state.mark_lost("db0")
+        state.begin_restore("db0")
+        finished = []
+
+        def reader(key):
+            yield from gate.read(key)
+            finished.append(key)
+
+        for page in range(4):
+            env.process(reader((0, page)))
+        env.run(until=1.0)
+        assert not finished
+        state.finish_restore("db0")
+        env.run(until=2.0)
+        assert sorted(finished) == [(0, page) for page in range(4)]
+        assert "db0" not in state.lost
+
+    def test_availability_queries(self):
+        env = Environment()
+        state = MediaState(env, MediaConfig(
+            enabled=True,
+            faults=(DeviceFault(device="db0", time=1.0, kind="loss"),)))
+        assert state.available("db0", (0, 1))  # not lost yet
+        state.mark_lost("db0")
+        assert not state.available("db0", (0, 1))
+        state.begin_restore("db0")
+        state.page_restored("db0", (0, 1))
+        assert state.available("db0", (0, 1))
+        assert not state.available("db0", (0, 2))
+        state.finish_restore("db0")
+        assert state.available("db0", (0, 2))
+
+
+class TestEmptySchedulePurity:
+    def test_no_gates_no_archive_without_faults(self):
+        system = media_synthetic_system()
+        assert system.storage.media_state is not None
+        assert system.storage.archive_device is None
+        assert system.storage.media_tracker is None
+        for unit in system.storage.units.values():
+            assert not isinstance(unit, DeviceFaultGate)
+
+    def test_gates_only_around_named_devices(self):
+        system = media_synthetic_system(
+            faults=(DeviceFault(device="db0", time=1e9, kind="loss"),))
+        assert isinstance(system.storage.units["db0"], DeviceFaultGate)
+        assert not isinstance(system.storage.units["log0"],
+                              DeviceFaultGate)
+        assert system.storage.archive_device is not None
+        assert system.storage.inner_unit("db0") is \
+            system.storage.units["db0"].inner
