@@ -72,6 +72,9 @@ TOLERANCE_OVERRIDES: Dict[str, float] = {
     # Seconds-long and capped at 2 repeats, so min-of-N smooths less of
     # the shared-runner noise than for the millisecond benchmarks.
     "media_redo": 0.60,
+    # Three back-to-back 1 s end-to-end runs per repetition; the same
+    # shared-runner noise argument applies.
+    "trace_overhead": 0.60,
 }
 
 #: (name, workload, description, max_repeats).  ``max_repeats`` caps the

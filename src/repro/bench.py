@@ -54,6 +54,7 @@ __all__ = [
     "bench_restart_replay",
     "bench_same_instant_batch",
     "bench_scheduler_insert_pop",
+    "bench_trace_overhead",
     "calibration",
 ]
 
@@ -314,6 +315,39 @@ def bench_cluster_2pc_commit() -> int:
     return results.committed
 
 
+def bench_trace_overhead() -> int:
+    """The traced Debit-Credit second: tracer off, sampled 1/10, full.
+
+    Three back-to-back runs of the ``debit_credit`` kernel second with
+    tracing disabled, sampling every 10th transaction, and tracing
+    every transaction.  The reported time bounds the *worst-case* cost
+    of leaving span tracing on; the off-run inside the same measurement
+    keeps the ratio honest against machine drift.
+    """
+    import dataclasses
+
+    from repro.core.model import TransactionSystem
+    from repro.experiments.defaults import debit_credit_config, disk_only
+    from repro.workload.debit_credit import DebitCreditWorkload
+
+    spans = 0
+    committed = 0
+    for sample, enabled in ((1, False), (10, True), (1, True)):
+        config = debit_credit_config(disk_only())
+        config.trace = dataclasses.replace(
+            config.trace, enabled=enabled, sample=sample)
+        system = TransactionSystem(
+            config, DebitCreditWorkload(arrival_rate=200))
+        results = system.run(warmup=0.5, duration=1.0)
+        assert results.committed > 100
+        committed += results.committed
+        if enabled:
+            assert system.tracer is not None and system.tracer.spans
+            spans += len(system.tracer.spans)
+    assert spans > 0
+    return committed
+
+
 def bench_fig4_1_fast_sweep() -> int:
     """The registry-driven fig4_1 fast sweep, serial, end to end."""
     from repro.experiments.api import ExperimentRunner, get_experiment
@@ -391,6 +425,9 @@ WORKLOADS = {
     "cluster_2pc_commit": (
         bench_cluster_2pc_commit,
         "1 s of 2-node sharded Debit-Credit, 50% distributed via 2PC"),
+    "trace_overhead": (
+        bench_trace_overhead,
+        "3x 1 s 200 TPS Debit-Credit: tracer off / sampled 1/10 / full"),
     "fig4_1_fast_sweep": (
         bench_fig4_1_fast_sweep,
         "fig4_1 fast profile through the experiment registry"),

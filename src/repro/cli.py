@@ -11,6 +11,9 @@ Examples::
     python -m repro experiment run --all --profile full --cache --resume
     python -m repro watch
     python -m repro cache stats
+    python -m repro trace run fig4_1 --profile fast --summary
+    python -m repro trace export fig4_1.trace.jsonl
+    python -m repro trace summary fig4_1.trace.jsonl
     python -m repro trace-gen --out workload.trace --transactions 2000
     python -m repro trace-run --trace workload.trace --kind nvem --mm 500
 """
@@ -268,6 +271,57 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="run under cProfile, write the pstats dump "
                             "to this path and print the top 25 "
                             "cumulative entries to stderr")
+
+    trace = sub.add_parser(
+        "trace",
+        help="transaction-level tracing: record, export and summarize "
+             "span traces of a registered experiment",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_run = trace_sub.add_parser(
+        "run", help="re-run one experiment with span tracing on and "
+                    "write a JSONL trace (results are byte-identical "
+                    "to the untraced run)")
+    trace_run.add_argument("id", metavar="ID",
+                           help="experiment id (see 'experiment list')")
+    trace_run.add_argument("--out", metavar="PATH", default=None,
+                           help="trace output path "
+                                "(default: <id>.trace.jsonl)")
+    trace_run.add_argument("--profile", choices=("fast", "full"),
+                           default="fast",
+                           help="sweep resolution (default: fast)")
+    trace_run.add_argument("--sample", type=int, default=1, metavar="N",
+                           help="trace every Nth transaction "
+                                "(default: 1 = all)")
+    trace_run.add_argument("--seed", type=int, default=None, metavar="N",
+                           help="override the spec's base seed")
+    trace_run.add_argument("--telemetry", type=float, default=0.0,
+                           metavar="SECONDS",
+                           help="also sample time-series gauges every "
+                                "SECONDS of simulated time (default: off)")
+    trace_run.add_argument("--summary", action="store_true",
+                           help="print per-point latency attribution "
+                                "after the run")
+
+    trace_export = trace_sub.add_parser(
+        "export", help="convert a JSONL trace to Chrome/Perfetto "
+                       "trace-event JSON (open in ui.perfetto.dev)")
+    trace_export.add_argument("trace", metavar="TRACE",
+                              help="JSONL trace written by 'trace run'")
+    trace_export.add_argument("--out", metavar="PATH", default=None,
+                              help="output path "
+                                   "(default: <trace>.perfetto.json)")
+
+    trace_summary = trace_sub.add_parser(
+        "summary", help="per-phase latency attribution tables from a "
+                        "JSONL trace (phases sum to the measured "
+                        "response time)")
+    trace_summary.add_argument("trace", metavar="TRACE",
+                               help="JSONL trace written by 'trace run'")
+    trace_summary.add_argument("--validate", action="store_true",
+                               help="schema-check every record while "
+                                    "reading")
 
     gen = sub.add_parser("trace-gen",
                          help="generate a synthetic real-life trace")
@@ -645,6 +699,70 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Record, export or summarize transaction-level span traces."""
+    if args.trace_command == "run":
+        from repro.trace import run_traced
+
+        if args.id not in api.experiment_ids():
+            print(f"error: unknown experiment {args.id!r} "
+                  "(try 'repro experiment list')", file=sys.stderr)
+            return 2
+        if args.sample < 1:
+            print(f"error: --sample must be >= 1, got {args.sample}",
+                  file=sys.stderr)
+            return 2
+        out = args.out or f"{args.id}.trace.jsonl"
+        result, header, points = run_traced(
+            args.id, out, profile=args.profile, sample=args.sample,
+            seed=args.seed, telemetry=args.telemetry,
+        )
+        spans = sum(len(p["spans"]) for p in points)
+        dropped = sum(p["dropped"] for p in points)
+        print(f"wrote {out}: {len(points)} point(s), {spans} span(s)"
+              + (f", {dropped} dropped (raise max_spans)" if dropped
+                 else ""))
+        if args.summary:
+            from repro.trace import attribute, render_attribution
+
+            for point in points:
+                summary = attribute(point["spans"],
+                                    point["measure_start"])
+                label = (f"{header['experiment']} {point['series']} "
+                         f"x={point['x']:g}")
+                print()
+                print(render_attribution(label, summary,
+                                         measured_ms=point["response_ms"]))
+        return 0
+    if args.trace_command == "export":
+        from repro.trace import write_perfetto
+
+        if not os.path.exists(args.trace):
+            print(f"error: no trace at {args.trace}", file=sys.stderr)
+            return 2
+        out = args.out or f"{args.trace}.perfetto.json"
+        events = write_perfetto(args.trace, out)
+        print(f"wrote {out}: {events} trace event(s) "
+              "(open in ui.perfetto.dev)")
+        return 0
+    from repro.trace import read_trace, render_attribution, trace_points
+
+    if not os.path.exists(args.trace):
+        print(f"error: no trace at {args.trace}", file=sys.stderr)
+        return 2
+    header, _, _ = read_trace(args.trace)
+    print(f"trace of {header['experiment']} "
+          f"(profile={header['profile']}, sample=1/{header['sample']}, "
+          f"seed={header['seed']})")
+    for point, summary in trace_points(args.trace,
+                                       validate=args.validate):
+        label = (f"{point['series']} x={point['x']:g}")
+        print()
+        print(render_attribution(label, summary,
+                                 measured_ms=point["response_ms"]))
+    return 0
+
+
 def _cmd_trace_gen(args) -> int:
     from repro.workload.trace import write_trace
     from repro.workload.tracegen import RealWorkloadProfile, generate_trace
@@ -787,6 +905,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cluster": _cmd_cluster,
         "registry": _cmd_registry,
         "bench": _cmd_bench,
+        "trace": _cmd_trace,
         "trace-gen": _cmd_trace_gen,
         "trace-run": _cmd_trace_run,
     }

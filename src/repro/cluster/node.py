@@ -44,6 +44,17 @@ class ClusterNode:
         self.bm = BufferManager(self.env, self.streams, self.config,
                                 self.cpu, self.storage, self.metrics)
         self.tm = ClusterTransactionManager(self, cluster)
+        #: Node-tagged view of the cluster's shared tracer (``None``
+        #: when tracing is off).  The restart replayer reads it off the
+        #: node through the same duck-typed surface as the central case.
+        self.tracer = None
+        cluster_tracer = getattr(cluster, "tracer", None)
+        if cluster_tracer is not None:
+            view = cluster_tracer.for_node(node_id)
+            self.tracer = view
+            self.tm.tracer = view
+            self.locks.tracer = view
+            self.bm.tracer = view
         self.tracker = None
         self.checkpointer = None
         self.replayer = None

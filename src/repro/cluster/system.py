@@ -88,10 +88,34 @@ class ClusterSystem:
         self.metrics.cluster_cost = cluster_cost(config)
         self.partition_map = PartitionMap(config.num_nodes)
         self.bus = MessageBus(self.env, config.coupling)
+        # Observability rides on the node template's TraceConfig.  The
+        # tracer must exist before the nodes: each node wires a
+        # per-node view (shared span buffer, node-tagged) into its own
+        # components.
+        trace_cfg = config.node.trace
+        self.tracer = None
+        self.telemetry = None
+        if trace_cfg.enabled:
+            from repro.trace.tracer import Tracer
+
+            self.tracer = Tracer(self.env, streams=self.streams,
+                                 sample=trace_cfg.sample,
+                                 max_spans=trace_cfg.max_spans)
+            self.metrics.tracer = self.tracer
+        if trace_cfg.latency_detail:
+            self.metrics.latency_detail = True
+            self.metrics.slo_threshold = trace_cfg.slo_ms / 1000.0
         self.nodes: List[ClusterNode] = [
             ClusterNode(i, self) for i in range(config.num_nodes)
         ]
         self.tm = ClusterRouter(self)
+        if trace_cfg.telemetry_interval > 0:
+            from repro.trace.telemetry import TelemetrySampler
+
+            self.telemetry = TelemetrySampler(
+                self, trace_cfg.telemetry_interval,
+                max_samples=trace_cfg.telemetry_max_samples)
+            self.metrics.telemetry = self.telemetry
         self.faults = ClusterFaultInjector(self)
         #: GEM-mirrored commit decisions (tx_id -> True), written at
         #: decision-force time, dropped once every participant learned
@@ -147,6 +171,8 @@ class ClusterSystem:
             if prewarm is not None:
                 prewarm(self)
             self.faults.start()
+            if self.telemetry is not None:
+                self.telemetry.start()
             self.workload.start(self)
             self._started = True
 

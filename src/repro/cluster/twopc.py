@@ -128,6 +128,10 @@ class ClusterTransactionManager(TransactionManager):
 
         env = self.env
         btx = piece.branch_tx
+        # Participant spans are diagnostic details keyed by the branch
+        # id (piece.work / piece.prepare / piece.indoubt); inline
+        # checks are fine off the single-node hot path.
+        traced = btx.traced and self.tracer is not None
         try:
             gate = self._offline_gate
             if gate is not None:
@@ -135,6 +139,7 @@ class ClusterTransactionManager(TransactionManager):
                 # restart (the coordinator blocks on work_done).
                 yield gate
             btx.start_time = env.now
+            work_from = env.now
             for ref in piece.refs:
                 part = self.partitions[ref.partition_index]
                 if part.cc_mode is not CCMode.NONE:
@@ -155,6 +160,9 @@ class ClusterTransactionManager(TransactionManager):
                     yield from self.bm.fix_page_miss(btx, ref)
             if not piece.work_done.triggered:
                 piece.work_done.succeed("ok")
+            if traced and env.now > work_from:
+                self.tracer.span("piece.work", btx.tx_id, work_from,
+                                 env.now)
             # Wait for PREPARE — or an abort decision (coordinator
             # deadlock, a sibling piece's NO vote, or GEM failover
             # after a coordinator crash: presumed abort).
@@ -165,7 +173,11 @@ class ClusterTransactionManager(TransactionManager):
             # Phase 1: force the prepare record through this node's
             # log device, then vote YES.  From here until the decision
             # arrives the piece is in doubt: locks stay held.
+            prepare_from = env.now
             yield from self.bm.force_log_record(btx)
+            if traced:
+                self.tracer.span("piece.prepare", btx.tx_id,
+                                 prepare_from, env.now)
             piece.in_doubt_from = env.now
             home = self.cluster.nodes[tx.home_node]
             yield from self.cluster.bus.one_way(
@@ -174,6 +186,9 @@ class ClusterTransactionManager(TransactionManager):
                 piece.vote.succeed("yes")
             decision = yield piece.decision
             self.metrics.record_in_doubt(env.now - piece.in_doubt_from)
+            if traced and env.now > piece.in_doubt_from:
+                self.tracer.span("piece.indoubt", btx.tx_id,
+                                 piece.in_doubt_from, env.now)
             if decision == "commit":
                 # Participant commit record + (FORCE) page writes —
                 # off the coordinator's response-time path.
@@ -195,17 +210,27 @@ class ClusterTransactionManager(TransactionManager):
         cluster = self.cluster
         env = self.env
         remote_work = getattr(tx, "remote_work", ())
+        # Tracing here is inline (no duplicated twin): the cluster path
+        # already pays message/protocol machinery per transaction, so a
+        # handful of predictable branches is inside the kernel
+        # benchmark's noise — unlike the single-node hot loop.
+        traced = tx.traced and self.tracer is not None
         while True:
             tx.start_time = env.now
+            t0 = env.now
             burst = self.cpu.execute_event(tx, self.cm.instr_bot)
             if burst is not None:
                 yield burst
+                if traced and env.now > t0:
+                    self.tracer.span("cpu.bot", tx.tx_id, t0, env.now)
             aborted = False
             pieces: List[RemotePiece] = []
             if remote_work:
+                work_from = env.now
                 for node_id, refs in remote_work:
                     branch = Transaction(cluster.next_branch_id(),
                                          tx.tx_type, list(refs))
+                    branch.traced = tx.traced
                     pieces.append(RemotePiece(env, node_id, refs, branch))
                 # Registered before the first message: a coordinator
                 # crash at any later instant leaves the pieces for the
@@ -223,6 +248,9 @@ class ClusterTransactionManager(TransactionManager):
                     status = yield piece.work_done
                     if status != "ok":
                         aborted = True
+                if traced and env.now > work_from:
+                    self.tracer.span("2pc.work", tx.tx_id, work_from,
+                                     env.now)
             if not aborted:
                 for ref in tx.refs:
                     part = self.partitions[ref.partition_index]
@@ -236,15 +264,25 @@ class ClusterTransactionManager(TransactionManager):
                         if outcome is LockOutcome.DEADLOCK:
                             aborted = True
                             break
+                    t0 = env.now
                     burst = self.cpu.execute_event(tx, self.cm.instr_or)
                     if burst is not None:
                         yield burst
+                        if traced and env.now > t0:
+                            self.tracer.span("cpu.ref", tx.tx_id, t0,
+                                             env.now)
                     if self.bm.fix_page_fast(tx, ref) is None:
+                        t0 = env.now
                         yield from self.bm.fix_page_miss(tx, ref)
+                        if traced and env.now > t0:
+                            self.tracer.span("fix", tx.tx_id, t0, env.now)
             if not aborted:
+                t0 = env.now
                 burst = self.cpu.execute_event(tx, self.cm.instr_eot)
                 if burst is not None:
                     yield burst
+                    if traced and env.now > t0:
+                        self.tracer.span("cpu.eot", tx.tx_id, t0, env.now)
                 commit_from = env.now
                 if pieces:
                     # Phase 1: PREPARE every participant, collect votes.
@@ -257,12 +295,20 @@ class ClusterTransactionManager(TransactionManager):
                     votes = []
                     for piece in pieces:
                         votes.append((yield piece.vote))
+                    if traced and env.now > commit_from:
+                        self.tracer.span("2pc.prepare", tx.tx_id,
+                                         commit_from, env.now)
                     if all(vote == "yes" for vote in votes):
                         # Phase 2: force the decision record through
                         # the home log device, mirror it into GEM,
                         # then notify the participants.
+                        t0 = env.now
                         yield from self.bm.commit(tx)
+                        if traced and env.now > t0:
+                            self.tracer.span("2pc.decision", tx.tx_id,
+                                             t0, env.now)
                         cluster.record_decision(tx.tx_id)
+                        t0 = env.now
                         for piece in pieces:
                             remote = cluster.nodes[piece.node_id]
                             yield from cluster.bus.one_way(
@@ -270,12 +316,18 @@ class ClusterTransactionManager(TransactionManager):
                                 kind="2pc_commit")
                             if not piece.decision.triggered:
                                 piece.decision.succeed("commit")
+                        if traced and env.now > t0:
+                            self.tracer.span("2pc.notify", tx.tx_id,
+                                             t0, env.now)
                         cluster.clear_pieces(tx)
                         self.locks.release_all(tx)
                         self.metrics.record_commit(
                             tx, env.now - tx.arrival_time)
                         self.metrics.record_cluster_commit(
                             True, env.now - commit_from)
+                        if traced:
+                            self.tracer.span("tx", tx.tx_id,
+                                             tx.arrival_time, env.now)
                         return
                     aborted = True
                 else:
@@ -283,11 +335,17 @@ class ClusterTransactionManager(TransactionManager):
                     # commit phase is still measured for the
                     # 1PC-vs-2PC ablation.
                     yield from self.bm.commit(tx)
+                    if traced and env.now > commit_from:
+                        self.tracer.span("commit", tx.tx_id,
+                                         commit_from, env.now)
                     self.locks.release_all(tx)
                     self.metrics.record_commit(
                         tx, env.now - tx.arrival_time)
                     self.metrics.record_cluster_commit(
                         False, env.now - commit_from)
+                    if traced:
+                        self.tracer.span("tx", tx.tx_id,
+                                         tx.arrival_time, env.now)
                     return
             # Abort: presumed abort needs no abort record — just tell
             # the live participants, back out, and retry with the same
@@ -304,4 +362,8 @@ class ClusterTransactionManager(TransactionManager):
                     "restart-backoff", 0.002 * min(tx.restarts, 5)
                 )
                 if backoff > 0:
+                    t0 = env.now
                     yield env.timeout(backoff)
+                    if traced:
+                        self.tracer.span("backoff", tx.tx_id, t0,
+                                         env.now)

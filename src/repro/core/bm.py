@@ -139,6 +139,9 @@ class BufferManager:
         #: (:class:`repro.recovery.crash.RedoGate`); ``None`` outside
         #: the redo window.
         self.redo_gate = None
+        #: Span sink when tracing is on (``None`` otherwise); only the
+        #: miss/log generators touch it, never the fast hit path.
+        self.tracer = None
         #: Dual-copy NVEM log mirroring: every commit forces both copies.
         self._log_mirror = config.recovery.log_mirror
         #: Diagnostics.
@@ -221,6 +224,9 @@ class BufferManager:
             yield from gate.wait(key)
             if tx is not None:
                 tx.wait_sync_io += self.env.now - wait_start
+                if tx.traced and self.tracer is not None:
+                    self.tracer.span("redo.wait", tx.tx_id, wait_start,
+                                     self.env.now)
         if gate is not None and self._part_mem_resident[ref.partition_index]:
             # Memory-resident references only reach the miss path while
             # gated; once released they are plain residency hits.
@@ -265,10 +271,15 @@ class BufferManager:
         # Pin the frame while its contents are in flight: a page being
         # fetched must not be chosen as a replacement victim.
         entry.fix_count += 1
+        tracer = self.tracer
+        fetch_from = self.env.now if tracer is not None else 0.0
         try:
             level = yield from self._pay_fetch(tx, part, key, source)
         finally:
             entry.fix_count -= 1
+        if tracer is not None and tx is not None and tx.traced:
+            tracer.span("io.read", tx.tx_id, fetch_from, self.env.now,
+                        level)
         self.metrics.record_page_access(tag, level)
         return level
 
@@ -620,6 +631,11 @@ class BufferManager:
         log); losing every copy is unrecoverable.
         """
         page_no = self.storage.next_log_page()
+        # "log.force" spans carry the io kind as attrs, so attribution
+        # can split forces by placement (the §4 NVEM-vs-disk gap).
+        traced = (self.tracer is not None and tx is not None
+                  and tx.traced)
+        t0 = self.env.now if traced else 0.0
         if self.storage.log_on_nvem:
             state = self.storage.media_state
             if not self._log_mirror and (
@@ -629,18 +645,26 @@ class BufferManager:
                     self.storage.nvem_device.access("log"),
                 )
                 self.metrics.record_io("log_nvem")
+                if traced:
+                    self.tracer.span("log.force", tx.tx_id, t0,
+                                     self.env.now, "log_nvem")
                 return page_no
             lost = state.lost_log_copies if state is not None else ()
             wrote = False
             for copy in ((0, 1) if self._log_mirror else (0,)):
                 if copy in lost:
                     continue
+                if traced:
+                    t0 = self.env.now
                 yield from self.cpu.execute_with_sync_access(
                     tx, self.cm.instr_nvem,
                     self.storage.nvem_device.access("log"),
                 )
-                self.metrics.record_io(
-                    "log_nvem" if copy == 0 else "log_nvem_mirror")
+                kind = "log_nvem" if copy == 0 else "log_nvem_mirror"
+                self.metrics.record_io(kind)
+                if traced:
+                    self.tracer.span("log.force", tx.tx_id, t0,
+                                     self.env.now, kind)
                 wrote = True
             if not wrote:
                 from repro.storage.faults import MediaUnrecoverableError
@@ -655,6 +679,9 @@ class BufferManager:
                 self.storage.nvem_device.access("log"),
             )
             self.metrics.record_io("log_buffered")
+            if traced:
+                self.tracer.span("log.force", tx.tx_id, t0,
+                                 self.env.now, "log_buffered")
             self.env.process(self._async_log_write(page_no))
             return page_no
         burst = self.cpu.execute_event(tx, self.cm.instr_io,
@@ -666,11 +693,15 @@ class BufferManager:
         if tx is not None:
             tx.wait_async_io += self.env.now - io_start
         if result.level == "disk_cache":
-            self.metrics.record_io("log_absorbed")
+            kind = "log_absorbed"
         elif result.level in (LEVEL_SSD, LEVEL_FLASH, LEVEL_BATTERY_DRAM):
-            self.metrics.record_io(f"log_{result.level}")
+            kind = f"log_{result.level}"
         else:
-            self.metrics.record_io("log_disk")
+            kind = "log_disk"
+        self.metrics.record_io(kind)
+        if traced:
+            self.tracer.span("log.force", tx.tx_id, t0, self.env.now,
+                             kind)
         return page_no
 
     def write_checkpoint_record(self) -> Generator:

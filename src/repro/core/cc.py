@@ -88,6 +88,9 @@ class LockManager:
         self.metrics = metrics
         self.victim_policy = victim_policy
         self._locks: Dict = {}
+        #: Span sink when tracing is on (``None`` otherwise); only the
+        #: wait path below touches it, never an immediate grant.
+        self.tracer = None
         #: tx_id -> (_Waiter, resource_id) for every blocked transaction.
         self._waiting: Dict[int, Tuple[_Waiter, object]] = {}
         #: tx_id -> Transaction for cycle-victim selection.
@@ -157,6 +160,8 @@ class LockManager:
         tx.wait_lock += waited
         self.metrics.record_lock_wait(waited)
         tx.waiting_for = None
+        if tx.traced and self.tracer is not None and waited > 0:
+            self.tracer.span("lock", tx.tx_id, wait_start, self.env.now)
         return outcome
 
     def withdraw(self, tx: Transaction) -> None:

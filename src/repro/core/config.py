@@ -582,6 +582,54 @@ class RecoveryConfig:
 
 
 @dataclass
+class TraceConfig:
+    """Observability settings (:mod:`repro.trace`) — default off.
+
+    Tracing is a pure side channel: the span sampler draws from its
+    own RNG substream and the telemetry process only reads state, so
+    simulation results are bit-identical whichever knobs are set (the
+    fig4_1 golden checksum is pinned both ways).  ``latency_detail``
+    and ``telemetry_interval`` do change the *serialized* Results
+    payload (they add ``latency`` / ``timeseries`` blocks), which is
+    why each has its own switch instead of riding on ``enabled``.
+    """
+
+    enabled: bool = False
+    #: Trace every N-th transaction (1 = all).  Sampled from a
+    #: dedicated ``trace-sample`` RNG substream.
+    sample: int = 1
+    #: Bound on recorded spans; once full, further spans are counted
+    #: as dropped instead of stored.
+    max_spans: int = 250_000
+    #: Populate ``Results.latency`` (p50/p95/p99 + SLO attainment).
+    latency_detail: bool = False
+    #: SLO threshold for ``slo_attainment``, in milliseconds
+    #: (default 1 s, the classic TPC-A 90th-percentile bound).
+    slo_ms: float = 1000.0
+    #: Period of the telemetry gauge sampler in simulated seconds
+    #: (0 = no sampler process at all).
+    telemetry_interval: float = 0.0
+    #: Bound on stored telemetry samples.
+    telemetry_max_samples: int = 10_000
+
+    def validate(self) -> None:
+        if self.sample < 1:
+            raise ValueError("trace sample must be >= 1")
+        if self.max_spans < 1:
+            raise ValueError("trace max_spans must be >= 1")
+        if self.slo_ms <= 0:
+            raise ValueError("trace slo_ms must be positive")
+        if self.telemetry_interval < 0:
+            raise ValueError("telemetry_interval must be >= 0")
+        if self.telemetry_max_samples < 1:
+            raise ValueError("telemetry_max_samples must be >= 1")
+        if self.sample != 1 and not self.enabled:
+            raise ValueError(
+                "trace sample has no effect with tracing disabled"
+            )
+
+
+@dataclass
 class SystemConfig:
     """Complete description of one simulated transaction system."""
 
@@ -597,6 +645,7 @@ class SystemConfig:
     log: LogAllocation = field(default_factory=LogAllocation)
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
     media: MediaConfig = field(default_factory=MediaConfig)
+    trace: TraceConfig = field(default_factory=TraceConfig)
     tx_types: List[TransactionTypeConfig] = field(default_factory=list)
     seed: int = 0
 
@@ -651,6 +700,7 @@ class SystemConfig:
         self.log.validate()
         self.recovery.validate()
         self.media.validate()
+        self.trace.validate()
         for unit in self.disk_units:
             unit.validate()
         for spec in self.devices:

@@ -58,7 +58,7 @@ POINT_SCHEMA_VERSION = 1
 #: deliberately absent: a point's result is fully determined by
 #: (config, workload, warmup, duration, seed) plus this code.
 _SALT_PACKAGES = ("sim", "core", "storage", "workload", "recovery",
-                  "distributed", "cluster")
+                  "distributed", "cluster", "trace")
 
 
 class FingerprintError(TypeError):

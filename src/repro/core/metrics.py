@@ -16,7 +16,7 @@ disk cache, SSD, NVEM-resident, memory-resident or disk.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.core.transaction import Transaction
 from repro.sim import Environment
@@ -78,10 +78,54 @@ class Results:
     #: run enabled media faults or online redo (keeps default-off
     #: exports bit-identical to builds without the subsystem).
     degraded: Optional[Dict[str, float]] = None
+    #: Latency-distribution block (p50/p95/p99 + SLO attainment);
+    #: ``None`` unless the run enabled ``TraceConfig.latency_detail``
+    #: (keeps default exports bit-identical to builds without the
+    #: observability subsystem).
+    latency: Optional[Dict[str, float]] = None
+    #: Telemetry gauge samples (:mod:`repro.trace.telemetry`); ``None``
+    #: unless the run set ``TraceConfig.telemetry_interval``.
+    timeseries: Optional[List[Dict]] = None
 
     @property
     def response_time_ms(self) -> float:
         return self.response_time_mean * 1000.0
+
+    @property
+    def response_time_p50(self) -> float:
+        """Median response time; falls back to the mean when the run
+        recorded no latency block."""
+        if self.latency is not None:
+            return self.latency.get("p50", self.response_time_mean)
+        return self.response_time_mean
+
+    @property
+    def response_time_p99(self) -> float:
+        """99th-percentile response time; falls back to p95 when the
+        run recorded no latency block."""
+        if self.latency is not None:
+            return self.latency.get("p99", self.response_time_p95)
+        return self.response_time_p95
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of commits inside the SLO threshold.
+
+        Exact when the run recorded the latency block; otherwise a
+        coarse bound read off the summary statistics against the
+        default 1 s threshold (TPC-A's classic 90th-percentile bound).
+        """
+        if self.latency is not None:
+            return self.latency.get("slo_attainment", 1.0)
+        if self.committed == 0:
+            return 1.0
+        if self.response_time_max <= 1.0:
+            return 1.0
+        if self.response_time_p95 <= 1.0:
+            return 0.95
+        if self.response_time_mean <= 1.0:
+            return 0.5
+        return 0.0
 
     @property
     def availability(self) -> float:
@@ -318,6 +362,18 @@ class MetricsCollector:
         self.prepared_pieces = 0
         self.in_doubt_total = 0.0
         self.failover_resolved = 0
+        #: Observability wiring (:mod:`repro.trace`), set by the system
+        #: when configured.  ``latency_detail`` makes finalize emit the
+        #: p50/p99/SLO block; the SLO counter itself costs one
+        #: comparison per *commit* (never per event) so it is always
+        #: maintained.  ``tracer``/``telemetry`` are cleared at the
+        #: warm-up boundary through :meth:`reset`, which both the
+        #: single-node and the cluster run loop already call.
+        self.latency_detail = False
+        self.slo_threshold = 1.0
+        self.slo_ok = 0
+        self.tracer = None
+        self.telemetry = None
 
     @classmethod
     def lite(cls, env: Environment) -> "MetricsCollector":
@@ -349,6 +405,8 @@ class MetricsCollector:
         totals["sync_io"] += tx.wait_sync_io
         totals["async_io"] += tx.wait_async_io
         totals["nvem"] += tx.wait_nvem
+        if response_time <= self.slo_threshold:
+            self.slo_ok += 1
         if self._degraded_open:
             self.degraded_commits += 1
 
@@ -540,6 +598,11 @@ class MetricsCollector:
         self.prepared_pieces = 0
         self.in_doubt_total = 0.0
         self.failover_resolved = 0
+        self.slo_ok = 0
+        if self.tracer is not None:
+            self.tracer.clear()
+        if self.telemetry is not None:
+            self.telemetry.reset()
 
     # -- finalization ------------------------------------------------------
     def finalize(self, cpu_utilization: float,
@@ -629,6 +692,20 @@ class MetricsCollector:
                 "media_redo_pages": float(self.media_redo_pages),
                 "media_log_pages": float(self.media_log_pages),
             }
+        latency = None
+        if self.latency_detail:
+            latency = {
+                "p50": self.response.percentile(50),
+                "p95": self.response.percentile(95),
+                "p99": self.response.percentile(99),
+                "slo_ms": self.slo_threshold * 1000.0,
+                "slo_attainment": (
+                    self.slo_ok / self.committed if self.committed else 1.0
+                ),
+            }
+        timeseries = None
+        if self.telemetry is not None:
+            timeseries = self.telemetry.snapshot()
         cluster = None
         if self.cluster_enabled:
             cluster = {
@@ -666,4 +743,6 @@ class MetricsCollector:
             recovery=recovery,
             cluster=cluster,
             degraded=degraded,
+            latency=latency,
+            timeseries=timeseries,
         )

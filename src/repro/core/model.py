@@ -60,6 +60,32 @@ class TransactionSystem:
             from repro.recovery.media import MediaManager
 
             self.media = MediaManager(self)
+        self.tracer = None
+        self.telemetry = None
+        trace_cfg = config.trace
+        if trace_cfg.enabled:
+            # Imported lazily: repro.trace builds on the core layer.
+            from repro.trace.tracer import Tracer
+
+            self.tracer = Tracer(self.env, streams=self.streams,
+                                 sample=trace_cfg.sample,
+                                 max_spans=trace_cfg.max_spans)
+            # Components hold the tracer directly; metrics.reset()
+            # clears it at the warm-up boundary.
+            self.tm.tracer = self.tracer
+            self.locks.tracer = self.tracer
+            self.bm.tracer = self.tracer
+            self.metrics.tracer = self.tracer
+        if trace_cfg.latency_detail:
+            self.metrics.latency_detail = True
+            self.metrics.slo_threshold = trace_cfg.slo_ms / 1000.0
+        if trace_cfg.telemetry_interval > 0:
+            from repro.trace.telemetry import TelemetrySampler
+
+            self.telemetry = TelemetrySampler(
+                self, trace_cfg.telemetry_interval,
+                max_samples=trace_cfg.telemetry_max_samples)
+            self.metrics.telemetry = self.telemetry
         self.workload = workload
         self._started = False
 
@@ -73,6 +99,8 @@ class TransactionSystem:
                 self.recovery.start()
             if self.media is not None:
                 self.media.start()
+            if self.telemetry is not None:
+                self.telemetry.start()
             self.workload.start(self)
             self._started = True
 

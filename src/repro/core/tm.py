@@ -47,6 +47,11 @@ class TransactionManager:
         #: aborted transactions restart immediately).
         self.streams = streams
         self.partitions: List[PartitionConfig] = list(config.partitions)
+        #: Span sink (:class:`repro.trace.Tracer`) when the run enabled
+        #: tracing; ``None`` keeps the hot path free of per-event
+        #: branching (the traced twin of ``_execute`` is selected once
+        #: per transaction).
+        self.tracer = None
         self.mpl_slots = Resource(env, self.cm.mpl, name="mpl")
         self.active = 0
         self.submitted = 0
@@ -67,6 +72,8 @@ class TransactionManager:
         """
         tx.arrival_time = self.env.now
         self.submitted += 1
+        if self.tracer is not None:
+            self.tracer.admit(tx)
         proc = self.env.process(self._lifecycle(tx))
         # env.process schedules lazily, so the lifecycle has not run
         # (and cannot have deregistered itself) yet.
@@ -125,6 +132,9 @@ class TransactionManager:
                 self.metrics.record_abort(tx, restarted=False)
                 return
             tx.wait_input_queue += self.env.now - queued_at
+            if tx.traced and self.tracer is not None \
+                    and self.env.now > queued_at:
+                self.tracer.span("queue", tx.tx_id, queued_at, self.env.now)
         slot = self.mpl_slots.request()
         queued_at = self.env.now
         self.metrics.note_input_queue(self.mpl_slots.queue_length)
@@ -141,6 +151,9 @@ class TransactionManager:
             self.metrics.record_abort(tx, restarted=False)
             return
         tx.wait_input_queue += self.env.now - queued_at
+        if tx.traced and self.tracer is not None \
+                and self.env.now > queued_at:
+            self.tracer.span("queue", tx.tx_id, queued_at, self.env.now)
         self.active += 1
         try:
             yield from self._execute(tx)
@@ -171,6 +184,11 @@ class TransactionManager:
         return (part_index, 1, ref.object_no)
 
     def _execute(self, tx: Transaction) -> Generator:
+        if tx.traced and self.tracer is not None:
+            # One dispatch per transaction; the untraced loop below
+            # stays exactly as it always was (zero-overhead invariant).
+            yield from self._execute_traced(tx)
+            return
         while True:
             tx.start_time = self.env.now
             burst = self.cpu.execute_event(tx, self.cm.instr_bot)
@@ -220,3 +238,80 @@ class TransactionManager:
                 )
                 if backoff > 0:
                     yield self.env.timeout(backoff)
+
+    def _execute_traced(self, tx: Transaction) -> Generator:
+        """Span-emitting twin of :meth:`_execute` — keep in lockstep.
+
+        Duplicated rather than branched-per-event so enabling tracing
+        cannot slow the untraced path.  Every time-advancing segment is
+        wrapped in exactly one phase span ("cpu.bot", "lock" — emitted
+        by the lock manager —, "cpu.ref", "fix", "cpu.eot", "commit",
+        "backoff"), and the input queue is covered by the lifecycle's
+        "queue" span, so for a committed transaction the phase spans
+        tile the whole arrival-to-commit interval: the attribution
+        table sums to the measured response time by construction.
+        Span names are the literals from
+        :data:`repro.trace.tracer.PHASE_SPANS` (no import: core must
+        not depend on the observability package).
+        """
+        tracer = self.tracer
+        env = self.env
+        while True:
+            tx.start_time = env.now
+            t0 = env.now
+            burst = self.cpu.execute_event(tx, self.cm.instr_bot)
+            if burst is not None:
+                yield burst
+                if env.now > t0:
+                    tracer.span("cpu.bot", tx.tx_id, t0, env.now)
+            aborted = False
+            for ref in tx.refs:
+                part = self.partitions[ref.partition_index]
+                if part.cc_mode is not CCMode.NONE:
+                    mode = LockMode.X if ref.is_write else LockMode.S
+                    outcome = yield from self.locks.acquire(
+                        tx, self._lock_id(ref.partition_index, part, ref),
+                        mode,
+                    )
+                    if outcome is LockOutcome.DEADLOCK:
+                        aborted = True
+                        break
+                t0 = env.now
+                burst = self.cpu.execute_event(tx, self.cm.instr_or)
+                if burst is not None:
+                    yield burst
+                    if env.now > t0:
+                        tracer.span("cpu.ref", tx.tx_id, t0, env.now)
+                if self.bm.fix_page_fast(tx, ref) is None:
+                    t0 = env.now
+                    yield from self.bm.fix_page_miss(tx, ref)
+                    if env.now > t0:
+                        tracer.span("fix", tx.tx_id, t0, env.now)
+            if not aborted:
+                t0 = env.now
+                burst = self.cpu.execute_event(tx, self.cm.instr_eot)
+                if burst is not None:
+                    yield burst
+                    if env.now > t0:
+                        tracer.span("cpu.eot", tx.tx_id, t0, env.now)
+                t0 = env.now
+                yield from self.bm.commit(tx)
+                if env.now > t0:
+                    tracer.span("commit", tx.tx_id, t0, env.now)
+                self.locks.release_all(tx)
+                self.metrics.record_commit(
+                    tx, self.env.now - tx.arrival_time
+                )
+                tracer.span("tx", tx.tx_id, tx.arrival_time, env.now)
+                return
+            self.locks.release_all(tx)
+            self.metrics.record_abort(tx)
+            tx.reset_for_restart()
+            if self.streams is not None:
+                backoff = self.streams.exponential(
+                    "restart-backoff", 0.002 * min(tx.restarts, 5)
+                )
+                if backoff > 0:
+                    t0 = env.now
+                    yield self.env.timeout(backoff)
+                    tracer.span("backoff", tx.tx_id, t0, env.now)

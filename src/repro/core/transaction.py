@@ -45,7 +45,7 @@ class Transaction:
         "modified_pages", "held_locks",
         "wait_input_queue", "wait_cpu", "service_cpu",
         "wait_lock", "wait_sync_io", "wait_async_io", "wait_nvem",
-        "waiting_for",
+        "waiting_for", "traced",
     )
 
     def __init__(self, tx_id: int, tx_type: str, refs: List[ObjectRef]):
@@ -70,6 +70,9 @@ class Transaction:
         self.wait_nvem = 0.0
         #: Lock resource id this transaction is currently blocked on.
         self.waiting_for = None
+        #: Selected by the span sampler (:mod:`repro.trace`); slow-path
+        #: components only emit spans for transactions carrying this.
+        self.traced = False
 
     @property
     def size(self) -> int:

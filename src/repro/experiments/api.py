@@ -378,7 +378,9 @@ class ExperimentRunner:
                  seed: Optional[int] = None,
                  store: Optional[object] = None,
                  journal: Union[bool, str] = False,
-                 resume: bool = False):
+                 resume: bool = False,
+                 configure: Optional[Callable] = None,
+                 observe: Optional[Callable] = None):
         """``seed`` overrides every spec's base seed (each sweep point
         still gets its own :func:`point_seed` derived from it), so one
         CLI flag reruns any experiment — crash schedules included — on
@@ -389,10 +391,26 @@ class ExperimentRunner:
         auto-named checkpoint journal under the cache's ``runs/``
         directory, or an explicit path; ``resume=True`` implies a
         journal and reloads completed points from a matching one.
+
+        ``configure`` and ``observe`` are the side-channel hooks used
+        by traced runs (:mod:`repro.trace.run`): ``configure(config)``
+        returns the config actually built for each point,
+        ``observe(task, system, results)`` sees the live system after
+        its point evaluated.  Hooks keep the plan, seeds and truncation
+        identical to a plain run but require the direct serial path —
+        they are incompatible with ``parallel``, ``store``, ``journal``
+        and ``resume`` (systems do not cross process or cache
+        boundaries).
         """
         if max_workers is not None and max_workers < 1:
             raise ValueError(
                 f"max_workers must be >= 1, got {max_workers}"
+            )
+        if (configure is not None or observe is not None) and (
+                parallel or store is not None or journal or resume):
+            raise ValueError(
+                "configure/observe hooks require the direct serial "
+                "path (no parallel, store, journal or resume)"
             )
         self.parallel = parallel
         self.max_workers = max_workers
@@ -400,6 +418,8 @@ class ExperimentRunner:
         self.store = store
         self.journal = journal
         self.resume = resume
+        self.configure = configure
+        self.observe = observe
         #: Cache accounting of the most recent :meth:`run` (None until
         #: a cache- or journal-enabled run happened).
         self.last_stats: Optional[RunStats] = None
@@ -438,11 +458,34 @@ class ExperimentRunner:
         if evaluated is not None:
             precomputed = dict(zip(map(id, tasks), evaluated))
             evaluate = lambda task: precomputed[id(task)]  # noqa: E731
+        elif self.configure is not None or self.observe is not None:
+            evaluate = self._evaluate_hooked
         else:
             evaluate = _evaluate_point
         for plan in plans:
             self._collect(plan, evaluate)
         return {plan.spec.id: plan.result for plan in plans}
+
+    def _evaluate_hooked(self, task: Tuple) -> Results:
+        """Serial point evaluation with the configure/observe hooks.
+
+        Mirrors :func:`_evaluate_point` exactly apart from the hook
+        calls; keeping the system in-process is what lets ``observe``
+        read its tracer after the run."""
+        from repro.core.model import TransactionSystem
+
+        x, config, workload, warmup, duration, seed = task
+        if self.configure is not None:
+            config = self.configure(config)
+        builder = getattr(config, "build_system", None)
+        if builder is not None:
+            system = builder(workload, seed=seed)
+        else:
+            system = TransactionSystem(config, workload, seed=seed)
+        results = system.run(warmup=warmup, duration=duration)
+        if self.observe is not None:
+            self.observe(task, system, results)
+        return results
 
     # -- cached / journaled evaluation ------------------------------------
     def _run_cached(self, plans: List[_Plan], profile: str,
@@ -611,6 +654,7 @@ class ExperimentRunner:
 
         results = entry.results
         return {
+            "t": time.time(),
             "experiment": entry.plan.spec.id,
             "series": entry.plan.result.series[entry.curve_index].label,
             "x": entry.task[0],

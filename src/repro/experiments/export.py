@@ -70,6 +70,11 @@ def results_to_dict(results: Results) -> Dict:
         payload["cluster"] = dict(results.cluster)
     if results.degraded is not None:
         payload["degraded"] = dict(results.degraded)
+    if results.latency is not None:
+        payload["latency"] = dict(results.latency)
+    if results.timeseries is not None:
+        payload["timeseries"] = [dict(sample)
+                                 for sample in results.timeseries]
     return payload
 
 
@@ -82,7 +87,9 @@ def results_from_dict(payload: Dict) -> Results:
 #: ``restart_time_s`` report 1.0 / 0.0 for recovery-disabled runs; the
 #: degraded-mode columns report 0.0 for media-disabled runs; the
 #: cluster columns report single-node identities (nodes=1, fractions
-#: and durations 0) for non-cluster runs.
+#: and durations 0) for non-cluster runs; the distribution columns
+#: (p50/p99/SLO) fall back to the Results summary statistics when the
+#: run recorded no latency block.
 CSV_FIELDS = [
     "experiment", "series", "x", "response_time_ms", "response_p95_ms",
     "throughput_tps", "committed", "aborted", "cpu_utilization",
@@ -91,6 +98,7 @@ CSV_FIELDS = [
     "degraded_tps", "media_mttr_s", "io_retries",
     "nodes", "dist_fraction", "commit_phase_ms", "in_doubt_time",
     "dollars_per_tps",
+    "response_p50_ms", "response_p99_ms", "slo_attainment",
 ]
 
 
@@ -125,6 +133,9 @@ def experiment_to_rows(result: ExperimentResult) -> List[Dict]:
                 "commit_phase_ms": r.commit_phase_ms,
                 "in_doubt_time": r.in_doubt_time,
                 "dollars_per_tps": r.dollars_per_tps,
+                "response_p50_ms": r.response_time_p50 * 1000.0,
+                "response_p99_ms": r.response_time_p99 * 1000.0,
+                "slo_attainment": r.slo_attainment,
             })
     return rows
 

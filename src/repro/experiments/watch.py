@@ -24,6 +24,7 @@ from repro.experiments.journal import JournalView, read_run
 __all__ = ["render", "watch"]
 
 _BAR_WIDTH = 24
+_SPARK = "▁▂▃▄▅▆▇█"
 
 
 def _bar(done: int, total: int) -> str:
@@ -31,6 +32,34 @@ def _bar(done: int, total: int) -> str:
         return "·" * _BAR_WIDTH
     filled = int(round(_BAR_WIDTH * min(done, total) / total))
     return "#" * filled + "·" * (_BAR_WIDTH - filled)
+
+
+def _sparkline(values: List[float], width: int = _BAR_WIDTH) -> str:
+    """Block-character sparkline of the last ``width`` samples."""
+    tail = [max(0.0, float(v)) for v in values[-width:]]
+    if not tail:
+        return ""
+    top = max(tail)
+    if top <= 0:
+        return _SPARK[0] * len(tail)
+    scale = (len(_SPARK) - 1) / top
+    return "".join(_SPARK[int(round(v * scale))] for v in tail)
+
+
+def _rate_eta(done: int, total: int, first_t: Optional[float],
+              last_t: Optional[float]) -> str:
+    """``  12.3 pt/min eta 0:42`` from journal point wall-timestamps
+    (empty when the journal predates them or has too few points)."""
+    if done < 2 or first_t is None or last_t is None or \
+            last_t <= first_t:
+        return ""
+    rate = (done - 1) / (last_t - first_t)
+    text = f"  {rate * 60:.1f} pt/min"
+    remaining = total - done
+    if remaining > 0 and rate > 0:
+        eta = int(round(remaining / rate))
+        text += f" eta {eta // 60}:{eta % 60:02d}"
+    return text
 
 
 def render(view: JournalView) -> str:
@@ -46,11 +75,17 @@ def render(view: JournalView) -> str:
     per_exp: Dict[str, int] = dict(header.get("per_experiment", {}))
     done_by_exp: Dict[str, int] = {exp_id: 0 for exp_id in per_exp}
     last_by_exp: Dict[str, Dict] = {}
+    first_t_by_exp: Dict[str, float] = {}
+    last_t_by_exp: Dict[str, float] = {}
     sources = {"computed": 0, "cache": 0, "resume": 0}
     for point in view.points:
         exp_id = point.get("experiment", "?")
         done_by_exp[exp_id] = done_by_exp.get(exp_id, 0) + 1
         last_by_exp[exp_id] = point
+        stamp = point.get("t")
+        if stamp is not None:
+            first_t_by_exp.setdefault(exp_id, stamp)
+            last_t_by_exp[exp_id] = stamp
         source = point.get("source", "computed")
         sources[source] = sources.get(source, 0) + 1
 
@@ -76,15 +111,28 @@ def render(view: JournalView) -> str:
                 last.get("source", "computed"),
                 " *saturated" if last.get("saturated") else "",
             )
+        tail += _rate_eta(done, total, first_t_by_exp.get(exp_id),
+                          last_t_by_exp.get(exp_id))
         lines.append(f"{exp_id:<{width}} [{_bar(done, total)}] "
                      f"{done:>3}/{total:<3}{tail}")
+        # Telemetry-enabled runs carry a time series per point: show
+        # the latest point's TPS trajectory as a sparkline.
+        series = (last or {}).get("results", {}).get("timeseries")
+        if series:
+            tps = [sample.get("tps", 0.0) for sample in series]
+            lines.append(f"{'':<{width}}  tps {_sparkline(tps)} "
+                         f"(last {tps[-1]:.0f})")
     total_done = len(view.points)
     pct = (100.0 * total_done / view.total_points) if view.total_points \
         else 0.0
+    all_t = [p["t"] for p in view.points if p.get("t") is not None]
+    overall = _rate_eta(total_done, view.total_points,
+                        all_t[0] if all_t else None,
+                        all_t[-1] if all_t else None)
     lines.append(
         f"total {total_done}/{view.total_points} ({pct:.0f}%) — "
         f"{sources['computed']} computed, {sources['cache']} cached, "
-        f"{sources['resume']} resumed"
+        f"{sources['resume']} resumed" + overall
     )
     if view.done is not None:
         lines.append(

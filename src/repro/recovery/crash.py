@@ -112,12 +112,17 @@ class RestartReplayer:
     def replay(self, snapshot: CrashSnapshot) -> Generator:
         """Run the restart; returns a :class:`RestartStats`."""
         stats = RestartStats()
+        tracer = getattr(self.system, "tracer", None)
         scan_start = self.env.now
         yield from self._scan_log(snapshot, stats)
         stats.log_scan_time = self.env.now - scan_start
+        if tracer is not None:
+            tracer.span("restart.scan", None, scan_start, self.env.now)
         redo_start = self.env.now
         yield from self._redo(snapshot, stats)
         stats.redo_time = self.env.now - redo_start
+        if tracer is not None:
+            tracer.span("restart.redo", None, redo_start, self.env.now)
         return stats
 
     # -- log scan --------------------------------------------------------
@@ -299,9 +304,12 @@ class CrashController:
         #    transactions in flight, gated per page.  Down-time is the
         #    crash-to-admission window only.
         stats = RestartStats()
+        tracer = getattr(system, "tracer", None)
         scan_start = self.env.now
         yield from self.replayer._scan_log(snapshot, stats)
         stats.log_scan_time = self.env.now - scan_start
+        if tracer is not None:
+            tracer.span("restart.scan", None, scan_start, self.env.now)
         gate = RedoGate(self.env, snapshot.dirty_pages)
         system.bm.redo_gate = gate
         system.metrics.note_outage_end()
@@ -316,5 +324,7 @@ class CrashController:
             gate.close()
             system.metrics.note_degraded_end()
         stats.redo_time = self.env.now - redo_start
+        if tracer is not None:
+            tracer.span("restart.redo", None, redo_start, self.env.now)
         self.restarts.append(stats)
         system.metrics.record_crash(downtime, stats, outage_open=False)

@@ -193,6 +193,10 @@ class MediaRecoverer:
 
         state.finish_restore(device)
         stats.finished = self.env.now
+        tracer = getattr(system, "tracer", None)
+        if tracer is not None:
+            tracer.span("media.restore", None, stats.started,
+                        self.env.now, device)
         system.metrics.record_io("media_rebuild_done")
 
     def _batches(self, device: str,

@@ -1,0 +1,50 @@
+"""Observability layer: span tracing, telemetry, trace files.
+
+Default-off and side-channel only — enabling any part of this package
+never changes what the simulation computes (the fig4_1 golden checksum
+is pinned with tracing both off and on).  See ``README.md`` §
+Observability for the architecture.
+"""
+
+from repro.trace.export import (
+    SCHEMA,
+    read_trace,
+    validate_record,
+    write_perfetto,
+    write_trace,
+)
+from repro.trace.run import run_traced, trace_points
+from repro.trace.summary import (
+    attribute,
+    check_span_accounting,
+    per_tx_spans,
+    render_attribution,
+)
+from repro.trace.telemetry import TelemetrySampler
+from repro.trace.tracer import (
+    DETAIL_SPANS,
+    PHASE_SPANS,
+    ROOT_SPAN,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "DETAIL_SPANS",
+    "PHASE_SPANS",
+    "ROOT_SPAN",
+    "SCHEMA",
+    "Span",
+    "TelemetrySampler",
+    "Tracer",
+    "attribute",
+    "check_span_accounting",
+    "per_tx_spans",
+    "read_trace",
+    "render_attribution",
+    "run_traced",
+    "trace_points",
+    "validate_record",
+    "write_perfetto",
+    "write_trace",
+]

@@ -1,0 +1,146 @@
+"""Traced experiment runs: same plan, same seeds, plus a span stream.
+
+:func:`run_traced` executes a registered experiment through the normal
+:class:`~repro.experiments.api.ExperimentRunner` — identical profile
+grid, :func:`point_seed` derivation and saturation truncation — with a
+``configure`` hook swapping each point's config for a tracing-enabled
+copy and an ``observe`` hook harvesting the spans after every point.
+Because tracing is a pure side channel (the sampler draws from its own
+RNG substream and the span buffer is outside the simulation state),
+the returned :class:`ExperimentResult` is bit-identical to an untraced
+run — the golden-checksum test pins this.
+
+The span stream is written as JSONL (:mod:`repro.trace.export`); the
+``repro trace`` CLI fronts this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace.export import write_trace
+from repro.trace.summary import attribute
+
+__all__ = ["run_traced", "trace_points"]
+
+
+def _traced_config(config, sample: int, telemetry: float,
+                   latency_detail: bool):
+    """A copy of ``config`` with tracing switched on.
+
+    Works on both :class:`SystemConfig` (owns ``trace`` directly) and
+    :class:`ClusterConfig` (carries it on the per-node template).
+    """
+    if hasattr(config, "trace"):
+        trace = replace(config.trace, enabled=True, sample=sample,
+                        telemetry_interval=telemetry,
+                        latency_detail=latency_detail)
+        return replace(config, trace=trace)
+    if hasattr(config, "node"):
+        trace = replace(config.node.trace, enabled=True, sample=sample,
+                        telemetry_interval=telemetry,
+                        latency_detail=latency_detail)
+        return replace(config, node=replace(config.node, trace=trace))
+    raise TypeError(
+        f"config {type(config).__name__} has no trace settings"
+    )
+
+
+def run_traced(experiment_id: str,
+               out_path: str,
+               profile: str = "fast",
+               sample: int = 1,
+               seed: Optional[int] = None,
+               telemetry: float = 0.0,
+               latency_detail: bool = False):
+    """Run one experiment with tracing on; write the JSONL stream.
+
+    Returns ``(result, header, points)`` where ``result`` is the
+    ordinary :class:`ExperimentResult` (identical to an untraced run)
+    and ``points`` are the per-point metadata dicts written to
+    ``out_path`` (with their ``spans`` lists already consumed).
+    """
+    from repro.experiments.api import (
+        ExperimentRunner,
+        get_experiment,
+        load_builtin_specs,
+    )
+
+    load_builtin_specs()
+    spec = get_experiment(experiment_id)
+
+    observed: List[Dict] = []
+
+    def configure(config):
+        return _traced_config(config, sample, telemetry, latency_detail)
+
+    def observe(task, system, results):
+        tracer = getattr(system, "tracer", None)
+        if tracer is None:  # pragma: no cover - configure guarantees one
+            raise RuntimeError("traced run produced a system w/o tracer")
+        observed.append({
+            "x": task[0],
+            "measure_start": tracer.measure_start,
+            "response_ms": results.response_time_ms,
+            "committed": results.committed,
+            "dropped": tracer.dropped,
+            "spans": list(tracer.spans),
+            # Saturated points that commit nothing are evaluated but
+            # never plotted; flag them so the mapping below skips them.
+            "unplotted": bool(results.saturated
+                              and results.committed == 0),
+        })
+
+    runner = ExperimentRunner(seed=seed, configure=configure,
+                              observe=observe)
+    result = runner.run_one(spec, profile=profile)
+
+    points: List[Dict] = []
+    cursor = 0
+    for series in result.series:
+        for point in series.points:
+            entry = observed[cursor]
+            cursor += 1
+            points.append({
+                "point": len(points),
+                "series": series.label,
+                "x": point.x,
+                "measure_start": entry["measure_start"],
+                "response_ms": entry["response_ms"],
+                "committed": entry["committed"],
+                "dropped": entry["dropped"],
+                "spans": entry["spans"],
+            })
+        # A truncating curve may have evaluated one zero-commit
+        # saturated point past its plotted end — skip it.
+        if cursor < len(observed) and observed[cursor]["unplotted"]:
+            cursor += 1
+
+    header = {
+        "experiment": spec.id,
+        "profile": profile,
+        "sample": sample,
+        "seed": seed if seed is not None else spec.seed,
+    }
+    write_trace(out_path, header,
+                [dict(p, spans=list(p["spans"])) for p in points])
+    return result, header, points
+
+
+def trace_points(path: str, validate: bool = False
+                 ) -> List[Tuple[Dict, Dict]]:
+    """Load a trace file and attribute every point.
+
+    Returns ``[(point_record, attribution_summary), ...]`` in point
+    order — the data behind ``repro trace summary``.
+    """
+    from repro.trace.export import read_trace
+
+    _header, points, spans = read_trace(path, validate=validate)
+    out = []
+    for point in points:
+        summary = attribute(spans.get(point["point"], ()),
+                            point["measure_start"])
+        out.append((point, summary))
+    return out

@@ -155,6 +155,54 @@ class TestResultsRoundTrip:
         assert restored.availability == 0.75
         assert restored.restart_time_mean == 12.5
 
+    def test_latency_and_timeseries_blocks_absent_by_default(self):
+        """Tracing-off exports carry neither block, so pinned outputs
+        (the fig4_1 golden sha) are unchanged by the observability
+        layer's existence."""
+        payload = results_to_dict(fake_results())
+        assert "latency" not in payload
+        assert "timeseries" not in payload
+
+    def test_latency_and_timeseries_round_trip(self):
+        original = fake_results(0.04)
+        original.latency = {"p50": 0.03, "p95": 0.08, "p99": 0.12,
+                            "slo_ms": 1000.0, "slo_attainment": 0.97}
+        original.timeseries = [
+            {"t": 1.0, "tps": 90.0, "committed": 90},
+            {"t": 2.0, "tps": 110.0, "committed": 200},
+        ]
+        restored = results_from_dict(
+            json.loads(json.dumps(results_to_dict(original)))
+        )
+        assert restored == original
+        assert restored.response_time_p50 == 0.03
+        assert restored.response_time_p99 == 0.12
+        assert restored.slo_attainment == 0.97
+
+    def test_csv_rows_carry_distribution_columns(self):
+        from repro.experiments.export import experiment_to_rows
+
+        for column in ("response_p50_ms", "response_p99_ms",
+                       "slo_attainment"):
+            assert column in CSV_FIELDS
+        detailed = fake_results(0.04)
+        detailed.latency = {"p50": 0.03, "p95": 0.08, "p99": 0.12,
+                            "slo_ms": 1000.0, "slo_attainment": 0.97}
+        result = ExperimentResult(experiment_id="t", title="t",
+                                  x_label="x", y_label="y")
+        result.series = [Series(label="s",
+                                points=[SeriesPoint(1, detailed),
+                                        SeriesPoint(2, fake_results(0.04))])]
+        rows = experiment_to_rows(result)
+        assert rows[0]["response_p50_ms"] == pytest.approx(30.0)
+        assert rows[0]["response_p99_ms"] == pytest.approx(120.0)
+        assert rows[0]["slo_attainment"] == 0.97
+        # Without the latency block the columns fall back to the
+        # summary statistics instead of blanks.
+        assert rows[1]["response_p50_ms"] == pytest.approx(40.0)
+        assert rows[1]["response_p99_ms"] == pytest.approx(80.0)
+        assert rows[1]["slo_attainment"] == 1.0
+
 
 def recovery_experiment() -> ExperimentResult:
     """A mixed experiment: one recovery-enabled point, one without."""

@@ -179,3 +179,62 @@ class TestWatchRenderer:
         out = io.StringIO()
         assert watch(finished, once=True, stream=out) == 0
         assert "run finished: 1 hit(s)" in out.getvalue()
+
+
+class TestWatchRatesAndSparklines:
+    """Point wall-timestamps feed per-figure rates + ETA; telemetry
+    time series (when a point carries one) renders as a sparkline."""
+
+    def timed_view(self, tmp_path, timeseries=None):
+        path = str(tmp_path / "run.jsonl")
+        journal = RunJournal(path)
+        journal.start({"run_key": "cafebabe" * 8, "profile": "fast",
+                       "seed": None, "total_points": 8,
+                       "per_experiment": {"fig_a": 8}})
+        for i in range(4):
+            point = {"experiment": "fig_a", "x": 50.0 * (i + 1),
+                     "t": 1000.0 + 10.0 * i, "source": "computed",
+                     "response_ms": 40.0, "saturated": False}
+            if timeseries is not None and i == 3:
+                point["results"] = {"timeseries": timeseries}
+            journal.record_point(point)
+        journal.close()
+        return path
+
+    def test_rate_and_eta_rendered(self, tmp_path):
+        frame = render(read_run(self.timed_view(tmp_path)))
+        # 3 intervals over 30 s = 6 pt/min; 4 of 8 left -> eta 40 s.
+        assert "6.0 pt/min" in frame
+        assert "eta 0:40" in frame
+
+    def test_untimed_journal_renders_without_rates(self, tmp_path):
+        path = str(tmp_path / "old.jsonl")
+        journal = RunJournal(path)
+        journal.start({"run_key": "0" * 64, "profile": "fast",
+                       "seed": None, "total_points": 2,
+                       "per_experiment": {"fig_a": 2}})
+        journal.record_point({"experiment": "fig_a", "x": 1.0,
+                              "source": "computed", "response_ms": 1.0,
+                              "saturated": False})
+        journal.close()
+        frame = render(read_run(path))
+        assert "pt/min" not in frame
+
+    def test_timeseries_sparkline_rendered(self, tmp_path):
+        series = [{"t": float(i), "tps": 10.0 * i} for i in range(8)]
+        frame = render(read_run(self.timed_view(tmp_path,
+                                                timeseries=series)))
+        assert "tps " in frame
+        assert "(last 70)" in frame
+        assert "▁" in frame and "█" in frame
+
+    def test_journal_points_are_wall_timestamped(self, tmp_path,
+                                                 tiny_spec):
+        runner = ExperimentRunner(journal=str(tmp_path / "j.jsonl"))
+        runner.run_one(tiny_spec, profile="fast")
+        view = read_run(runner.last_journal_path)
+        assert view.points
+        stamps = [p["t"] for p in view.points]
+        assert all(isinstance(t, float) for t in stamps)
+        assert stamps == sorted(stamps)
+        assert view.header["created"] <= stamps[0]

@@ -53,6 +53,52 @@ def test_trace_gen_and_run(tmp_path, capsys):
     assert "normalized response" in out
 
 
+class TestTraceCommand:
+    def test_trace_run_export_summary(self, tiny_registered, tmp_path,
+                                      capsys):
+        trace_path = str(tmp_path / "tiny.trace.jsonl")
+        code = main(["trace", "run", tiny_registered.id,
+                     "--out", trace_path, "--profile", "full",
+                     "--summary"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert os.path.exists(trace_path)
+        assert "span(s)" in out
+        assert "traced tx" in out and "residual" in out
+
+        code = main(["trace", "summary", trace_path, "--validate"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"trace of {tiny_registered.id}" in out
+        assert "phase" in out and "share" in out
+
+        code = main(["trace", "export", trace_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "perfetto" in out
+        perfetto_path = trace_path + ".perfetto.json"
+        assert os.path.exists(perfetto_path)
+        payload = json.load(open(perfetto_path))
+        assert payload["traceEvents"]
+
+    def test_trace_run_rejects_unknown_experiment(self, capsys):
+        code = main(["trace", "run", "_no_such_figure"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_trace_run_rejects_bad_sample(self, tiny_registered, capsys):
+        code = main(["trace", "run", tiny_registered.id,
+                     "--sample", "0"])
+        assert code == 2
+        assert "--sample" in capsys.readouterr().err
+
+    def test_trace_tools_reject_missing_file(self, tmp_path, capsys):
+        for sub in ("summary", "export"):
+            code = main(["trace", sub, str(tmp_path / "absent.jsonl")])
+            assert code == 2
+            assert "no trace at" in capsys.readouterr().err
+
+
 def test_registry_listing(capsys):
     code = main(["registry"])
     out = capsys.readouterr().out

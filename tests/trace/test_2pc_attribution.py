@@ -1,0 +1,59 @@
+"""Acceptance: the trace explains the NVEM-vs-disk 2PC commit gap.
+
+``ablation_2pc_cost`` shows the distributed commit phase growing with
+the distributed fraction, far faster under a disk log than an NVEM
+log.  The span trace must *attribute* that gap: the coordinator's
+``2pc.prepare`` and ``2pc.decision`` phases contain the participants'
+and coordinator's forced log records, so under a disk log each phase
+approaches ``fraction x disk-force latency`` while under NVEM both
+stay near the message cost.
+"""
+
+import pytest
+
+from repro.trace import run_traced, trace_points
+
+
+@pytest.mark.slow
+def test_traced_2pc_cost_attributes_the_log_placement_gap(tmp_path):
+    out = str(tmp_path / "ablation_2pc_cost.trace.jsonl")
+    run_traced("ablation_2pc_cost", out, profile="fast")
+    summaries = {}
+    for point, summary in trace_points(out, validate=True):
+        assert abs(summary["residual"]) < 1e-9
+        summaries[(point["series"], point["x"])] = summary
+
+    def phase_ms(series, x, name):
+        return summaries[(series, x)]["phases"].get(name, 0.0) * 1e3
+
+    def force_mean_ms(series, x, kind):
+        detail = summaries[(series, x)]["details"]
+        return detail[f"log.force[{kind}]"]["mean"] * 1e3
+
+    # Purely local commits have no 2PC phases at all.
+    for series in ("NVEM log", "disk log"):
+        assert phase_ms(series, 0.0, "2pc.prepare") == 0.0
+        assert phase_ms(series, 0.0, "2pc.decision") == 0.0
+
+    # The prepare/decision phases grow with the distributed fraction...
+    for series in ("NVEM log", "disk log"):
+        assert phase_ms(series, 0.5, "2pc.prepare") > \
+            phase_ms(series, 0.25, "2pc.prepare") > 0.0
+
+    # ...and the disk log pays an order of magnitude more than NVEM.
+    assert phase_ms("disk log", 0.5, "2pc.prepare") > \
+        10.0 * phase_ms("NVEM log", 0.5, "2pc.prepare")
+    assert phase_ms("disk log", 0.5, "2pc.decision") > \
+        10.0 * phase_ms("NVEM log", 0.5, "2pc.decision")
+
+    # The per-force detail spans carry the why: a disk force is
+    # milliseconds, an NVEM force is microseconds.
+    disk_force = force_mean_ms("disk log", 0.5, "log_disk")
+    nvem_force = force_mean_ms("NVEM log", 0.5, "log_nvem")
+    assert disk_force > 10.0 * nvem_force
+
+    # And they are consistent: half the commits are distributed, each
+    # preparing through one forced participant record, so the mean
+    # prepare phase is roughly fraction x force latency.
+    assert phase_ms("disk log", 0.5, "2pc.prepare") == \
+        pytest.approx(0.5 * disk_force, rel=0.35)

@@ -1,0 +1,130 @@
+"""Traced experiment runs: hook plumbing, file output, golden pin."""
+
+import json
+
+import pytest
+
+from repro.experiments import api
+from repro.experiments.api import ExperimentRunner
+from repro.experiments.export import experiment_to_dict
+from repro.trace import (
+    check_span_accounting,
+    read_trace,
+    run_traced,
+    trace_points,
+    write_perfetto,
+)
+from tests.experiments.conftest import make_tiny_spec
+
+
+@pytest.fixture
+def tiny_registered():
+    spec = make_tiny_spec("_trace_tiny")
+    api.register(spec.id, lambda: spec)
+    yield spec
+    api.unregister(spec.id)
+
+
+def canonical(result) -> str:
+    return json.dumps(experiment_to_dict(result), sort_keys=True,
+                      separators=(",", ":"))
+
+
+class TestRunnerHooks:
+    def test_hooks_conflict_with_orchestration_modes(self):
+        for kwargs in ({"parallel": True}, {"resume": True},
+                       {"journal": True}):
+            with pytest.raises(ValueError, match="configure/observe"):
+                ExperimentRunner(configure=lambda c: c, **kwargs)
+
+    def test_identity_hooks_reproduce_the_plain_run(self, tiny_registered):
+        plain = ExperimentRunner().run_one(tiny_registered,
+                                           profile="full")
+        seen = []
+        hooked = ExperimentRunner(
+            configure=lambda config: config,
+            observe=lambda task, system, results: seen.append(task[0]),
+        ).run_one(tiny_registered, profile="full")
+        assert canonical(hooked) == canonical(plain)
+        # Every evaluated point was observed (2 curves x 2 xs).
+        assert len(seen) == 4
+
+
+class TestRunTraced:
+    def test_trace_file_and_result_match_untraced(self, tiny_registered,
+                                                  tmp_path):
+        plain = ExperimentRunner().run_one(tiny_registered,
+                                           profile="full")
+        out = str(tmp_path / "tiny.trace.jsonl")
+        result, header, points = run_traced(tiny_registered.id, out,
+                                            profile="full")
+        assert canonical(result) == canonical(plain)
+        assert header["experiment"] == tiny_registered.id
+        assert header["sample"] == 1
+        assert header["seed"] == tiny_registered.seed
+        plotted = sum(len(s.points) for s in result.series)
+        assert len(points) == plotted
+        read_header, read_points, spans = read_trace(out, validate=True)
+        assert read_header["experiment"] == tiny_registered.id
+        assert len(read_points) == plotted
+        assert all(spans[p["point"]] for p in read_points)
+
+    def test_per_point_attribution_sums(self, tiny_registered, tmp_path):
+        out = str(tmp_path / "tiny.trace.jsonl")
+        run_traced(tiny_registered.id, out, profile="full")
+        for point, summary in trace_points(out, validate=True):
+            if not summary["traced_tx"]:
+                continue
+            assert abs(summary["residual"]) < 1e-9
+            assert summary["response_mean"] * 1e3 == pytest.approx(
+                point["response_ms"], rel=0.35)
+
+    def test_sampled_run_keeps_results_traces_fewer(self, tiny_registered,
+                                                    tmp_path):
+        full_out = str(tmp_path / "full.jsonl")
+        sampled_out = str(tmp_path / "sampled.jsonl")
+        full, _, full_points = run_traced(tiny_registered.id, full_out,
+                                          profile="full")
+        sampled, _, sampled_points = run_traced(
+            tiny_registered.id, sampled_out, profile="full", sample=5)
+        assert canonical(sampled) == canonical(full)
+        assert sum(len(p["spans"]) for p in sampled_points) < \
+            sum(len(p["spans"]) for p in full_points)
+
+    def test_telemetry_rides_along(self, tiny_registered, tmp_path):
+        out = str(tmp_path / "tiny.trace.jsonl")
+        result, _, _ = run_traced(tiny_registered.id, out,
+                                  profile="full", telemetry=0.2)
+        sampled = result.series[0].points[0].results
+        assert sampled.timeseries
+
+    def test_unknown_experiment_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            run_traced("_no_such_experiment",
+                       str(tmp_path / "x.jsonl"))
+
+
+@pytest.mark.slow
+class TestGoldenWithTracingOn:
+    """Acceptance pin: the traced fig4_1 fast sweep is bit-identical to
+    the untraced golden, and every plotted point's spans account for
+    its response time."""
+
+    def test_fig4_1_traced_digest_and_accounting(self, tmp_path):
+        import hashlib
+
+        from tests.integration.test_golden_fig4_1 import GOLDEN_SHA256
+
+        out = str(tmp_path / "fig4_1.trace.jsonl")
+        result, _, points = run_traced("fig4_1", out, profile="fast")
+        digest = hashlib.sha256(canonical(result).encode()).hexdigest()
+        assert digest == GOLDEN_SHA256, (
+            "tracing perturbed the simulation trajectory"
+        )
+        for point in points:
+            check_span_accounting(point["spans"],
+                                  point["measure_start"],
+                                  tolerance=1e-9)
+        pf = str(tmp_path / "fig4_1.perfetto.json")
+        events = write_perfetto(out, pf)
+        assert events > sum(len(p["spans"]) for p in points)

@@ -1,0 +1,108 @@
+"""Latency-attribution and span-accounting tests on synthetic spans."""
+
+import pytest
+
+from repro.trace import (
+    attribute,
+    check_span_accounting,
+    per_tx_spans,
+    render_attribution,
+)
+
+
+def _committed_tx(tx_id, base):
+    """A committed transaction whose phases tile [base, base+10]."""
+    return [
+        ("queue", tx_id, 0, base, base + 2.0, None),
+        ("cpu.bot", tx_id, 0, base + 2.0, base + 3.0, None),
+        ("fix", tx_id, 0, base + 3.0, base + 9.0, None),
+        ("commit", tx_id, 0, base + 9.0, base + 10.0, None),
+        ("io.read", tx_id, 0, base + 4.0, base + 8.0, "disk"),
+        ("log.force", tx_id, 0, base + 9.2, base + 9.8, "log_disk"),
+        ("tx", tx_id, 0, base, base + 10.0, None),
+    ]
+
+
+class TestPerTxSpans:
+    def test_groups_by_trusted_root(self):
+        spans = _committed_tx(1, 0.0) + _committed_tx(2, 20.0)
+        grouped = per_tx_spans(spans)
+        assert set(grouped) == {1, 2}
+        assert grouped[1]["root"] == (0.0, 10.0)
+        assert len(grouped[1]["phases"]) == 4
+        assert len(grouped[1]["details"]) == 2
+
+    def test_warmup_boundary_excludes_earlier_roots(self):
+        spans = _committed_tx(1, 0.0) + _committed_tx(2, 20.0)
+        grouped = per_tx_spans(spans, measure_start=15.0)
+        assert set(grouped) == {2}
+
+    def test_accepts_jsonl_dict_spans(self):
+        spans = [{"name": "tx", "tx": 5, "node": 1, "t0": 0.0, "t1": 1.0},
+                 {"name": "fix", "tx": 5, "node": 1, "t0": 0.0, "t1": 1.0}]
+        grouped = per_tx_spans(spans)
+        assert grouped[5]["root"] == (0.0, 1.0)
+
+
+class TestAttribute:
+    def test_phases_sum_to_response_mean(self):
+        spans = _committed_tx(1, 0.0) + _committed_tx(2, 20.0)
+        summary = attribute(spans)
+        assert summary["traced_tx"] == 2
+        assert summary["response_mean"] == pytest.approx(10.0)
+        assert sum(summary["phases"].values()) == \
+            pytest.approx(summary["response_mean"])
+        assert summary["residual"] == pytest.approx(0.0, abs=1e-12)
+        assert summary["phases"]["fix"] == pytest.approx(6.0)
+
+    def test_log_forces_split_by_placement(self):
+        spans = _committed_tx(1, 0.0)
+        spans += [("log.force", 1, 0, 9.0, 9.1, "log_nvem")]
+        summary = attribute(spans)
+        assert "log.force[log_disk]" in summary["details"]
+        assert "log.force[log_nvem]" in summary["details"]
+        assert summary["details"]["io.read"]["count"] == 1
+
+    def test_empty_stream_is_all_zero(self):
+        summary = attribute([])
+        assert summary["traced_tx"] == 0
+        assert summary["response_mean"] == 0.0
+        assert summary["phases"] == {}
+
+
+class TestCheckSpanAccounting:
+    def test_tiled_transactions_pass(self):
+        spans = _committed_tx(1, 0.0) + _committed_tx(2, 20.0)
+        report = check_span_accounting(spans)
+        assert report["transactions"] == 2
+        assert report["max_residual"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_overlapping_phases_fail(self):
+        spans = [("tx", 1, 0, 0.0, 10.0, None),
+                 ("fix", 1, 0, 0.0, 6.0, None),
+                 ("commit", 1, 0, 5.0, 10.0, None)]
+        with pytest.raises(AssertionError, match="overlapping"):
+            check_span_accounting(spans)
+
+    def test_uncovered_interval_fails(self):
+        spans = [("tx", 1, 0, 0.0, 10.0, None),
+                 ("fix", 1, 0, 0.0, 4.0, None)]
+        with pytest.raises(AssertionError, match="do not sum"):
+            check_span_accounting(spans)
+
+    def test_detail_spans_may_overlap_freely(self):
+        spans = _committed_tx(1, 0.0)
+        spans += [("io.read", 1, 0, 3.5, 8.5, "disk")]
+        check_span_accounting(spans)
+
+
+class TestRender:
+    def test_table_contains_phases_shares_and_details(self):
+        spans = _committed_tx(1, 0.0)
+        text = render_attribution("alpha x=50", attribute(spans),
+                                  measured_ms=10_000.0)
+        assert "alpha x=50: 1 traced tx" in text
+        assert "measured 10000.000 ms" in text
+        assert "fix" in text and "60.0%" in text
+        assert "log.force[log_disk]" in text
+        assert "residual" in text and "sum" in text

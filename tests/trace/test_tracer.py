@@ -1,0 +1,100 @@
+"""Unit tests for the span tracer and its configuration."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import TraceConfig
+from repro.sim import Environment, RandomStreams
+from repro.trace import DETAIL_SPANS, PHASE_SPANS, ROOT_SPAN, Tracer
+
+
+class _Tx:
+    traced = False
+
+
+class TestTracer:
+    def test_sample_one_admits_everything_without_rng(self):
+        tracer = Tracer(Environment())
+        assert tracer._rng is None
+        for _ in range(10):
+            tx = _Tx()
+            assert tracer.admit(tx) is True
+            assert tx.traced is True
+
+    def test_sampling_uses_dedicated_substream(self):
+        streams = RandomStreams(1)
+        tracer = Tracer(Environment(), streams=streams, sample=4)
+        assert tracer._rng is streams.stream("trace-sample")
+        decisions = [tracer.admit(_Tx()) for _ in range(400)]
+        traced = sum(decisions)
+        # 1/4 in expectation; generous bounds keep the test seed-proof.
+        assert 40 < traced < 180
+
+    def test_sampling_is_seed_deterministic(self):
+        def decisions(seed):
+            tracer = Tracer(Environment(), streams=RandomStreams(seed),
+                            sample=3)
+            return [tracer.admit(_Tx()) for _ in range(50)]
+
+        assert decisions(7) == decisions(7)
+        assert decisions(7) != decisions(8)
+
+    def test_buffer_is_bounded_and_counts_drops(self):
+        tracer = Tracer(Environment(), max_spans=3)
+        for i in range(5):
+            tracer.span("fix", i, 0.0, 1.0)
+        assert len(tracer.spans) == 3
+        assert tracer.dropped == 2
+
+    def test_for_node_views_share_buffer_and_counters(self):
+        tracer = Tracer(Environment(), max_spans=2)
+        view = tracer.for_node(3)
+        assert view.node == 3 and tracer.node == 0
+        view.span("lock", 1, 0.0, 0.5)
+        tracer.span("lock", 2, 0.0, 0.5)
+        assert tracer.spans is view.spans
+        assert [s[2] for s in tracer.spans] == [3, 0]
+        view.span("lock", 3, 0.0, 0.5)
+        assert tracer.dropped == view.dropped == 1
+
+    def test_clear_marks_the_warmup_boundary(self):
+        env = Environment()
+        tracer = Tracer(env)
+        tracer.span("fix", 1, 0.0, 1.0)
+        env.run(until=5.0)
+        tracer.clear()
+        assert tracer.spans == []
+        assert tracer.dropped == 0
+        assert tracer.measure_start == 5.0
+        # Views see the boundary too.
+        assert tracer.for_node(1).measure_start == 5.0
+
+    def test_span_names_partition_cleanly(self):
+        assert ROOT_SPAN not in PHASE_SPANS
+        assert not PHASE_SPANS & DETAIL_SPANS
+
+
+class TestTraceConfig:
+    def test_defaults_are_off_and_valid(self):
+        config = TraceConfig()
+        assert not config.enabled
+        config.validate()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"sample": 0},
+        {"enabled": True, "sample": 0},
+        {"enabled": True, "max_spans": 0},
+        {"slo_ms": 0.0},
+        {"telemetry_interval": -1.0},
+        {"telemetry_max_samples": 0},
+        # Sampling without tracing is a configuration mistake.
+        {"enabled": False, "sample": 10},
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            dataclasses.replace(TraceConfig(), **kwargs).validate()
+
+    def test_enabled_sampled_config_valid(self):
+        TraceConfig(enabled=True, sample=10,
+                    telemetry_interval=0.5).validate()
